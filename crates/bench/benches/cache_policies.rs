@@ -1,0 +1,119 @@
+//! Criterion benches for cache-policy costs: per-request admission under
+//! each policy, eviction storms, and the α grid-search replay.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use marconi_core::oracle::{best_static_alpha, SequenceEvent};
+use marconi_core::{EvictionPolicy, HybridPrefixCache, PrefixCache};
+use marconi_model::ModelConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sequences(n: u32, len: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|_| {
+            let input: Vec<u32> = (0..len).map(|_| rng.gen_range(0..50_000)).collect();
+            let output: Vec<u32> = (0..32).map(|_| rng.gen_range(0..50_000)).collect();
+            (input, output)
+        })
+        .collect()
+}
+
+/// Capacity that holds only a handful of sequences, forcing evictions on
+/// nearly every insert.
+fn tight_capacity(seq_len: u64) -> u64 {
+    let m = ModelConfig::hybrid_7b();
+    4 * (seq_len * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes())
+}
+
+fn bench_insert_under_pressure(c: &mut Criterion) {
+    let seqs = sequences(64, 1024);
+    let mut group = c.benchmark_group("cache_insert_evicting");
+    for (name, policy) in [
+        ("lru", EvictionPolicy::Lru),
+        ("flop_aware", EvictionPolicy::FlopAware { alpha: 2.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                    .capacity_bytes(tight_capacity(1056))
+                    .policy(policy.clone())
+                    .build();
+                for (i, (input, output)) in seqs.iter().enumerate() {
+                    cache.lookup_at(input, i as f64);
+                    cache.insert_at(input, output, i as f64);
+                }
+                black_box(cache.stats().evictions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_hot(c: &mut Criterion) {
+    let mut cache = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+        .capacity_bytes(1 << 42)
+        .build();
+    let seqs = sequences(64, 2048);
+    for (i, (input, output)) in seqs.iter().enumerate() {
+        cache.insert_at(input, output, i as f64);
+    }
+    c.bench_function("cache_lookup_hot", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % seqs.len();
+            black_box(cache.lookup_at(&seqs[i].0, 1e6))
+        });
+    });
+}
+
+fn bench_alpha_grid_search(c: &mut Criterion) {
+    let seqs = sequences(48, 768);
+    let events: Vec<SequenceEvent> = seqs
+        .iter()
+        .enumerate()
+        .map(|(i, (input, output))| SequenceEvent {
+            input: input.clone(),
+            output: output.clone(),
+            at: i as f64,
+        })
+        .collect();
+    let model = ModelConfig::hybrid_7b();
+    let capacity = tight_capacity(800);
+    let mut group = c.benchmark_group("alpha_grid_search");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function("serial_7_alphas", |b| {
+        b.iter(|| {
+            black_box(best_static_alpha(
+                &model,
+                capacity,
+                &events,
+                &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+                false,
+            ))
+        });
+    });
+    group.bench_function("parallel_7_alphas", |b| {
+        b.iter(|| {
+            black_box(best_static_alpha(
+                &model,
+                capacity,
+                &events,
+                &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+                true,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_under_pressure,
+    bench_lookup_hot,
+    bench_alpha_grid_search
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches for the radix-tree substrate: insert, longest-prefix
+//! match, and speculative insertion on trees populated with realistic
+//! multi-turn sequences.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marconi_radix::{RadixTree, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a tree holding `sessions` conversation histories that share a
+/// common system prompt.
+fn populated_tree(sessions: u32, turns: u32, turn_len: u64) -> (RadixTree<u64>, Vec<Vec<Token>>) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let prompt: Vec<Token> = (0..512).map(|_| rng.gen_range(0..50_000)).collect();
+    let mut tree = RadixTree::new();
+    let mut finals = Vec::new();
+    for _ in 0..sessions {
+        let mut history = prompt.clone();
+        for _ in 0..turns {
+            history.extend((0..turn_len).map(|_| rng.gen_range(0..50_000u32)));
+            tree.insert(&history);
+        }
+        finals.push(history);
+    }
+    (tree, finals)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_insert");
+    for &len in &[256u64, 1024, 4096] {
+        group.throughput(Throughput::Elements(len));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter_batched(
+                || {
+                    (0..len)
+                        .map(|_| rng.gen_range(0..50_000u32))
+                        .collect::<Vec<Token>>()
+                },
+                |seq| {
+                    let mut tree: RadixTree<u64> = RadixTree::new();
+                    tree.insert(black_box(&seq));
+                    tree
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_match_prefix(c: &mut Criterion) {
+    let (tree, finals) = populated_tree(64, 6, 512);
+    let mut group = c.benchmark_group("radix_match_prefix");
+    group.throughput(Throughput::Elements(finals[0].len() as u64));
+    group.bench_function("hit_full_history", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % finals.len();
+            black_box(tree.match_prefix(&finals[i]))
+        });
+    });
+    group.bench_function("miss_cold_sequence", |b| {
+        let cold: Vec<Token> = (1_000_000..1_004_096).collect();
+        b.iter(|| black_box(tree.match_prefix(&cold)));
+    });
+    group.finish();
+}
+
+fn bench_speculative_insert(c: &mut Criterion) {
+    let (tree, finals) = populated_tree(64, 6, 512);
+    c.bench_function("radix_speculate_insert", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % finals.len();
+            // A shared-prompt request that diverges after the prompt.
+            let mut req = finals[i][..512].to_vec();
+            req.extend(2_000_000..2_000_128);
+            black_box(tree.speculate_insert(&req))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_match_prefix,
+    bench_speculative_insert
+);
+criterion_main!(benches);

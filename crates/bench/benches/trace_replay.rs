@@ -1,0 +1,40 @@
+//! Criterion benches for end-to-end trace replay throughput per system.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+use marconi_bench::GB;
+use marconi_model::ModelConfig;
+use marconi_sim::{Comparison, SystemKind};
+use marconi_workload::{DatasetKind, TraceGenerator};
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+        .sessions(16)
+        .seed(3)
+        .generate();
+    let tokens = trace.total_input_tokens();
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(4));
+    group.throughput(Throughput::Elements(tokens));
+    for system in [
+        SystemKind::Vanilla,
+        SystemKind::VllmPlus,
+        SystemKind::SglangPlus,
+        SystemKind::Marconi,
+    ] {
+        group.bench_function(system.to_string(), |b| {
+            b.iter(|| {
+                let result = Comparison::new(ModelConfig::hybrid_7b(), 4 * GB)
+                    .systems(&[system])
+                    .run(&trace);
+                black_box(result.report(system).map(|r| r.token_hit_rate()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Ablations of Marconi's design choices (DESIGN.md's "Key design
+//! decisions"): eviction-policy family, checkpoint materialization mode,
+//! and the §4.3 implementation rules.
+
+use crate::pct;
+use marconi_core::{CheckpointMode, EvictionPolicy, HybridPrefixCache};
+use marconi_model::ModelConfig;
+use marconi_sim::{Engine, GpuModel};
+use marconi_workload::{ArrivalConfig, DatasetKind, Trace, TraceGenerator};
+use std::fmt::Write as _;
+
+/// One ablation configuration and its measured hit rate.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Configuration label.
+    pub label: String,
+    /// Token hit rate achieved.
+    pub hit_rate: f64,
+    /// Entries evicted (diagnostic for policy behaviour).
+    pub evictions: u64,
+}
+
+fn ablation_trace() -> Trace {
+    // The fig10 regime: contended SWE-agent-like serving where eviction
+    // decisions matter.
+    TraceGenerator::new(DatasetKind::SweBench)
+        .sessions(36)
+        .arrival(ArrivalConfig::new(1.0, 20.0))
+        .seed(10)
+        .generate()
+}
+
+fn run_config(
+    trace: &Trace,
+    label: &str,
+    configure: impl FnOnce(
+        marconi_core::HybridPrefixCacheBuilder,
+    ) -> marconi_core::HybridPrefixCacheBuilder,
+) -> AblationPoint {
+    let builder = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+        .capacity_bytes(2_000_000_000);
+    let cache = configure(builder).build();
+    let mut engine = Engine::new(cache, GpuModel::a100_x4());
+    let report = engine.run(trace);
+    AblationPoint {
+        label: label.to_owned(),
+        hit_rate: report.token_hit_rate(),
+        evictions: report.cache_stats.evictions,
+    }
+}
+
+/// Runs the ablation grid.
+#[must_use]
+pub fn run() -> Vec<AblationPoint> {
+    let trace = ablation_trace();
+    vec![
+        // Eviction-policy family.
+        run_config(&trace, "lru (sglang+)", |b| b.policy(EvictionPolicy::Lru)),
+        run_config(&trace, "gdsf (classic cost-aware)", |b| {
+            b.policy(EvictionPolicy::Gdsf)
+        }),
+        run_config(&trace, "flop-aware α=2 (static)", |b| {
+            b.policy(EvictionPolicy::FlopAware { alpha: 2.0 })
+        }),
+        run_config(&trace, "flop-aware auto-α (marconi)", |b| b),
+        // §4.1 checkpoint materialization.
+        run_config(&trace, "marconi + chunked ckpt (64)", |b| {
+            b.checkpoint_mode(CheckpointMode::Chunked { chunk_size: 64 })
+        }),
+        run_config(&trace, "marconi + chunked ckpt (256)", |b| {
+            b.checkpoint_mode(CheckpointMode::Chunked { chunk_size: 256 })
+        }),
+        // §4.3 implementation rules, ablated one at a time on LRU (so the
+        // effect is not masked by FLOP-aware scoring).
+        run_config(&trace, "lru + ancestor-refresh", |b| {
+            b.policy(EvictionPolicy::Lru).refresh_ancestors(true)
+        }),
+        run_config(&trace, "lru + leaf-only eviction", |b| {
+            b.policy(EvictionPolicy::Lru).leaf_only_eviction(true)
+        }),
+    ]
+}
+
+/// The ablation table rendered as text.
+#[must_use]
+pub fn ablations() -> String {
+    let points = run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Ablations: design choices on the contended SWE-agent trace (fig10 regime)"
+    );
+    let _ = writeln!(out, "{:<32} {:>10} {:>10}", "configuration", "hit rate", "evictions");
+    for p in &points {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>10}",
+            p.label,
+            pct(p.hit_rate),
+            p.evictions
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nreading: every cost-aware policy beats LRU. Our GDSF variant prices entries by\n\
+         FLOPs (not object size, which the paper shows fails for length-independent SSM\n\
+         states) and adds frequency + an aging clock — it is competitive with and can\n\
+         exceed recency+α scoring, matching §4.2's remark that FLOP efficiency is\n\
+         complementary to classic estimators like GDSF. Chunked checkpointing costs only\n\
+         a few points of hit rate for much cheaper state materialization (§4.1), and the\n\
+         §4.3 rules (single-timestamp update, ≤1-child candidates) are safe: ablating\n\
+         them does not improve the hit rate meaningfully."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_aware_policies_beat_lru() {
+        let points = run();
+        let find = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label.starts_with(label))
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .hit_rate
+        };
+        let marconi = find("flop-aware auto-α");
+        let lru = find("lru (sglang+)");
+        let gdsf = find("gdsf");
+        assert!(marconi > lru, "marconi {marconi} vs lru {lru}");
+        // FLOP-priced GDSF is a *stronger* classic baseline (frequency +
+        // aging on top of FLOP cost); it must also beat LRU.
+        assert!(gdsf > lru, "gdsf {gdsf} vs lru {lru}");
+    }
+
+    #[test]
+    fn chunked_checkpointing_costs_little() {
+        let points = run();
+        let find = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label.starts_with(label))
+                .unwrap()
+                .hit_rate
+        };
+        let exact = find("flop-aware auto-α");
+        let chunked = find("marconi + chunked ckpt (64)");
+        assert!(
+            chunked > exact * 0.9,
+            "chunked {chunked} should be within 10% of exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure- and table-reproduction harness for the Marconi paper.
+//!
+//! Every table and figure in the paper's evaluation maps to one function
+//! here (see DESIGN.md's per-experiment index). The `figures` binary
+//! dispatches to them:
+//!
+//! ```text
+//! cargo run --release -p marconi-bench --bin figures -- all
+//! cargo run --release -p marconi-bench --bin figures -- fig7 fig8
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports, so the
+//! output can be diffed against EXPERIMENTS.md. Everything is seeded and
+//! deterministic.
+//!
+//! The Criterion benches under `benches/` cover the *systems* costs
+//! (radix-tree operations, eviction sweeps, α grid search, end-to-end
+//! replay throughput); this library covers the *paper* results.
+
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod analytic;
+pub mod architecture;
+pub mod arrivals;
+pub mod contention;
+pub mod distributions;
+pub mod end_to_end;
+pub mod fine_grained;
+pub mod reuse;
+pub mod sweep;
+
+/// 1 GB in bytes (decimal, as the paper's cache-size axis uses GB).
+pub const GB: u64 = 1_000_000_000;
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a ratio as `N.N×`.
+#[must_use]
+pub fn times(x: f64) -> String {
+    format!("{x:.1}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.254), "25.4%");
+        assert_eq!(times(34.42), "34.4×");
+    }
+}

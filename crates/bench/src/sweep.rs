@@ -1,0 +1,168 @@
+//! Shared end-to-end configuration sweep for Fig. 7 / Fig. 8 / Fig. 9.
+//!
+//! The paper's main results vary the dataset, request arrival pattern, and
+//! cache size, then report distributions (boxes/CDFs) over the
+//! configuration sweep. This module runs the grid once so the three
+//! figures can share it.
+
+use crate::GB;
+use marconi_core::TunerConfig;
+use marconi_model::ModelConfig;
+use marconi_sim::{Comparison, ComparisonResult, SystemKind};
+use marconi_workload::{ArrivalConfig, DatasetKind, TraceGenerator};
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workload family.
+    pub dataset: DatasetKind,
+    /// Session arrival rate (sessions/second).
+    pub sessions_per_second: f64,
+    /// Cache capacity in GB.
+    pub cache_gb: f64,
+    /// Sessions in the trace.
+    pub sessions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A sweep cell plus its comparison result.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The configuration that produced the result.
+    pub config: SweepConfig,
+    /// Per-system reports.
+    pub result: ComparisonResult,
+}
+
+/// Per-dataset cache sizes chosen to span high → low contention around the
+/// workload's working set (the paper's 60–140 GB sweep plays the same role
+/// for its full-size traces).
+#[must_use]
+pub fn cache_sizes_gb(dataset: DatasetKind) -> [f64; 3] {
+    match dataset {
+        DatasetKind::Lmsys => [2.0, 4.0, 8.0],
+        DatasetKind::ShareGpt => [3.0, 6.0, 12.0],
+        DatasetKind::SweBench => [2.0, 4.0, 8.0],
+    }
+}
+
+/// Per-dataset mean response time between a session's turns: human typing
+/// for chat, environment/IDE interaction for agents (§5.1).
+#[must_use]
+pub fn response_time_for(dataset: DatasetKind) -> f64 {
+    match dataset {
+        DatasetKind::Lmsys => 10.0,
+        DatasetKind::ShareGpt => 8.0,
+        DatasetKind::SweBench => 20.0,
+    }
+}
+
+/// Sessions per trace, sized so each dataset's sweep finishes quickly while
+/// still exercising eviction.
+#[must_use]
+pub fn sessions_for(dataset: DatasetKind) -> usize {
+    match dataset {
+        DatasetKind::Lmsys => 100,
+        DatasetKind::ShareGpt => 120,
+        DatasetKind::SweBench => 50,
+    }
+}
+
+/// Marconi's α grid per dataset. LMSys's flat, short-output-dominated α
+/// landscape punishes aggressive FLOP weighting, so its grid stays
+/// conservative; the agentic/long-context datasets use the full default.
+#[must_use]
+pub fn tuner_for(dataset: DatasetKind) -> TunerConfig {
+    match dataset {
+        DatasetKind::Lmsys => TunerConfig {
+            alpha_grid: vec![0.0, 0.1, 0.25, 0.5],
+            ..TunerConfig::default()
+        },
+        DatasetKind::ShareGpt | DatasetKind::SweBench => TunerConfig::default(),
+    }
+}
+
+/// The full grid for one dataset: 3 arrival rates × 3 cache sizes.
+#[must_use]
+pub fn grid(dataset: DatasetKind) -> Vec<SweepConfig> {
+    let mut configs = Vec::new();
+    for &rate in &[0.5, 1.0, 2.0] {
+        for &cache_gb in &cache_sizes_gb(dataset) {
+            configs.push(SweepConfig {
+                dataset,
+                sessions_per_second: rate,
+                cache_gb,
+                sessions: sessions_for(dataset),
+                seed: 1000 + (cache_gb * 10.0) as u64 + (rate * 10.0) as u64,
+            });
+        }
+    }
+    configs
+}
+
+/// Runs one sweep cell across the given systems.
+#[must_use]
+pub fn run_cell(config: &SweepConfig, systems: &[SystemKind]) -> SweepCell {
+    let trace = TraceGenerator::new(config.dataset)
+        .sessions(config.sessions)
+        .arrival(ArrivalConfig::new(
+            config.sessions_per_second,
+            response_time_for(config.dataset),
+        ))
+        .seed(config.seed)
+        .generate();
+    let capacity = (config.cache_gb * GB as f64) as u64;
+    let result = Comparison::new(ModelConfig::hybrid_7b(), capacity)
+        .marconi_tuner(tuner_for(config.dataset))
+        .systems(systems)
+        .run(&trace);
+    SweepCell {
+        config: config.clone(),
+        result,
+    }
+}
+
+/// Runs the whole grid for a dataset.
+#[must_use]
+pub fn run_dataset(dataset: DatasetKind, systems: &[SystemKind]) -> Vec<SweepCell> {
+    grid(dataset)
+        .iter()
+        .map(|c| run_cell(c, systems))
+        .collect()
+}
+
+/// The systems Fig. 7–9 need (everything except the slow oracle).
+pub const MAIN_SYSTEMS: [SystemKind; 4] = [
+    SystemKind::Vanilla,
+    SystemKind::VllmPlus,
+    SystemKind::SglangPlus,
+    SystemKind::Marconi,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_rates_and_sizes() {
+        let g = grid(DatasetKind::ShareGpt);
+        assert_eq!(g.len(), 9);
+        let rates: std::collections::BTreeSet<u64> = g
+            .iter()
+            .map(|c| (c.sessions_per_second * 10.0) as u64)
+            .collect();
+        assert_eq!(rates.len(), 3);
+    }
+
+    #[test]
+    fn single_cell_runs_all_main_systems() {
+        let mut config = grid(DatasetKind::ShareGpt).remove(0);
+        config.sessions = 6; // keep the unit test fast
+        let cell = run_cell(&config, &MAIN_SYSTEMS);
+        assert_eq!(cell.result.reports.len(), 4);
+        for system in MAIN_SYSTEMS {
+            assert!(cell.result.report(system).is_some());
+        }
+    }
+}

@@ -1,0 +1,1154 @@
+//! The Marconi prefix cache (and, with LRU eviction, the SGLang+ baseline).
+
+use crate::policy::{pick_victim, Candidate, EvictionPolicy};
+use crate::result::{AdmissionReport, LookupResult};
+use crate::stats::CacheStats;
+use crate::tuner::{TunerConfig, TunerState};
+use crate::PrefixCache;
+use marconi_model::ModelConfig;
+use marconi_radix::{NodeId, RadixTree, Token};
+
+/// Per-node cache metadata: edge KVs are implicit (the edge's tokens); the
+/// node additionally records SSM-checkpoint presence, recency, and the
+/// counters GDSF-style policies need.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeMeta {
+    last_access: f64,
+    has_ssm_state: bool,
+    /// Accesses since admission (GDSF's `F`).
+    frequency: u32,
+    /// GDSF priority `H = L + F·C/S`, refreshed on access.
+    gdsf_priority: f64,
+}
+
+/// How SSM states are materialized at a branch point during prefill
+/// (paper §4.1, "Obtaining states during prefill").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CheckpointMode {
+    /// Two-pass prefill (or a custom roll-forward kernel): the state is
+    /// checkpointed at the exact branch depth. Default.
+    Exact,
+    /// Chunked state passing (Mamba-2/RetNet/GLA-style): only states at
+    /// chunk boundaries are materialized, so the checkpoint lands at the
+    /// last boundary at or before the branch point, sacrificing up to
+    /// `chunk_size − 1` tokens of reuse for minimal runtime overhead.
+    Chunked {
+        /// Prefill chunk size (e.g. 64 or 256).
+        chunk_size: u64,
+    },
+}
+
+impl CheckpointMode {
+    /// The depth actually checkpointed for a branch at `branch_depth`.
+    /// Returns 0 (no checkpoint) if no boundary precedes the branch.
+    #[must_use]
+    pub fn checkpoint_depth(self, branch_depth: u64) -> u64 {
+        match self {
+            CheckpointMode::Exact => branch_depth,
+            CheckpointMode::Chunked { chunk_size } => {
+                assert!(chunk_size > 0, "chunk size must be positive");
+                (branch_depth / chunk_size) * chunk_size
+            }
+        }
+    }
+}
+
+impl Default for CheckpointMode {
+    fn default() -> Self {
+        CheckpointMode::Exact
+    }
+}
+
+/// Bootstrap snapshot: the tree and its derived byte accounting.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    tree: RadixTree<NodeMeta>,
+    ssm_states: u64,
+    clock: f64,
+}
+
+/// Internal tuner lifecycle (public view: [`TunerState`]).
+#[derive(Debug, Clone)]
+enum Tuner {
+    Waiting {
+        config: TunerConfig,
+        requests_seen: u64,
+    },
+    Bootstrapping {
+        config: TunerConfig,
+        snapshot: Box<Snapshot>,
+        recorded: Vec<(Vec<Token>, Vec<Token>, f64)>,
+        target: u64,
+    },
+    Tuned {
+        alpha: f64,
+    },
+}
+
+/// Prefix cache for hybrid (and pure) LLMs over a radix tree, holding KVs
+/// and SSM states for the same prefixes in the same nodes.
+///
+/// With the default [`EvictionPolicy::AutoTuned`] this is **Marconi**; with
+/// [`EvictionPolicy::Lru`] it is the paper's **SGLang+** baseline (same
+/// judicious admission, recency-only eviction).
+///
+/// See the [crate docs](crate) for the policy description and an example.
+#[derive(Debug, Clone)]
+pub struct HybridPrefixCache {
+    name: String,
+    model: ModelConfig,
+    capacity: u64,
+    tree: RadixTree<NodeMeta>,
+    ssm_states: u64,
+    policy: EvictionPolicy,
+    tuner: Option<Tuner>,
+    effective_alpha: f64,
+    stats: CacheStats,
+    clock: f64,
+    checkpoint_mode: CheckpointMode,
+    /// §4.3(2) ablation: refresh every ancestor's timestamp on a hit, like
+    /// pre-Marconi systems, instead of only the accessed node's.
+    refresh_ancestors: bool,
+    /// §4.3(1) ablation: restrict eviction candidates to leaves, like
+    /// pre-Marconi systems, leaving single-child nodes' SSM states pinned.
+    leaf_only_eviction: bool,
+    /// GDSF inflation clock `L` (monotone, set to each victim's priority).
+    gdsf_clock: f64,
+}
+
+impl HybridPrefixCache {
+    /// Starts building a cache for `model`.
+    ///
+    /// Defaults: 16 GiB capacity, [`EvictionPolicy::AutoTuned`], name
+    /// derived from the policy.
+    #[must_use]
+    pub fn builder(model: ModelConfig) -> HybridPrefixCacheBuilder {
+        HybridPrefixCacheBuilder {
+            model,
+            capacity: 16 << 30,
+            policy: EvictionPolicy::default(),
+            name: None,
+            checkpoint_mode: CheckpointMode::Exact,
+            refresh_ancestors: false,
+            leaf_only_eviction: false,
+        }
+    }
+
+    /// The eviction policy this cache was built with.
+    #[must_use]
+    pub fn policy(&self) -> &EvictionPolicy {
+        &self.policy
+    }
+
+    /// The α currently applied by eviction scoring (0 while the tuner is
+    /// still in its LRU phase).
+    #[must_use]
+    pub fn current_alpha(&self) -> f64 {
+        self.effective_alpha
+    }
+
+    /// Tuner lifecycle, when the policy is [`EvictionPolicy::AutoTuned`].
+    #[must_use]
+    pub fn tuner_state(&self) -> Option<TunerState> {
+        self.tuner.as_ref().map(|t| match t {
+            Tuner::Waiting { .. } => TunerState::WaitingForFirstEviction,
+            Tuner::Bootstrapping {
+                recorded, target, ..
+            } => TunerState::Bootstrapping {
+                recorded: recorded.len() as u64,
+                target: *target,
+            },
+            Tuner::Tuned { alpha } => TunerState::Tuned { alpha: *alpha },
+        })
+    }
+
+    /// Number of SSM checkpoints currently cached.
+    #[must_use]
+    pub fn ssm_state_count(&self) -> u64 {
+        self.ssm_states
+    }
+
+    /// Number of live radix-tree nodes (diagnostic).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Convenience [`PrefixCache::lookup_at`] using an internal logical
+    /// clock.
+    pub fn lookup(&mut self, input: &[Token]) -> LookupResult {
+        self.clock += 1.0;
+        let now = self.clock;
+        self.lookup_at(input, now)
+    }
+
+    /// Convenience [`PrefixCache::insert_at`] using an internal logical
+    /// clock.
+    pub fn insert_sequence(&mut self, input: &[Token], output: &[Token]) -> AdmissionReport {
+        self.clock += 1.0;
+        let now = self.clock;
+        self.insert_at(input, output, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn usage(&self) -> u64 {
+        self.tree.token_count() * self.model.kv_bytes_per_token()
+            + self.ssm_states * self.model.ssm_checkpoint_bytes()
+    }
+
+    /// Bytes that evicting `id` would free: a leaf releases its edge KVs
+    /// and checkpoint; an intermediate node only its checkpoint (the child
+    /// absorbs the edge KVs, §4.3).
+    fn freed_bytes(&self, id: NodeId) -> u64 {
+        let ssm = if self.tree.data(id).has_ssm_state {
+            self.model.ssm_checkpoint_bytes()
+        } else {
+            0
+        };
+        if self.tree.is_leaf(id) {
+            self.tree.edge_len(id) * self.model.kv_bytes_per_token() + ssm
+        } else {
+            ssm
+        }
+    }
+
+    /// FLOPs a hit at `id` saves relative to its parent, per byte freed by
+    /// evicting `id` (infinite when eviction frees nothing).
+    fn node_flop_efficiency(&self, id: NodeId) -> f64 {
+        let freed = self.freed_bytes(id);
+        if freed == 0 {
+            return f64::INFINITY;
+        }
+        let parent_depth = self
+            .tree
+            .parent(id)
+            .map(|p| self.tree.depth(p))
+            .unwrap_or(0);
+        let delta =
+            self.model.flops_saved(self.tree.depth(id)) - self.model.flops_saved(parent_depth);
+        delta as f64 / freed as f64
+    }
+
+    /// Refreshes a node's GDSF priority `H = L + F·C/S` after an access.
+    fn refresh_gdsf(&mut self, id: NodeId, bump_frequency: bool) {
+        let cost_per_byte = self.node_flop_efficiency(id);
+        let clock = self.gdsf_clock;
+        let meta = self.tree.data_mut(id);
+        if bump_frequency {
+            meta.frequency = meta.frequency.saturating_add(1);
+        } else if meta.frequency == 0 {
+            meta.frequency = 1;
+        }
+        meta.gdsf_priority = clock + f64::from(meta.frequency) * cost_per_byte;
+    }
+
+    /// Picks the GDSF victim: minimum priority, ties toward older nodes.
+    fn pick_gdsf_victim(&self, candidates: &[NodeId]) -> Option<NodeId> {
+        candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let (ma, mb) = (self.tree.data(a), self.tree.data(b));
+                ma.gdsf_priority
+                    .total_cmp(&mb.gdsf_priority)
+                    .then(ma.last_access.total_cmp(&mb.last_access))
+                    .then(a.cmp(&b))
+            })
+            .copied()
+    }
+
+    /// Evicts lowest-utility candidates until usage fits the capacity.
+    fn evict_until_fits(&mut self, report: &mut AdmissionReport) {
+        while self.usage() > self.capacity && !self.tree.is_empty() {
+            let leaf_only = self.leaf_only_eviction;
+            let ids: Vec<NodeId> = self
+                .tree
+                .eviction_candidates()
+                .filter(|&id| !leaf_only || self.tree.is_leaf(id))
+                .collect();
+            let victim = if matches!(self.policy, EvictionPolicy::Gdsf) {
+                let v = self.pick_gdsf_victim(&ids);
+                if let Some(v) = v {
+                    let h = self.tree.data(v).gdsf_priority;
+                    if h.is_finite() {
+                        self.gdsf_clock = self.gdsf_clock.max(h);
+                    }
+                }
+                v
+            } else {
+                let candidates: Vec<Candidate<NodeId>> = ids
+                    .iter()
+                    .map(|&id| Candidate {
+                        id,
+                        last_access: self.tree.data(id).last_access,
+                        flop_efficiency: self.node_flop_efficiency(id),
+                    })
+                    .collect();
+                pick_victim(&candidates, self.effective_alpha)
+            };
+            let Some(victim) = victim else {
+                break;
+            };
+            let freed = self.freed_bytes(victim);
+            let removed = self
+                .tree
+                .remove(victim)
+                .expect("eviction candidates are removable");
+            if removed.data.has_ssm_state {
+                self.ssm_states -= 1;
+            }
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += freed;
+            report.entries_evicted += 1;
+            report.bytes_evicted += freed;
+        }
+    }
+
+    /// Marks an SSM checkpoint on `id` if absent; returns 1 if newly added.
+    fn checkpoint(&mut self, id: NodeId, now: f64) -> u64 {
+        let meta = self.tree.data_mut(id);
+        meta.last_access = now;
+        if meta.has_ssm_state {
+            0
+        } else {
+            meta.has_ssm_state = true;
+            self.ssm_states += 1;
+            1
+        }
+    }
+
+    /// Stamps recency on any nodes an insertion created and seeds their
+    /// GDSF priorities.
+    fn stamp_new_nodes(&mut self, outcome: &marconi_radix::InsertOutcome, now: f64) {
+        for id in [outcome.split_node, outcome.new_leaf, Some(outcome.end_node)]
+            .into_iter()
+            .flatten()
+        {
+            self.tree.data_mut(id).last_access = now;
+            self.refresh_gdsf(id, false);
+        }
+    }
+
+    /// Runs the α tuner state machine after an admission.
+    fn observe_for_tuning(&mut self, input: &[Token], output: &[Token], now: f64) {
+        let Some(tuner) = self.tuner.take() else {
+            return;
+        };
+        self.tuner = Some(match tuner {
+            Tuner::Waiting {
+                config,
+                requests_seen,
+            } => {
+                let requests_seen = requests_seen + 1;
+                if self.stats.evictions > 0 {
+                    // First eviction: snapshot and start the bootstrap
+                    // window (recording begins with the *next* request).
+                    let target = config.window_len(requests_seen);
+                    Tuner::Bootstrapping {
+                        config,
+                        snapshot: Box::new(Snapshot {
+                            tree: self.tree.clone(),
+                            ssm_states: self.ssm_states,
+                            clock: self.clock,
+                        }),
+                        recorded: Vec::new(),
+                        target,
+                    }
+                } else {
+                    Tuner::Waiting {
+                        config,
+                        requests_seen,
+                    }
+                }
+            }
+            Tuner::Bootstrapping {
+                config,
+                snapshot,
+                mut recorded,
+                target,
+            } => {
+                recorded.push((input.to_vec(), output.to_vec(), now));
+                if (recorded.len() as u64) < target {
+                    Tuner::Bootstrapping {
+                        config,
+                        snapshot,
+                        recorded,
+                        target,
+                    }
+                } else {
+                    let alpha = grid_search(
+                        &self.model,
+                        self.capacity,
+                        &snapshot,
+                        &recorded,
+                        &config.alpha_grid,
+                        config.parallel,
+                    );
+                    self.effective_alpha = alpha;
+                    Tuner::Tuned { alpha }
+                }
+            }
+            tuned @ Tuner::Tuned { .. } => tuned,
+        });
+    }
+
+    /// Builds a fixed-α replica seeded from a snapshot, for replay.
+    fn replica(model: &ModelConfig, capacity: u64, snapshot: &Snapshot, alpha: f64) -> Self {
+        HybridPrefixCache {
+            name: "replica".to_owned(),
+            model: model.clone(),
+            capacity,
+            tree: snapshot.tree.clone(),
+            ssm_states: snapshot.ssm_states,
+            policy: EvictionPolicy::FlopAware { alpha },
+            tuner: None,
+            effective_alpha: alpha,
+            stats: CacheStats::default(),
+            clock: snapshot.clock,
+            checkpoint_mode: CheckpointMode::Exact,
+            refresh_ancestors: false,
+            leaf_only_eviction: false,
+            gdsf_clock: 0.0,
+        }
+    }
+}
+
+/// Replays the bootstrap window for each α and returns the hit-rate
+/// maximizer (ties break toward the smaller α, so LRU wins when FLOP
+/// awareness adds nothing).
+fn grid_search(
+    model: &ModelConfig,
+    capacity: u64,
+    snapshot: &Snapshot,
+    events: &[(Vec<Token>, Vec<Token>, f64)],
+    grid: &[f64],
+    parallel: bool,
+) -> f64 {
+    assert!(!grid.is_empty(), "alpha grid must be non-empty");
+    let score = |alpha: f64| -> f64 {
+        let mut cache = HybridPrefixCache::replica(model, capacity, snapshot, alpha);
+        for (input, output, at) in events {
+            cache.lookup_at(input, *at);
+            cache.insert_at(input, output, *at);
+        }
+        cache.stats.token_hit_rate()
+    };
+    let scores: Vec<(f64, f64)> = if parallel {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = grid
+                .iter()
+                .map(|&alpha| s.spawn(move || (alpha, score(alpha))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay thread panicked"))
+                .collect()
+        })
+    } else {
+        grid.iter().map(|&a| (a, score(a))).collect()
+    };
+    scores
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.total_cmp(&a.0)))
+        .map(|(alpha, _)| alpha)
+        .expect("non-empty grid")
+}
+
+impl PrefixCache for HybridPrefixCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
+        self.clock = self.clock.max(now);
+        let m = self.tree.match_prefix(input);
+        let result = if self.model.has_ssm() {
+            // All-or-nothing: reuse stops at the deepest checkpointed node.
+            let hit = m
+                .path
+                .iter()
+                .rev()
+                .copied()
+                .find(|&id| self.tree.data(id).has_ssm_state);
+            match hit {
+                Some(node) => {
+                    let depth = self.tree.depth(node);
+                    LookupResult {
+                        tokens_matched: depth,
+                        raw_matched: m.matched_len,
+                        node: Some(node),
+                        flops_saved: self.model.flops_saved(depth),
+                    }
+                }
+                None => LookupResult {
+                    raw_matched: m.matched_len,
+                    ..LookupResult::MISS
+                },
+            }
+        } else {
+            // Pure Transformer: KVs slice at any token boundary.
+            LookupResult {
+                tokens_matched: m.matched_len,
+                raw_matched: m.matched_len,
+                node: m.deepest(),
+                flops_saved: self.model.flops_saved(m.matched_len),
+            }
+        };
+        // §4.3(2): only the accessed node's timestamp is updated (unless
+        // the ancestor-refresh ablation is enabled).
+        if let Some(node) = result.node {
+            if result.is_hit() {
+                self.tree.data_mut(node).last_access = now;
+                self.refresh_gdsf(node, true);
+                if self.refresh_ancestors {
+                    let hit_depth = self.tree.depth(node);
+                    for &id in &m.path {
+                        if self.tree.depth(id) <= hit_depth {
+                            self.tree.data_mut(id).last_access = now;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.lookups += 1;
+        self.stats.input_tokens += input.len() as u64;
+        self.stats.hit_tokens += result.tokens_matched;
+        self.stats.flops_saved += result.flops_saved;
+        if result.is_hit() {
+            self.stats.hits += 1;
+        }
+        result
+    }
+
+    fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
+        self.clock = self.clock.max(now);
+        let mut report = AdmissionReport::default();
+        let tokens_before = self.tree.token_count();
+        let mut admitted = 0u64;
+
+        // Purely-input reuse (§4.1): speculative insertion of the input
+        // segment; a predicted intermediate node marks a shared prefix
+        // whose SSM state is checkpointed during prefill.
+        if self.model.has_ssm() && !input.is_empty() {
+            let spec = self.tree.speculate_insert(input);
+            if let Some(branch_depth) = spec.creates_branch_at {
+                // Chunked state passing can only materialize states at
+                // chunk boundaries; two-pass/exact hits the branch itself.
+                let target = self.checkpoint_mode.checkpoint_depth(branch_depth);
+                if target > 0 {
+                    let outcome = self.tree.insert(&input[..target as usize]);
+                    self.stamp_new_nodes(&outcome, now);
+                    let node = outcome.end_node;
+                    debug_assert_eq!(self.tree.depth(node), target);
+                    admitted += self.checkpoint(node, now);
+                    report.branch_checkpoint_depth = Some(target);
+                }
+            }
+        }
+
+        // Input-and-output reuse (§4.1): the full sequence's KVs are cached
+        // along the path and the state at the last decoded token is always
+        // checkpointed (conversations resume from it).
+        let full: Vec<Token> = input.iter().chain(output.iter()).copied().collect();
+        if !full.is_empty() {
+            let outcome = self.tree.insert(&full);
+            self.stamp_new_nodes(&outcome, now);
+            if self.model.has_ssm() {
+                admitted += self.checkpoint(outcome.end_node, now);
+            }
+        }
+
+        let kv_added =
+            (self.tree.token_count() - tokens_before) * self.model.kv_bytes_per_token();
+        report.ssm_states_admitted = admitted;
+        report.bytes_added = kv_added + admitted * self.model.ssm_checkpoint_bytes();
+        self.stats.insertions += 1;
+        self.stats.ssm_states_admitted += admitted;
+        self.stats.peak_usage_bytes = self.stats.peak_usage_bytes.max(self.usage());
+
+        self.evict_until_fits(&mut report);
+        self.observe_for_tuning(input, output, now);
+        report
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn usage_bytes(&self) -> u64 {
+        self.usage()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// Builder for [`HybridPrefixCache`]; see
+/// [`HybridPrefixCache::builder`].
+#[derive(Debug, Clone)]
+pub struct HybridPrefixCacheBuilder {
+    model: ModelConfig,
+    capacity: u64,
+    policy: EvictionPolicy,
+    name: Option<String>,
+    checkpoint_mode: CheckpointMode,
+    refresh_ancestors: bool,
+    leaf_only_eviction: bool,
+}
+
+impl HybridPrefixCacheBuilder {
+    /// Sets the cache capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Sets the eviction policy (default: [`EvictionPolicy::AutoTuned`]).
+    #[must_use]
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the system name used in reports.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets how branch-point SSM states are materialized during prefill
+    /// (default [`CheckpointMode::Exact`]).
+    #[must_use]
+    pub fn checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint_mode = mode;
+        self
+    }
+
+    /// Ablation switch (§4.3(2)): also refresh ancestor timestamps on a
+    /// hit, like pre-Marconi systems. Default off.
+    #[must_use]
+    pub fn refresh_ancestors(mut self, enabled: bool) -> Self {
+        self.refresh_ancestors = enabled;
+        self
+    }
+
+    /// Ablation switch (§4.3(1)): restrict eviction to leaf nodes, like
+    /// pre-Marconi systems, pinning single-child nodes' SSM states.
+    /// Default off.
+    #[must_use]
+    pub fn leaf_only_eviction(mut self, enabled: bool) -> Self {
+        self.leaf_only_eviction = enabled;
+        self
+    }
+
+    /// Builds the cache.
+    pub fn build(self) -> HybridPrefixCache {
+        let (tuner, effective_alpha) = match &self.policy {
+            EvictionPolicy::Lru | EvictionPolicy::Gdsf => (None, 0.0),
+            EvictionPolicy::FlopAware { alpha } => (None, *alpha),
+            EvictionPolicy::AutoTuned(config) => (
+                Some(Tuner::Waiting {
+                    config: config.clone(),
+                    requests_seen: 0,
+                }),
+                0.0,
+            ),
+        };
+        let name = self.name.unwrap_or_else(|| {
+            match &self.policy {
+                EvictionPolicy::Lru => "sglang+",
+                EvictionPolicy::FlopAware { .. } => "marconi-static",
+                EvictionPolicy::AutoTuned(_) => "marconi",
+                EvictionPolicy::Gdsf => "gdsf",
+            }
+            .to_owned()
+        });
+        HybridPrefixCache {
+            name,
+            model: self.model,
+            capacity: self.capacity,
+            tree: RadixTree::new(),
+            ssm_states: 0,
+            policy: self.policy,
+            tuner,
+            effective_alpha,
+            stats: CacheStats::default(),
+            clock: 0.0,
+            checkpoint_mode: self.checkpoint_mode,
+            refresh_ancestors: self.refresh_ancestors,
+            leaf_only_eviction: self.leaf_only_eviction,
+            gdsf_clock: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marconi(capacity: u64) -> HybridPrefixCache {
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(capacity)
+            .build()
+    }
+
+    fn sglang(capacity: u64) -> HybridPrefixCache {
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(capacity)
+            .policy(EvictionPolicy::Lru)
+            .build()
+    }
+
+    fn seq(range: std::ops::Range<u32>) -> Vec<Token> {
+        range.collect()
+    }
+
+    #[test]
+    fn cold_lookup_misses() {
+        let mut c = marconi(1 << 40);
+        let r = c.lookup(&seq(0..100));
+        assert!(!r.is_hit());
+        assert_eq!(c.stats().lookups, 1);
+        assert_eq!(c.stats().token_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn conversation_resume_hits_last_decoded_state() {
+        // Input-and-output reuse: turn 2 = turn 1's input + output + more.
+        let mut c = marconi(1 << 40);
+        let input = seq(0..100);
+        let output = seq(1000..1050);
+        c.insert_sequence(&input, &output);
+
+        let mut turn2 = input.clone();
+        turn2.extend_from_slice(&output);
+        turn2.extend(seq(2000..2020));
+        let r = c.lookup(&turn2);
+        assert_eq!(r.tokens_matched, 150, "hit at the last decoded token");
+        assert_eq!(r.raw_matched, 150);
+    }
+
+    #[test]
+    fn purely_input_prefix_hits_on_third_occurrence() {
+        // §4.1 tradeoffs: the first occurrence caches nothing reusable at
+        // the branch point, the second identifies + checkpoints it, the
+        // third hits.
+        let mut c = marconi(1 << 40);
+        let prompt = seq(0..500);
+        let mk = |i: u32| {
+            let mut v = prompt.clone();
+            v.extend(seq(1000 * i..1000 * i + 50));
+            v
+        };
+
+        let r1 = c.lookup(&mk(1));
+        assert_eq!(r1.tokens_matched, 0);
+        c.insert_sequence(&mk(1), &seq(9000..9010));
+
+        let r2 = c.lookup(&mk(2));
+        assert_eq!(r2.tokens_matched, 0, "shared prefix not yet checkpointed");
+        let rep2 = c.insert_sequence(&mk(2), &seq(9100..9110));
+        assert_eq!(rep2.branch_checkpoint_depth, Some(500));
+
+        let r3 = c.lookup(&mk(3));
+        assert_eq!(r3.tokens_matched, 500, "branch-point state reused");
+        assert_eq!(r3.raw_matched, 500);
+    }
+
+    #[test]
+    fn at_most_two_ssm_states_per_sequence() {
+        let mut c = marconi(1 << 40);
+        c.insert_sequence(&seq(0..300), &seq(1000..1100));
+        let report = c.insert_sequence(&seq(0..200), &seq(2000..2100));
+        assert!(report.ssm_states_admitted <= 2, "judicious admission");
+        // First insertion: only the final state (no branch existed yet).
+        assert_eq!(c.stats().ssm_states_admitted, 1 + report.ssm_states_admitted);
+    }
+
+    #[test]
+    fn hybrid_hits_are_all_or_nothing() {
+        // A request sharing only part of a cached sequence cannot reuse the
+        // deeper SSM state: raw match > usable match.
+        let mut c = marconi(1 << 40);
+        c.insert_sequence(&seq(0..100), &seq(1000..1010));
+        let query = seq(0..50); // strict prefix: no checkpoint at 50
+        let r = c.lookup(&query);
+        assert_eq!(r.raw_matched, 50);
+        assert_eq!(r.tokens_matched, 0, "no state at token 50");
+    }
+
+    #[test]
+    fn pure_transformer_reuses_arbitrary_prefixes() {
+        let mut c = HybridPrefixCache::builder(ModelConfig::transformer_7b())
+            .capacity_bytes(1 << 40)
+            .build();
+        c.insert_sequence(&seq(0..100), &seq(1000..1010));
+        let r = c.lookup(&seq(0..50));
+        assert_eq!(r.tokens_matched, 50, "KVs slice at any boundary");
+        assert_eq!(r.node, None.or(r.node), "node may be None mid-edge");
+    }
+
+    #[test]
+    fn usage_accounting_matches_model_math() {
+        let mut c = marconi(1 << 40);
+        let input = seq(0..128);
+        let output = seq(1000..1032);
+        c.insert_sequence(&input, &output);
+        let m = ModelConfig::hybrid_7b();
+        let expect = 160 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes();
+        assert_eq!(c.usage_bytes(), expect);
+        assert_eq!(c.ssm_state_count(), 1);
+    }
+
+    #[test]
+    fn eviction_keeps_usage_within_capacity() {
+        let m = ModelConfig::hybrid_7b();
+        // Room for roughly two 128-token sequences with one state each.
+        let capacity = 2 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes()) + 1;
+        let mut c = sglang(capacity);
+        for i in 0..10u32 {
+            let input = seq(i * 10_000..i * 10_000 + 96);
+            let output = seq(i * 10_000 + 500..i * 10_000 + 532);
+            c.insert_sequence(&input, &output);
+            assert!(c.usage_bytes() <= capacity, "iteration {i}");
+        }
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_sequence_first() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 2 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes()) + 1;
+        let mut c = sglang(capacity);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A (oldest)
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+        // C forces eviction of A.
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532));
+        let mut turn_b = seq(10_000..10_096);
+        turn_b.extend(seq(10_500..10_532));
+        assert!(c.lookup(&turn_b).is_hit(), "B retained");
+        let mut turn_a = seq(0..96);
+        turn_a.extend(seq(500..532));
+        assert!(!c.lookup(&turn_a).is_hit(), "A evicted");
+    }
+
+    #[test]
+    fn hit_refreshes_recency_and_prevents_eviction() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 2 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes()) + 1;
+        let mut c = sglang(capacity);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+        // Touch A so B becomes the LRU victim.
+        let mut turn_a = seq(0..96);
+        turn_a.extend(seq(500..532));
+        assert!(c.lookup(&turn_a).is_hit());
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532)); // C
+        assert!(c.lookup(&turn_a).is_hit(), "A survived after refresh");
+    }
+
+    #[test]
+    fn flop_aware_trades_short_for_long_sequences() {
+        // Under contention, high α retains the long sequence even when the
+        // short one is more recent — the paper's core eviction tradeoff.
+        let m = ModelConfig::hybrid_7b();
+        let long_input = seq(0..4096);
+        let short_input = seq(100_000..100_128);
+        let fits_one_long = 4200 * m.kv_bytes_per_token() + 3 * m.ssm_checkpoint_bytes();
+
+        let run = |policy: EvictionPolicy| {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(fits_one_long)
+                .policy(policy)
+                .build();
+            c.insert_sequence(&long_input, &seq(200_000..200_032));
+            // A burst of fresh short sequences applies pressure.
+            for i in 0..4u32 {
+                c.insert_sequence(
+                    &seq(300_000 + i * 1000..300_000 + i * 1000 + 128),
+                    &seq(400_000 + i * 1000..400_000 + i * 1000 + 16),
+                );
+            }
+            let mut long_turn2 = long_input.clone();
+            long_turn2.extend(seq(200_000..200_032));
+            let _ = c.lookup(&short_input);
+            c.lookup(&long_turn2).tokens_matched
+        };
+
+        let lru_hit = run(EvictionPolicy::Lru);
+        let flop_hit = run(EvictionPolicy::FlopAware { alpha: 8.0 });
+        assert!(
+            flop_hit > lru_hit,
+            "flop-aware ({flop_hit}) must retain the long prefix; lru got {lru_hit}"
+        );
+    }
+
+    #[test]
+    fn auto_tuner_walks_through_lifecycle() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 2 * (160 * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes());
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .policy(EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }))
+            .build();
+        assert_eq!(
+            c.tuner_state(),
+            Some(TunerState::WaitingForFirstEviction)
+        );
+        let mut i = 0u32;
+        while !matches!(c.tuner_state(), Some(TunerState::Tuned { .. })) {
+            let input = seq(i * 10_000..i * 10_000 + 128 + (i % 7) * 64);
+            let output = seq(i * 10_000 + 5000..i * 10_000 + 5032);
+            c.lookup(&input);
+            c.insert_at(&input, &output, f64::from(i));
+            i += 1;
+            assert!(i < 500, "tuner failed to converge");
+        }
+        assert!(c.current_alpha() >= 0.0);
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn tuner_grid_search_is_deterministic_across_parallelism() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 3 * (160 * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes());
+        let run = |parallel: bool| {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .policy(EvictionPolicy::AutoTuned(TunerConfig {
+                    bootstrap_multiplier: 5.0,
+                    alpha_grid: vec![0.0, 0.5, 2.0],
+                    parallel,
+                }))
+                .build();
+            for i in 0..200u32 {
+                let input = seq(i * 10_000..i * 10_000 + 64 + (i % 5) * 200);
+                let output = seq(i * 10_000 + 5000..i * 10_000 + 5016);
+                c.lookup_at(&input, f64::from(i));
+                c.insert_at(&input, &output, f64::from(i));
+            }
+            c.current_alpha()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn zero_capacity_cache_stays_empty_but_serves() {
+        let mut c = marconi(0);
+        c.insert_sequence(&seq(0..64), &seq(100..110));
+        assert_eq!(c.usage_bytes(), 0);
+        assert!(!c.lookup(&seq(0..64)).is_hit());
+    }
+
+    #[test]
+    fn empty_input_and_output_are_tolerated() {
+        let mut c = marconi(1 << 40);
+        let r = c.lookup(&[]);
+        assert_eq!(r.tokens_matched, 0);
+        let rep = c.insert_sequence(&[], &[]);
+        assert_eq!(rep.ssm_states_admitted, 0);
+        assert_eq!(c.usage_bytes(), 0);
+    }
+
+    #[test]
+    fn builder_names_follow_policy() {
+        let m = ModelConfig::hybrid_7b();
+        assert_eq!(
+            HybridPrefixCache::builder(m.clone()).build().name(),
+            "marconi"
+        );
+        assert_eq!(
+            HybridPrefixCache::builder(m.clone())
+                .policy(EvictionPolicy::Lru)
+                .build()
+                .name(),
+            "sglang+"
+        );
+        assert_eq!(
+            HybridPrefixCache::builder(m)
+                .name("custom")
+                .build()
+                .name(),
+            "custom"
+        );
+    }
+
+    #[test]
+    fn chunked_checkpointing_rounds_down_to_boundary() {
+        // §4.1: "when prefilling ... if we need to cache the state at
+        // token 80, we can checkpoint the state at token 64" (chunk 32).
+        assert_eq!(CheckpointMode::Exact.checkpoint_depth(80), 80);
+        assert_eq!(
+            CheckpointMode::Chunked { chunk_size: 32 }.checkpoint_depth(80),
+            64
+        );
+        assert_eq!(
+            CheckpointMode::Chunked { chunk_size: 32 }.checkpoint_depth(20),
+            0,
+            "no boundary before the branch: skip the checkpoint"
+        );
+
+        let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 42)
+            .checkpoint_mode(CheckpointMode::Chunked { chunk_size: 32 })
+            .build();
+        let prompt = seq(0..80);
+        let mk = |tag: u32| {
+            let mut v = prompt.clone();
+            v.extend(seq(tag..tag + 16));
+            v
+        };
+        c.insert_sequence(&mk(1000), &seq(9000..9004));
+        let rep = c.insert_sequence(&mk(2000), &seq(9100..9104));
+        assert_eq!(
+            rep.branch_checkpoint_depth,
+            Some(64),
+            "branch at 80 checkpoints at the chunk boundary 64"
+        );
+        // The third occurrence reuses 64 tokens instead of 80.
+        assert_eq!(c.lookup(&mk(3000)).tokens_matched, 64);
+    }
+
+    #[test]
+    fn gdsf_prefers_low_cost_per_byte_victims() {
+        // One long (high C/S) and several short fresh sequences; GDSF must
+        // keep the long one even when it is older.
+        let m = ModelConfig::hybrid_7b();
+        let long_input = seq(0..2048);
+        let capacity = 2400 * m.kv_bytes_per_token() + 3 * m.ssm_checkpoint_bytes();
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .policy(EvictionPolicy::Gdsf)
+            .build();
+        c.insert_sequence(&long_input, &seq(100_000..100_016));
+        for i in 0..4u32 {
+            c.insert_sequence(
+                &seq(200_000 + i * 1000..200_000 + i * 1000 + 64),
+                &seq(300_000 + i * 10..300_000 + i * 10 + 8),
+            );
+        }
+        let mut resume = long_input.clone();
+        resume.extend(seq(100_000..100_016));
+        assert!(
+            c.lookup(&resume).tokens_matched > 0,
+            "GDSF should retain the high-cost long prefix"
+        );
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn gdsf_respects_capacity_and_terminates() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 300 * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes();
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .policy(EvictionPolicy::Gdsf)
+            .build();
+        for i in 0..12u32 {
+            c.insert_sequence(
+                &seq(i * 10_000..i * 10_000 + 128),
+                &seq(i * 10_000 + 5000..i * 10_000 + 5016),
+            );
+            assert!(c.usage_bytes() <= capacity);
+        }
+    }
+
+    #[test]
+    fn ancestor_refresh_ablation_changes_lru_order() {
+        // With the ablation on, a deep hit refreshes the whole chain, so
+        // LRU keeps the ancestors; with Marconi's rule the ancestors stay
+        // stale but hits are unaffected (their KVs are absorbed on
+        // eviction). Both configurations must still serve the resume.
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 1200 * m.kv_bytes_per_token() + 6 * m.ssm_checkpoint_bytes();
+        for ablate in [false, true] {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .policy(EvictionPolicy::Lru)
+                .refresh_ancestors(ablate)
+                .build();
+            // Build a 3-turn conversation (a chain of 3 nodes).
+            let mut history = seq(0..256);
+            c.insert_sequence(&history, &seq(9000..9032));
+            history.extend(seq(9000..9032));
+            for t in 1..3u32 {
+                let mut input = history.clone();
+                input.extend(seq(t * 1000..t * 1000 + 64));
+                c.insert_sequence(&input, &seq(9100 * t..9100 * t + 32));
+                history = input;
+                history.extend(seq(9100 * t..9100 * t + 32));
+            }
+            let hit = c.lookup(&history);
+            assert_eq!(
+                hit.tokens_matched,
+                history.len() as u64,
+                "ablate={ablate}: full-history resume"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_only_eviction_pins_interior_checkpoints() {
+        // With the ablation on, stale single-child interior nodes cannot be
+        // evicted, so their SSM states keep occupying memory and more
+        // leaves must go instead.
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 800 * m.kv_bytes_per_token() + 6 * m.ssm_checkpoint_bytes();
+        let run = |leaf_only: bool| {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .policy(EvictionPolicy::Lru)
+                .leaf_only_eviction(leaf_only)
+                .build();
+            // One growing conversation (interior chain) + short floods.
+            let mut history = seq(0..256);
+            c.insert_sequence(&history, &seq(9000..9032));
+            history.extend(seq(9000..9032));
+            for t in 1..4u32 {
+                let mut input = history.clone();
+                input.extend(seq(t * 1000..t * 1000 + 64));
+                c.insert_sequence(&input, &seq(9100 * t..9100 * t + 16));
+                history = input;
+                history.extend(seq(9100 * t..9100 * t + 16));
+            }
+            for i in 0..6u32 {
+                c.insert_sequence(
+                    &seq(500_000 + i * 1000..500_000 + i * 1000 + 96),
+                    &seq(600_000 + i * 10..600_000 + i * 10 + 8),
+                );
+            }
+            (c.ssm_state_count(), c.usage_bytes())
+        };
+        let (states_marconi, usage_a) = run(false);
+        let (states_ablated, usage_b) = run(true);
+        assert!(usage_a <= capacity && usage_b <= capacity);
+        assert!(
+            states_ablated >= states_marconi,
+            "pinned interiors retain at least as many states: {states_ablated} vs {states_marconi}"
+        );
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water_mark() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 200 * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes();
+        let mut c = sglang(capacity);
+        c.insert_sequence(&seq(0..128), &seq(1000..1032));
+        let peak_after_one = c.stats().peak_usage_bytes;
+        c.insert_sequence(&seq(50_000..50_128), &seq(60_000..60_032));
+        assert!(c.stats().peak_usage_bytes >= peak_after_one);
+    }
+}

@@ -1,0 +1,143 @@
+//! Marconi's prefix cache for hybrid LLMs.
+//!
+//! This crate implements the paper's primary contribution — a prefix cache
+//! that manages Attention KVs and SSM recurrent states *holistically* in one
+//! radix tree — together with every baseline its evaluation compares
+//! against:
+//!
+//! | system | type | admission | eviction |
+//! |---|---|---|---|
+//! | Marconi | [`HybridPrefixCache`] | judicious (≤ 2 SSM states/sequence) | FLOP-aware, auto-tuned α |
+//! | SGLang+ | [`HybridPrefixCache`] with [`EvictionPolicy::Lru`] | judicious | LRU |
+//! | vLLM+ | [`BlockCache`] | every token block | LRU over leaf blocks |
+//! | vanilla | [`VanillaCache`] | none | — |
+//! | oracle (artifact V3) | [`oracle::best_static_alpha`] | judicious | FLOP-aware, offline-optimal static α |
+//!
+//! ## The two policies (paper §4)
+//!
+//! **Judicious admission.** SSM states are "all or nothing": a state can
+//! only be reused by a request whose prefix *exactly* matches every token
+//! the state has consumed. Marconi therefore checkpoints at most two SSM
+//! states per sequence — at a branch point discovered by *speculative
+//! insertion* of the request's input (purely-input reuse: system prompts,
+//! few-shot examples), and at the last decoded token (input-and-output
+//! reuse: conversation history).
+//!
+//! **FLOP-aware eviction.** Every eviction candidate `n` (a radix-tree node
+//! with ≤ 1 child) is scored `S(n) = recency(n) + α · flop_efficiency(n)`,
+//! where `flop_efficiency` is the compute a hit on `n` saves per byte the
+//! node holds, computed relative to its parent. `α = 0` degenerates to LRU;
+//! Marconi tunes α online by replaying a bootstrap window against a
+//! snapshot across a grid of α values in parallel.
+//!
+//! # Examples
+//!
+//! ```
+//! use marconi_core::{HybridPrefixCache, PrefixCache};
+//! use marconi_model::ModelConfig;
+//!
+//! let mut cache = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+//!     .capacity_bytes(8 << 30)
+//!     .build();
+//!
+//! let system_prompt: Vec<u32> = (0..256).collect();
+//! let mut turn = system_prompt.clone();
+//! turn.extend(5000..5040); // user input
+//! assert_eq!(cache.lookup(&turn).tokens_matched, 0);
+//! cache.insert_sequence(&turn, &[9000, 9001, 9002]);
+//!
+//! // The next conversation turn resumes from the last decoded token.
+//! let mut next = turn.clone();
+//! next.extend([9000, 9001, 9002]);
+//! next.extend(6000..6010);
+//! let hit = cache.lookup(&next);
+//! assert_eq!(hit.tokens_matched as usize, turn.len() + 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod hybrid;
+pub mod oracle;
+mod policy;
+mod result;
+mod stats;
+mod tuner;
+mod vanilla;
+
+pub use block::{BlockCache, BlockReuseReport};
+pub use hybrid::{CheckpointMode, HybridPrefixCache, HybridPrefixCacheBuilder};
+pub use policy::EvictionPolicy;
+pub use result::{AdmissionReport, LookupResult};
+pub use stats::CacheStats;
+pub use tuner::{TunerConfig, TunerState};
+pub use vanilla::VanillaCache;
+
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+
+/// Common interface over all prefix-cache implementations, so the simulator
+/// and benches can drive Marconi and every baseline uniformly.
+///
+/// Timestamps (`now`) are caller-supplied so replay is deterministic and so
+/// recency can reflect *workload* time (request arrivals) rather than
+/// processing order. The inherent `lookup`/`insert_sequence` conveniences on
+/// each implementation advance an internal logical clock instead.
+pub trait PrefixCache {
+    /// Human-readable system name (e.g. `"marconi"`, `"vllm+"`).
+    fn name(&self) -> &str;
+
+    /// The model whose states this cache manages.
+    fn model(&self) -> &ModelConfig;
+
+    /// Finds the longest *reusable* cached prefix of `input` at time `now`.
+    ///
+    /// For models with SSM layers, reuse is constrained to checkpoint
+    /// boundaries (the "all or nothing" property); for pure Transformers
+    /// any matched length is reusable.
+    fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult;
+
+    /// Admits the states of a completed request (`input` prefilled, then
+    /// `output` decoded) at time `now`, evicting entries if needed.
+    fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport;
+
+    /// Cumulative statistics since construction.
+    fn stats(&self) -> &CacheStats;
+
+    /// Bytes of model states currently cached.
+    fn usage_bytes(&self) -> u64;
+
+    /// Configured capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+}
+
+impl PrefixCache for Box<dyn PrefixCache> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn model(&self) -> &ModelConfig {
+        self.as_ref().model()
+    }
+
+    fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
+        self.as_mut().lookup_at(input, now)
+    }
+
+    fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
+        self.as_mut().insert_at(input, output, now)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.as_ref().stats()
+    }
+
+    fn usage_bytes(&self) -> u64 {
+        self.as_ref().usage_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.as_ref().capacity_bytes()
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline-optimal static-α oracle (the artifact's eviction policy "V3").
+//!
+//! Sweeps α over a grid by replaying an *entire* recorded trace per value
+//! and reports the hit-rate-maximizing choice — an upper bound for any
+//! static-α configuration that Marconi's online tuner tries to approach
+//! with only a bootstrap window of information.
+
+use crate::policy::EvictionPolicy;
+use crate::{CacheStats, HybridPrefixCache, PrefixCache};
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+use serde::{Deserialize, Serialize};
+
+/// One request of a recorded trace: what was prefilled, what was decoded,
+/// and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceEvent {
+    /// Prefill tokens.
+    pub input: Vec<Token>,
+    /// Decoded tokens.
+    pub output: Vec<Token>,
+    /// Arrival time in seconds.
+    pub at: f64,
+}
+
+/// Result of an offline α sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleOutcome {
+    /// The hit-rate-maximizing α.
+    pub best_alpha: f64,
+    /// Token hit rate achieved by `best_alpha`.
+    pub best_hit_rate: f64,
+    /// `(α, token hit rate)` for every grid point, in grid order.
+    pub sweep: Vec<(f64, f64)>,
+}
+
+/// Replays `events` through a fresh fixed-α cache and returns its stats.
+#[must_use]
+pub fn replay_with_alpha(
+    model: &ModelConfig,
+    capacity_bytes: u64,
+    events: &[SequenceEvent],
+    alpha: f64,
+) -> CacheStats {
+    let mut cache = HybridPrefixCache::builder(model.clone())
+        .capacity_bytes(capacity_bytes)
+        .policy(EvictionPolicy::FlopAware { alpha })
+        .build();
+    for e in events {
+        cache.lookup_at(&e.input, e.at);
+        cache.insert_at(&e.input, &e.output, e.at);
+    }
+    *cache.stats()
+}
+
+/// Sweeps the α grid over the full trace (optionally one thread per α) and
+/// returns the best static configuration.
+///
+/// Ties break toward the smaller α, like the online tuner.
+///
+/// # Panics
+///
+/// Panics if `grid` is empty.
+#[must_use]
+pub fn best_static_alpha(
+    model: &ModelConfig,
+    capacity_bytes: u64,
+    events: &[SequenceEvent],
+    grid: &[f64],
+    parallel: bool,
+) -> OracleOutcome {
+    assert!(!grid.is_empty(), "alpha grid must be non-empty");
+    let eval = |alpha: f64| {
+        (
+            alpha,
+            replay_with_alpha(model, capacity_bytes, events, alpha).token_hit_rate(),
+        )
+    };
+    let sweep: Vec<(f64, f64)> = if parallel {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = grid.iter().map(|&a| s.spawn(move || eval(a))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("oracle replay thread panicked"))
+                .collect()
+        })
+    } else {
+        grid.iter().map(|&a| eval(a)).collect()
+    };
+    let &(best_alpha, best_hit_rate) = sweep
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.total_cmp(&a.0)))
+        .expect("non-empty grid");
+    OracleOutcome {
+        best_alpha,
+        best_hit_rate,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(range: std::ops::Range<u32>) -> Vec<Token> {
+        range.collect()
+    }
+
+    fn toy_trace() -> Vec<SequenceEvent> {
+        // A long recurring conversation interleaved with one-shot short
+        // requests: FLOP-aware eviction should protect the long prefix.
+        let mut events = Vec::new();
+        let mut history = seq(0..2048);
+        for i in 0..30u32 {
+            events.push(SequenceEvent {
+                input: history.clone(),
+                output: seq(500_000 + i * 100..500_000 + i * 100 + 32),
+                at: f64::from(i) * 2.0,
+            });
+            history.extend(seq(500_000 + i * 100..500_000 + i * 100 + 32));
+            events.push(SequenceEvent {
+                input: seq(100_000 * (i + 1)..100_000 * (i + 1) + 128),
+                output: seq(900_000 + i * 10..900_000 + i * 10 + 8),
+                at: f64::from(i) * 2.0 + 1.0,
+            });
+        }
+        events
+    }
+
+    fn small_capacity() -> u64 {
+        let m = ModelConfig::hybrid_7b();
+        3000 * m.kv_bytes_per_token() + 6 * m.ssm_checkpoint_bytes()
+    }
+
+    #[test]
+    fn oracle_never_underperforms_lru_on_the_grid() {
+        let m = ModelConfig::hybrid_7b();
+        let outcome =
+            best_static_alpha(&m, small_capacity(), &toy_trace(), &[0.0, 1.0, 4.0], false);
+        let lru = outcome.sweep[0].1;
+        assert_eq!(outcome.sweep[0].0, 0.0);
+        assert!(outcome.best_hit_rate >= lru);
+        assert_eq!(outcome.sweep.len(), 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let m = ModelConfig::hybrid_7b();
+        let grid = [0.0, 2.0];
+        let a = best_static_alpha(&m, small_capacity(), &toy_trace(), &grid, false);
+        let b = best_static_alpha(&m, small_capacity(), &toy_trace(), &grid, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let m = ModelConfig::hybrid_7b();
+        let s1 = replay_with_alpha(&m, small_capacity(), &toy_trace(), 1.0);
+        let s2 = replay_with_alpha(&m, small_capacity(), &toy_trace(), 1.0);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let m = ModelConfig::hybrid_7b();
+        let _ = best_static_alpha(&m, 1 << 30, &[], &[], false);
+    }
+}

@@ -1,0 +1,181 @@
+//! Eviction policies and utility scoring (paper §4.2).
+
+use crate::tuner::TunerConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Eviction policy of a [`HybridPrefixCache`](crate::HybridPrefixCache).
+///
+/// All policies share the same candidate set (nodes with ≤ 1 child) and
+/// differ only in the utility score `S(n) = recency(n) + α ·
+/// flop_efficiency(n)`:
+///
+/// * [`Lru`](EvictionPolicy::Lru) — `α = 0`; recency only. This is the
+///   paper's SGLang+ baseline.
+/// * [`FlopAware`](EvictionPolicy::FlopAware) — fixed `α`; used by the
+///   offline-optimal oracle (artifact policy V3) and for ablations.
+/// * [`AutoTuned`](EvictionPolicy::AutoTuned) — Marconi: start at `α = 0`,
+///   snapshot at the first eviction, record a bootstrap window, then pick
+///   the hit-rate-maximizing `α` by parallel grid-search replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Recency-only eviction (`α = 0`).
+    Lru,
+    /// FLOP-aware eviction with a fixed balance parameter.
+    FlopAware {
+        /// Weight of normalized FLOP efficiency relative to recency.
+        alpha: f64,
+    },
+    /// FLOP-aware eviction with online α tuning (the full Marconi policy).
+    AutoTuned(TunerConfig),
+    /// GreedyDual-Size-Frequency (Cherkasova 1998), the classic cost-aware
+    /// eviction the paper compares against in §4.2: priority
+    /// `H = L + frequency · cost / size` with an inflation clock `L`.
+    /// Included as an ablation baseline — size fails as a cost proxy for
+    /// hybrid models because SSM states are length-independent.
+    Gdsf,
+}
+
+impl Default for EvictionPolicy {
+    /// The full Marconi policy with default tuner settings.
+    fn default() -> Self {
+        EvictionPolicy::AutoTuned(TunerConfig::default())
+    }
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvictionPolicy::Lru => write!(f, "lru"),
+            EvictionPolicy::FlopAware { alpha } => write!(f, "flop-aware(α={alpha})"),
+            EvictionPolicy::AutoTuned(_) => write!(f, "flop-aware(auto-α)"),
+            EvictionPolicy::Gdsf => write!(f, "gdsf"),
+        }
+    }
+}
+
+/// Per-candidate scoring inputs gathered by the cache before normalization.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate<Id> {
+    pub id: Id,
+    pub last_access: f64,
+    /// FLOPs a hit at this node saves relative to its parent, per byte the
+    /// node's eviction would free. `f64::INFINITY` when eviction frees
+    /// nothing (structural nodes whose KVs are absorbed by the child).
+    pub flop_efficiency: f64,
+}
+
+/// Picks the eviction victim: lowest `recency + α·efficiency` after min-max
+/// normalizing both terms across the candidates (the paper normalizes "by
+/// comparing all nodes' last-accessed timestamps and FLOP saved/byte in the
+/// radix tree").
+///
+/// Infinite-efficiency candidates (zero bytes freed) are kept unless
+/// nothing else can be evicted; ties break toward older, then lower id, so
+/// eviction order is deterministic.
+pub(crate) fn pick_victim<Id: Copy + Ord>(candidates: &[Candidate<Id>], alpha: f64) -> Option<Id> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let (mut ts_min, mut ts_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut eff_min, mut eff_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for c in candidates {
+        ts_min = ts_min.min(c.last_access);
+        ts_max = ts_max.max(c.last_access);
+        if c.flop_efficiency.is_finite() {
+            eff_min = eff_min.min(c.flop_efficiency);
+            eff_max = eff_max.max(c.flop_efficiency);
+        }
+    }
+    let norm = |v: f64, lo: f64, hi: f64| {
+        if !v.is_finite() {
+            return f64::INFINITY;
+        }
+        if hi > lo {
+            (v - lo) / (hi - lo)
+        } else {
+            0.0
+        }
+    };
+    candidates
+        .iter()
+        .min_by(|a, b| {
+            let score =
+                |c: &Candidate<Id>| {
+                    norm(c.last_access, ts_min, ts_max)
+                        + alpha * norm(c.flop_efficiency, eff_min, eff_max)
+                };
+            score(a)
+                .total_cmp(&score(b))
+                .then(a.last_access.total_cmp(&b.last_access))
+                .then(a.id.cmp(&b.id))
+        })
+        .map(|c| c.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u32, ts: f64, eff: f64) -> Candidate<u32> {
+        Candidate {
+            id,
+            last_access: ts,
+            flop_efficiency: eff,
+        }
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(pick_victim::<u32>(&[], 1.0), None);
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_lru() {
+        let cands = [cand(1, 5.0, 100.0), cand(2, 1.0, 1e9), cand(3, 3.0, 0.0)];
+        assert_eq!(pick_victim(&cands, 0.0), Some(2), "oldest wins under LRU");
+    }
+
+    #[test]
+    fn high_alpha_prefers_low_efficiency() {
+        // Node 1 is oldest but extremely FLOP-efficient; node 2 is fresh but
+        // inefficient. With a large α the inefficient node goes first.
+        let cands = [cand(1, 0.0, 1e6), cand(2, 10.0, 1.0)];
+        assert_eq!(pick_victim(&cands, 0.0), Some(1));
+        assert_eq!(pick_victim(&cands, 100.0), Some(2));
+    }
+
+    #[test]
+    fn infinite_efficiency_evicted_last() {
+        let cands = [cand(1, 0.0, f64::INFINITY), cand(2, 9.0, 5.0)];
+        // Despite being older, the zero-byte node is never preferred when a
+        // finite candidate exists and α > 0.
+        assert_eq!(pick_victim(&cands, 1.0), Some(2));
+        // ...but when everything is infinite, recency decides.
+        let all_inf = [cand(1, 4.0, f64::INFINITY), cand(2, 2.0, f64::INFINITY)];
+        assert_eq!(pick_victim(&all_inf, 1.0), Some(2));
+    }
+
+    #[test]
+    fn degenerate_ranges_fall_back_to_id_order() {
+        let cands = [cand(7, 1.0, 3.0), cand(3, 1.0, 3.0)];
+        assert_eq!(pick_victim(&cands, 1.0), Some(3));
+    }
+
+    #[test]
+    fn default_policy_is_auto_tuned() {
+        assert!(matches!(
+            EvictionPolicy::default(),
+            EvictionPolicy::AutoTuned(_)
+        ));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
+        assert!(EvictionPolicy::FlopAware { alpha: 2.0 }
+            .to_string()
+            .contains("α=2"));
+        assert!(EvictionPolicy::default().to_string().contains("auto"));
+    }
+}

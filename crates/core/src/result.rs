@@ -1,0 +1,92 @@
+//! Lookup and admission result types.
+
+use marconi_radix::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LookupResult {
+    /// Tokens of prefill skipped: the length of the longest *reusable*
+    /// cached prefix. For hybrid models this is the depth of the deepest
+    /// matched node holding an SSM checkpoint; for pure Transformers it is
+    /// the raw matched length.
+    pub tokens_matched: u64,
+    /// Longest raw prefix of the query present in the cache's data
+    /// structure, ignoring the SSM checkpoint constraint. The gap
+    /// `raw_matched - tokens_matched` measures reuse lost to the
+    /// all-or-nothing property.
+    pub raw_matched: u64,
+    /// The node whose state is reused, when the cache is tree-based.
+    pub node: Option<NodeId>,
+    /// FLOPs of prefill compute this hit saves (paper's accounting: the
+    /// full prefill cost of the matched prefix).
+    pub flops_saved: u128,
+}
+
+impl LookupResult {
+    /// A complete miss.
+    pub const MISS: LookupResult = LookupResult {
+        tokens_matched: 0,
+        raw_matched: 0,
+        node: None,
+        flops_saved: 0,
+    };
+
+    /// `true` if any prefix was reused.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        self.tokens_matched > 0
+    }
+
+    /// Token hit rate for a single request: matched over total input.
+    ///
+    /// Returns 0.0 for an empty input.
+    #[must_use]
+    pub fn hit_rate(&self, input_len: usize) -> f64 {
+        if input_len == 0 {
+            return 0.0;
+        }
+        self.tokens_matched as f64 / input_len as f64
+    }
+}
+
+/// Outcome of admitting a finished request into the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct AdmissionReport {
+    /// SSM checkpoints newly admitted for this sequence (≤ 2 under
+    /// Marconi's judicious admission; one per token block under vLLM+).
+    pub ssm_states_admitted: u64,
+    /// Token depth of the branch-point checkpoint taken during prefill, if
+    /// speculative insertion predicted a new intermediate node.
+    pub branch_checkpoint_depth: Option<u64>,
+    /// Bytes the admitted states added to the cache (before eviction).
+    pub bytes_added: u64,
+    /// Bytes released by evictions triggered by this admission.
+    pub bytes_evicted: u64,
+    /// Entries (nodes or blocks) evicted by this admission.
+    pub entries_evicted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_is_not_a_hit() {
+        assert!(!LookupResult::MISS.is_hit());
+        assert_eq!(LookupResult::MISS.hit_rate(100), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_input() {
+        let r = LookupResult {
+            tokens_matched: 5,
+            raw_matched: 5,
+            node: None,
+            flops_saved: 1,
+        };
+        assert_eq!(r.hit_rate(0), 0.0);
+        assert_eq!(r.hit_rate(10), 0.5);
+        assert!(r.is_hit());
+    }
+}

@@ -1,0 +1,137 @@
+//! Cumulative cache statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cumulative counters reported by every [`PrefixCache`](crate::PrefixCache).
+///
+/// The headline metric is [`token_hit_rate`](CacheStats::token_hit_rate) —
+/// the paper's primary figure of merit, "the ratio of the number of tokens
+/// that skipped prefill over the total number of input tokens".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served.
+    pub lookups: u64,
+    /// Lookups that reused a non-empty prefix.
+    pub hits: u64,
+    /// Total input tokens across all lookups.
+    pub input_tokens: u64,
+    /// Total tokens served from cache (prefill skipped).
+    pub hit_tokens: u64,
+    /// Total prefill FLOPs saved by hits.
+    pub flops_saved: u128,
+    /// Sequences admitted.
+    pub insertions: u64,
+    /// SSM checkpoints admitted in total.
+    pub ssm_states_admitted: u64,
+    /// Entries (nodes/blocks) evicted.
+    pub evictions: u64,
+    /// Bytes released by evictions.
+    pub bytes_evicted: u64,
+    /// High-water mark of cache usage.
+    pub peak_usage_bytes: u64,
+}
+
+impl CacheStats {
+    /// Token hit rate in `[0, 1]`: hit tokens over input tokens.
+    #[must_use]
+    pub fn token_hit_rate(&self) -> f64 {
+        if self.input_tokens == 0 {
+            return 0.0;
+        }
+        self.hit_tokens as f64 / self.input_tokens as f64
+    }
+
+    /// Request hit rate in `[0, 1]`: fraction of lookups with any reuse.
+    #[must_use]
+    pub fn request_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups as f64
+    }
+
+    /// Difference of this snapshot against an earlier one; used by the α
+    /// tuner to score a replay window.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups - earlier.lookups,
+            hits: self.hits - earlier.hits,
+            input_tokens: self.input_tokens - earlier.input_tokens,
+            hit_tokens: self.hit_tokens - earlier.hit_tokens,
+            flops_saved: self.flops_saved - earlier.flops_saved,
+            insertions: self.insertions - earlier.insertions,
+            ssm_states_admitted: self.ssm_states_admitted - earlier.ssm_states_admitted,
+            evictions: self.evictions - earlier.evictions,
+            bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
+            peak_usage_bytes: self.peak_usage_bytes,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "token hit rate {:.1}% ({} / {} tokens, {} lookups, {} evictions)",
+            self.token_hit_rate() * 100.0,
+            self.hit_tokens,
+            self.input_tokens,
+            self.lookups,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty() {
+        let s = CacheStats::default();
+        assert_eq!(s.token_hit_rate(), 0.0);
+        assert_eq!(s.request_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn token_hit_rate_ratio() {
+        let s = CacheStats {
+            input_tokens: 200,
+            hit_tokens: 50,
+            ..CacheStats::default()
+        };
+        assert!((s.token_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let early = CacheStats {
+            lookups: 10,
+            input_tokens: 100,
+            hit_tokens: 10,
+            ..CacheStats::default()
+        };
+        let late = CacheStats {
+            lookups: 25,
+            input_tokens: 300,
+            hit_tokens: 110,
+            ..CacheStats::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.lookups, 15);
+        assert_eq!(d.input_tokens, 200);
+        assert!((d.token_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        let s = CacheStats {
+            input_tokens: 100,
+            hit_tokens: 42,
+            ..CacheStats::default()
+        };
+        assert!(s.to_string().contains("42.0%"));
+    }
+}

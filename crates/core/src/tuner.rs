@@ -1,0 +1,83 @@
+//! Online α tuning: bootstrap snapshot + parallel grid-search replay
+//! (paper §4.2, "Managing the balance").
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of Marconi's online α tuner.
+///
+/// The paper's procedure: run with `α = 0` (LRU) until the first eviction;
+/// snapshot the radix tree; keep serving with LRU while recording
+/// token-level request information for a bootstrap window of 5–15× the
+/// requests seen before the first eviction; then grid-search α by replaying
+/// the window against the snapshot (parallelized across cores) and adopt
+/// the hit-rate-maximizing value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Bootstrap window length as a multiple of the requests seen before
+    /// the first eviction. The paper uses 5–15; default 10.
+    pub bootstrap_multiplier: f64,
+    /// α values to grid-search. Must be non-empty; 0 (pure LRU) is worth
+    /// including so tuning can conclude recency alone is best.
+    pub alpha_grid: Vec<f64>,
+    /// Run the grid search on one thread per α (the paper parallelizes
+    /// across CPU cores). Disable for single-threaded determinism checks.
+    pub parallel: bool,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            bootstrap_multiplier: 10.0,
+            alpha_grid: vec![0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0],
+            parallel: true,
+        }
+    }
+}
+
+impl TunerConfig {
+    /// Bootstrap window length for a given pre-eviction request count.
+    #[must_use]
+    pub(crate) fn window_len(&self, requests_before_first_eviction: u64) -> u64 {
+        let w = (requests_before_first_eviction as f64 * self.bootstrap_multiplier).ceil() as u64;
+        w.max(1)
+    }
+}
+
+/// Read-only view of the tuner's lifecycle, exposed for diagnostics and
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TunerState {
+    /// Serving with LRU; no eviction has happened yet.
+    WaitingForFirstEviction,
+    /// Snapshot taken; recording the bootstrap window (still serving LRU).
+    Bootstrapping {
+        /// Requests recorded so far.
+        recorded: u64,
+        /// Window length that triggers the grid search.
+        target: u64,
+    },
+    /// Grid search finished; serving with the chosen α.
+    Tuned {
+        /// The adopted balance parameter.
+        alpha: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_contains_lru() {
+        let c = TunerConfig::default();
+        assert!(c.alpha_grid.contains(&0.0));
+        assert!(c.bootstrap_multiplier >= 5.0 && c.bootstrap_multiplier <= 15.0);
+    }
+
+    #[test]
+    fn window_len_scales_and_floors() {
+        let c = TunerConfig::default();
+        assert_eq!(c.window_len(0), 1);
+        assert_eq!(c.window_len(7), 70);
+    }
+}

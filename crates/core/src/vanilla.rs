@@ -1,0 +1,89 @@
+//! The no-caching baseline ("vanilla inference").
+
+use crate::result::{AdmissionReport, LookupResult};
+use crate::stats::CacheStats;
+use crate::PrefixCache;
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+
+/// A cache that never caches: every lookup misses, every admission is a
+/// no-op. The paper's "vanilla inference" baseline and the denominator for
+/// all relative-TTFT plots (Fig. 9).
+///
+/// # Examples
+///
+/// ```
+/// use marconi_core::{PrefixCache, VanillaCache};
+/// use marconi_model::ModelConfig;
+///
+/// let mut vanilla = VanillaCache::new(ModelConfig::hybrid_7b());
+/// vanilla.insert_at(&[1, 2, 3], &[4], 0.0);
+/// assert_eq!(vanilla.lookup_at(&[1, 2, 3], 1.0).tokens_matched, 0);
+/// assert_eq!(vanilla.usage_bytes(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VanillaCache {
+    model: ModelConfig,
+    stats: CacheStats,
+}
+
+impl VanillaCache {
+    /// Creates the baseline for `model`.
+    #[must_use]
+    pub fn new(model: ModelConfig) -> Self {
+        VanillaCache {
+            model,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl PrefixCache for VanillaCache {
+    fn name(&self) -> &str {
+        "vanilla"
+    }
+
+    fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    fn lookup_at(&mut self, input: &[Token], _now: f64) -> LookupResult {
+        self.stats.lookups += 1;
+        self.stats.input_tokens += input.len() as u64;
+        LookupResult::MISS
+    }
+
+    fn insert_at(&mut self, _input: &[Token], _output: &[Token], _now: f64) -> AdmissionReport {
+        self.stats.insertions += 1;
+        AdmissionReport::default()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn usage_bytes(&self) -> u64 {
+        0
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_hits() {
+        let mut v = VanillaCache::new(ModelConfig::hybrid_7b());
+        for i in 0..10u32 {
+            v.insert_at(&[i, i + 1, i + 2], &[i + 3], f64::from(i));
+            let r = v.lookup_at(&[i, i + 1, i + 2], f64::from(i));
+            assert!(!r.is_hit());
+        }
+        assert_eq!(v.stats().token_hit_rate(), 0.0);
+        assert_eq!(v.stats().lookups, 10);
+    }
+}

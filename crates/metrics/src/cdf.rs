@@ -1,0 +1,150 @@
+//! Empirical cumulative distribution functions (Fig. 9, Fig. 10b).
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical CDF over a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_metrics::Cdf;
+///
+/// let cdf = Cdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds from a sample; `None` for empty or NaN-containing input.
+    #[must_use]
+    pub fn new(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Cdf { sorted })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if there are no samples (impossible post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`: fraction of samples at or below `x`.
+    #[must_use]
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF at `q ∈ (0, 1]`: the smallest sample `x` with
+    /// `P(X ≤ x) ≥ q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    #[must_use]
+    pub fn inverse(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "q {q} outside (0, 1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// `(x, P(X ≤ x))` plotting points: one per sample, deduplicated on x.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match pts.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => pts.push((x, y)),
+            }
+        }
+        pts
+    }
+
+    /// `count` evenly spaced `(x, P(X ≤ x))` samples spanning the data
+    /// range, for compact plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    #[must_use]
+    pub fn sampled_points(&self, count: usize) -> Vec<(f64, f64)> {
+        assert!(count >= 2, "need at least 2 sample points");
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..count)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (count - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Cdf::new(&[]).is_none());
+        assert!(Cdf::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn step_behaviour_with_duplicates() {
+        let cdf = Cdf::new(&[1.0, 1.0, 2.0]).unwrap();
+        assert!((cdf.fraction_at_or_below(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 1.0);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 2, "duplicates collapse");
+        assert_eq!(pts[0], (1.0, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let cdf = Cdf::new(&values).unwrap();
+        assert_eq!(cdf.inverse(0.5), 50.0);
+        assert_eq!(cdf.inverse(1.0), 100.0);
+        assert_eq!(cdf.inverse(0.01), 1.0);
+    }
+
+    #[test]
+    fn sampled_points_span_range_monotonically() {
+        let values: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let cdf = Cdf::new(&values).unwrap();
+        let pts = cdf.sampled_points(50);
+        assert_eq!(pts.len(), 50);
+        assert_eq!(pts[0].0, 0.0);
+        assert!((pts[49].1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be nondecreasing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn inverse_zero_panics() {
+        let cdf = Cdf::new(&[1.0]).unwrap();
+        let _ = cdf.inverse(0.0);
+    }
+}

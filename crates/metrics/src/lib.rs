@@ -1,0 +1,32 @@
+//! Statistics utilities for serving experiments.
+//!
+//! Small, dependency-free implementations of exactly the aggregations the
+//! Marconi evaluation reports: order-statistic percentiles (P5/P50/P95
+//! TTFT), empirical CDFs (Fig. 9, Fig. 10b), five-number box statistics
+//! with P5/P95 whiskers (Fig. 7), binned means (Fig. 10a), and running
+//! summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use marconi_metrics::Percentiles;
+//!
+//! let p = Percentiles::new(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+//! assert_eq!(p.median(), 3.0);
+//! assert_eq!(p.quantile(1.0), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binned;
+mod boxstats;
+mod cdf;
+mod percentile;
+mod summary;
+
+pub use binned::BinnedMean;
+pub use boxstats::BoxStats;
+pub use cdf::Cdf;
+pub use percentile::Percentiles;
+pub use summary::Summary;

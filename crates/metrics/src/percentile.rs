@@ -1,0 +1,178 @@
+//! Order-statistic percentiles with linear interpolation.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact percentiles over a finite sample.
+///
+/// Values are sorted once at construction; quantiles use the standard
+/// linear-interpolation estimator (NumPy's default): for quantile `q` over
+/// `n` values, the rank is `q·(n−1)` and fractional ranks interpolate
+/// between neighbours.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_metrics::Percentiles;
+///
+/// let p = Percentiles::new(&[10.0, 0.0]).unwrap();
+/// assert_eq!(p.quantile(0.5), 5.0);
+/// assert_eq!(p.p95(), 9.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Builds from a sample; returns `None` for an empty sample or one
+    /// containing NaN.
+    #[must_use]
+    pub fn new(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Percentiles { sorted })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the sample is empty (cannot happen for a constructed
+    /// value; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile for `q ∈ [0, 1]`, linearly interpolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = q * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// 5th percentile (the paper's lower whisker).
+    #[must_use]
+    pub fn p5(&self) -> f64 {
+        self.quantile(0.05)
+    }
+
+    /// 25th percentile.
+    #[must_use]
+    pub fn p25(&self) -> f64 {
+        self.quantile(0.25)
+    }
+
+    /// Median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 75th percentile.
+    #[must_use]
+    pub fn p75(&self) -> f64 {
+        self.quantile(0.75)
+    }
+
+    /// 95th percentile (the paper's headline tail statistic).
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Minimum sample value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The sorted sample.
+    #[must_use]
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Percentiles::new(&[]).is_none());
+        assert!(Percentiles::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let p = Percentiles::new(&[7.0]).unwrap();
+        assert_eq!(p.min(), 7.0);
+        assert_eq!(p.max(), 7.0);
+        assert_eq!(p.median(), 7.0);
+        assert_eq!(p.p95(), 7.0);
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_convention() {
+        let p = Percentiles::new(&[0.0, 10.0]).unwrap();
+        assert_eq!(p.quantile(0.0), 0.0);
+        assert_eq!(p.quantile(0.25), 2.5);
+        assert_eq!(p.quantile(0.5), 5.0);
+        assert_eq!(p.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let p = Percentiles::new(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(p.sorted_values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(p.median(), 2.0);
+    }
+
+    #[test]
+    fn named_percentiles_are_monotone() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let p = Percentiles::new(&values).unwrap();
+        assert!(p.p5() < p.p25());
+        assert!(p.p25() < p.median());
+        assert!(p.median() < p.p75());
+        assert!(p.p75() < p.p95());
+        assert!(p.p95() < p.p99());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_quantile_panics() {
+        let p = Percentiles::new(&[1.0]).unwrap();
+        let _ = p.quantile(1.5);
+    }
+}

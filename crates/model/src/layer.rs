@@ -1,0 +1,114 @@
+//! Layer taxonomy for hybrid models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a model layer, following the paper's three-way taxonomy.
+///
+/// Hybrid models interleave a small number of [`Attention`] layers with many
+/// [`Ssm`] layers (commonly 1 Attention per 6–10 SSM layers) plus [`Mlp`]
+/// blocks. The three kinds differ in both prefill compute and in the shape
+/// of the inference-time state they carry:
+///
+/// * [`Attention`] — quadratic compute, per-token KV state (rollback-able).
+/// * [`Ssm`] — linear compute, constant-size in-place-updated state
+///   (**not** rollback-able; the root cause of Marconi's design).
+/// * [`Mlp`] — linear compute, stateless.
+///
+/// [`Attention`]: LayerKind::Attention
+/// [`Ssm`]: LayerKind::Ssm
+/// [`Mlp`]: LayerKind::Mlp
+///
+/// # Examples
+///
+/// ```
+/// use marconi_model::LayerKind;
+///
+/// assert!(LayerKind::Attention.is_stateful());
+/// assert!(LayerKind::Ssm.is_stateful());
+/// assert!(!LayerKind::Mlp.is_stateful());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Full self-attention: `O(L²)` prefill compute, `O(L)` KV state.
+    Attention,
+    /// State space model (Mamba-style): `O(L)` compute, `O(1)` state that is
+    /// updated in place and cannot represent a prefix of the sequence it has
+    /// consumed.
+    Ssm,
+    /// Feed-forward block: `O(L)` compute, no inference-time state.
+    Mlp,
+}
+
+impl LayerKind {
+    /// All layer kinds, in display order.
+    pub const ALL: [LayerKind; 3] = [LayerKind::Attention, LayerKind::Ssm, LayerKind::Mlp];
+
+    /// Returns `true` if the layer keeps inference-time state that a prefix
+    /// cache must store (Attention KVs or SSM recurrent state).
+    #[must_use]
+    pub fn is_stateful(self) -> bool {
+        matches!(self, LayerKind::Attention | LayerKind::Ssm)
+    }
+
+    /// Returns `true` if the layer's state can be *rolled back* to represent
+    /// an arbitrary prefix of the tokens it has consumed.
+    ///
+    /// KVs have a sequence dimension and can be sliced; SSM states are
+    /// overwritten in place, so they cannot (paper §3, property 2).
+    #[must_use]
+    pub fn is_rollbackable(self) -> bool {
+        matches!(self, LayerKind::Attention)
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LayerKind::Attention => "Attention",
+            LayerKind::Ssm => "SSM",
+            LayerKind::Mlp => "MLP",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statefulness_matches_paper_taxonomy() {
+        assert!(LayerKind::Attention.is_stateful());
+        assert!(LayerKind::Ssm.is_stateful());
+        assert!(!LayerKind::Mlp.is_stateful());
+    }
+
+    #[test]
+    fn only_attention_rolls_back() {
+        assert!(LayerKind::Attention.is_rollbackable());
+        assert!(!LayerKind::Ssm.is_rollbackable());
+        assert!(!LayerKind::Mlp.is_rollbackable());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LayerKind::Attention.to_string(), "Attention");
+        assert_eq!(LayerKind::Ssm.to_string(), "SSM");
+        assert_eq!(LayerKind::Mlp.to_string(), "MLP");
+    }
+
+    #[test]
+    fn all_covers_every_variant() {
+        assert_eq!(LayerKind::ALL.len(), 3);
+        for kind in LayerKind::ALL {
+            // Round-trips through serde.
+            let json = serde_json_like(kind);
+            assert!(!json.is_empty());
+        }
+    }
+
+    fn serde_json_like(kind: LayerKind) -> String {
+        format!("{kind:?}")
+    }
+}

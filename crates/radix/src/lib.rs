@@ -1,0 +1,52 @@
+//! Token radix tree substrate for prefix caching.
+//!
+//! A radix tree (compressed prefix trie) whose edges are labeled with token
+//! sequences of varying length, as used by SGLang-style prefix caches and by
+//! Marconi. Each *edge* implicitly carries the KVs of the tokens it
+//! represents; per-node metadata (SSM-state presence, access timestamps,
+//! FLOP accounting) is the generic payload `D` attached to the child node of
+//! each edge.
+//!
+//! The operations a hybrid-LLM prefix cache needs, beyond a textbook radix
+//! tree:
+//!
+//! * [`RadixTree::speculate_insert`] — the paper's *speculative insertion*
+//!   (§4.1): report, without mutating, whether inserting a sequence would
+//!   create a new intermediate node (a branch point whose SSM state is worth
+//!   checkpointing during prefill).
+//! * [`RadixTree::eviction_candidates`] — nodes with ≤ 1 child (§4.3),
+//!   because multi-child nodes represent hot shared prefixes.
+//! * [`RadixTree::remove`] — eviction with edge merging: removing an
+//!   intermediate node lets its child *absorb* the edge KVs while the SSM
+//!   state is released.
+//!
+//! # Examples
+//!
+//! ```
+//! use marconi_radix::RadixTree;
+//!
+//! let mut tree: RadixTree<bool> = RadixTree::new();
+//! tree.insert(&[1, 2, 3, 4]);
+//! // A second sequence sharing [1, 2] splits the edge...
+//! let spec = tree.speculate_insert(&[1, 2, 9]);
+//! assert_eq!(spec.creates_branch_at, Some(2));
+//! let outcome = tree.insert(&[1, 2, 9]);
+//! let branch = outcome.split_node.expect("edge was split");
+//! // ...and the branch node now has two children.
+//! assert_eq!(tree.child_count(branch), 2);
+//! assert_eq!(tree.depth(branch), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod tree;
+
+pub use node::NodeId;
+pub use tree::{InsertOutcome, PrefixMatch, RadixTree, RemoveError, Removed, Speculation};
+
+/// A token identifier, as produced by a tokenizer.
+///
+/// The cache never interprets token values; it only compares them.
+pub type Token = u32;

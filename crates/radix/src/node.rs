@@ -1,0 +1,87 @@
+//! Node identifiers and internal node representation.
+
+use crate::Token;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable handle to a node in a [`RadixTree`](crate::RadixTree).
+///
+/// Node ids are arena indices: they stay valid until the node is removed,
+/// after which the id may be recycled for a newly created node. Holders of
+/// long-lived ids (e.g. an eviction policy's bookkeeping) must drop ids when
+/// the tree reports the node removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index into the arena.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Internal node: edge label from the parent, child index, payload.
+#[derive(Debug, Clone)]
+pub(crate) struct Node<D> {
+    /// Parent node (`None` only for the root).
+    pub parent: Option<NodeId>,
+    /// Tokens on the edge from `parent` to this node (empty only for root).
+    pub edge: Vec<Token>,
+    /// Children keyed by the first token of their edge. `BTreeMap` keeps
+    /// iteration deterministic.
+    pub children: BTreeMap<Token, NodeId>,
+    /// Token depth: number of tokens from the root through this node's edge.
+    pub depth: u64,
+    /// Caller payload.
+    pub data: D,
+}
+
+/// Arena slot: occupied node or member of the free list.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<D> {
+    Occupied(Node<D>),
+    Free { next: Option<u32> },
+}
+
+impl<D> Slot<D> {
+    pub fn as_node(&self) -> Option<&Node<D>> {
+        match self {
+            Slot::Occupied(n) => Some(n),
+            Slot::Free { .. } => None,
+        }
+    }
+
+    pub fn as_node_mut(&mut self) -> Option<&mut Node<D>> {
+        match self {
+            Slot::Occupied(n) => Some(n),
+            Slot::Free { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_id_is_zero() {
+        assert_eq!(NodeId::ROOT.index(), 0);
+        assert_eq!(NodeId::ROOT.to_string(), "n0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

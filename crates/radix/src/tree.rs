@@ -1,0 +1,909 @@
+//! The radix tree implementation.
+
+use crate::node::{Node, NodeId, Slot};
+use crate::Token;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A compressed prefix trie over token sequences with per-node payload `D`.
+///
+/// See the [crate docs](crate) for the role this plays in hybrid-LLM prefix
+/// caching. Structural invariants (checked by `debug_assert_invariants` and
+/// the property-test suite):
+///
+/// 1. every non-root node has a non-empty edge label;
+/// 2. a node's children are keyed by the first token of their edge, and no
+///    two children share a first token;
+/// 3. `depth(n) = depth(parent(n)) + edge_len(n)`;
+/// 4. [`token_count`](RadixTree::token_count) equals the sum of all edge
+///    lengths, which equals the number of distinct prefixes stored.
+#[derive(Debug, Clone)]
+pub struct RadixTree<D> {
+    slots: Vec<Slot<D>>,
+    free_head: Option<u32>,
+    node_count: usize,
+    token_count: u64,
+}
+
+/// Result of [`RadixTree::match_prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixMatch {
+    /// Fully-matched nodes along the path, shallowest first (root excluded).
+    ///
+    /// A node appears here iff the query covers its entire edge.
+    pub path: Vec<NodeId>,
+    /// Number of leading query tokens present in the tree (may end inside an
+    /// edge).
+    pub matched_len: u64,
+    /// `true` if the match ended partway through an edge label.
+    pub ends_mid_edge: bool,
+}
+
+impl PrefixMatch {
+    /// Deepest fully-matched node, if any.
+    #[must_use]
+    pub fn deepest(&self) -> Option<NodeId> {
+        self.path.last().copied()
+    }
+}
+
+/// Result of [`RadixTree::speculate_insert`]: what *would* happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Speculation {
+    /// Longest common prefix between the sequence and the tree's contents.
+    pub matched_len: u64,
+    /// `Some(depth)` if the insertion would split an existing edge, creating
+    /// a new intermediate node at token depth `depth` (always equal to
+    /// `matched_len` when present).
+    ///
+    /// This is the signal Marconi uses to checkpoint an SSM state during
+    /// prefill (§4.1): a new intermediate node marks a prefix shared by
+    /// multiple requests.
+    pub creates_branch_at: Option<u64>,
+}
+
+/// Result of [`RadixTree::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Node whose depth equals the inserted sequence's length (the node
+    /// "representing" the sequence). May be pre-existing.
+    pub end_node: NodeId,
+    /// New intermediate node created by splitting an existing edge, if any.
+    pub split_node: Option<NodeId>,
+    /// New leaf created to hold the sequence's un-shared suffix, if any.
+    /// Equal to `end_node` when present.
+    pub new_leaf: Option<NodeId>,
+    /// Tokens newly added to the tree (the un-shared suffix length); the
+    /// KV-byte footprint of the insertion is proportional to this.
+    pub added_tokens: u64,
+}
+
+/// Payload and accounting returned by [`RadixTree::remove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Removed<D> {
+    /// The removed node's payload.
+    pub data: D,
+    /// Edge tokens freed from the tree. Zero when the removed node had one
+    /// child: the child *absorbed* the edge (KVs retained), mirroring the
+    /// paper's §4.3 eviction of intermediate nodes.
+    pub freed_tokens: u64,
+    /// The child that absorbed the edge, if any.
+    pub merged_into: Option<NodeId>,
+}
+
+/// Error returned by [`RadixTree::remove`] for nodes that must not be
+/// removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveError {
+    /// The root cannot be removed.
+    IsRoot,
+    /// Nodes with two or more children are shared prefixes and cannot be
+    /// removed directly (evict their descendants first).
+    HasMultipleChildren,
+    /// The id does not refer to a live node.
+    NotFound,
+}
+
+impl fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoveError::IsRoot => write!(f, "the root node cannot be removed"),
+            RemoveError::HasMultipleChildren => {
+                write!(f, "nodes with multiple children cannot be removed")
+            }
+            RemoveError::NotFound => write!(f, "node id does not refer to a live node"),
+        }
+    }
+}
+
+impl Error for RemoveError {}
+
+impl<D: Default> Default for RadixTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: Default> RadixTree<D> {
+    /// Creates an empty tree (a lone root).
+    #[must_use]
+    pub fn new() -> Self {
+        RadixTree {
+            slots: vec![Slot::Occupied(Node {
+                parent: None,
+                edge: Vec::new(),
+                children: BTreeMap::new(),
+                depth: 0,
+                data: D::default(),
+            })],
+            free_head: None,
+            node_count: 0,
+            token_count: 0,
+        }
+    }
+
+    /// Inserts `seq`, splitting edges and creating nodes as needed. New
+    /// nodes get `D::default()` payloads.
+    ///
+    /// Inserting an empty sequence or an already-present sequence is a no-op
+    /// structurally (the returned `end_node` is the existing node; for the
+    /// empty sequence it is the root).
+    pub fn insert(&mut self, seq: &[Token]) -> InsertOutcome {
+        let mut cur = NodeId::ROOT;
+        let mut pos: usize = 0;
+        let mut split_node = None;
+
+        loop {
+            if pos == seq.len() {
+                return InsertOutcome {
+                    end_node: cur,
+                    split_node,
+                    new_leaf: None,
+                    added_tokens: 0,
+                };
+            }
+            let next_tok = seq[pos];
+            match self.node(cur).children.get(&next_tok).copied() {
+                None => {
+                    // No child shares the next token: append a fresh leaf.
+                    let added = (seq.len() - pos) as u64;
+                    let leaf = self.alloc(Node {
+                        parent: Some(cur),
+                        edge: seq[pos..].to_vec(),
+                        children: BTreeMap::new(),
+                        depth: self.node(cur).depth + added,
+                        data: D::default(),
+                    });
+                    self.node_mut(cur).children.insert(next_tok, leaf);
+                    self.token_count += added;
+                    return InsertOutcome {
+                        end_node: leaf,
+                        split_node,
+                        new_leaf: Some(leaf),
+                        added_tokens: added,
+                    };
+                }
+                Some(child) => {
+                    let shared = self.shared_edge_len(child, &seq[pos..]);
+                    let edge_len = self.node(child).edge.len();
+                    if shared == edge_len {
+                        // Whole edge matched: descend.
+                        pos += shared;
+                        cur = child;
+                    } else {
+                        // Partial edge match: split the edge at `shared`.
+                        debug_assert!(shared > 0, "child lookup guarantees 1 shared token");
+                        let mid = self.split_edge(child, shared);
+                        split_node = Some(mid);
+                        pos += shared;
+                        cur = mid;
+                        // Loop continues: either seq is exhausted (mid is the
+                        // end node) or a new leaf hangs off `mid`.
+                    }
+                }
+            }
+        }
+    }
+
+    fn alloc(&mut self, node: Node<D>) -> NodeId {
+        self.node_count += 1;
+        match self.free_head {
+            Some(idx) => {
+                let next = match self.slots[idx as usize] {
+                    Slot::Free { next } => next,
+                    Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next;
+                self.slots[idx as usize] = Slot::Occupied(node);
+                NodeId(idx)
+            }
+            None => {
+                self.slots.push(Slot::Occupied(node));
+                NodeId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Splits `child`'s edge after `shared` tokens, inserting a new
+    /// intermediate node (returned) between `child` and its parent.
+    fn split_edge(&mut self, child: NodeId, shared: usize) -> NodeId {
+        let parent = self.node(child).parent.expect("non-root");
+        let edge = std::mem::take(&mut self.node_mut(child).edge);
+        let (head, tail) = edge.split_at(shared);
+        let head = head.to_vec();
+        let tail = tail.to_vec();
+        let child_depth = self.node(child).depth;
+        let mid_depth = child_depth - tail.len() as u64;
+
+        let mut mid_children = BTreeMap::new();
+        mid_children.insert(tail[0], child);
+        let mid = self.alloc(Node {
+            parent: Some(parent),
+            edge: head,
+            children: mid_children,
+            depth: mid_depth,
+            data: D::default(),
+        });
+        {
+            let c = self.node_mut(child);
+            c.edge = tail;
+            c.parent = Some(mid);
+        }
+        let first = self.node(mid).edge[0];
+        self.node_mut(parent).children.insert(first, mid);
+        // Splitting moves tokens between edges without adding any, so
+        // token_count is untouched; alloc() already counted the new node.
+        mid
+    }
+}
+
+impl<D> RadixTree<D> {
+    fn node(&self, id: NodeId) -> &Node<D> {
+        self.slots[id.index()]
+            .as_node()
+            .expect("node id refers to a removed node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<D> {
+        self.slots[id.index()]
+            .as_node_mut()
+            .expect("node id refers to a removed node")
+    }
+
+    fn get_node(&self, id: NodeId) -> Option<&Node<D>> {
+        self.slots.get(id.index()).and_then(Slot::as_node)
+    }
+
+    /// Number of leading tokens of `rest` matching `child`'s edge label.
+    fn shared_edge_len(&self, child: NodeId, rest: &[Token]) -> usize {
+        let edge = &self.node(child).edge;
+        edge.iter()
+            .zip(rest.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of live non-root nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// `true` if the tree holds no sequences.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    /// Total tokens across all edges (= number of distinct stored prefixes).
+    #[must_use]
+    pub fn token_count(&self) -> u64 {
+        self.token_count
+    }
+
+    /// Payload of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn data(&self, id: NodeId) -> &D {
+        &self.node(id).data
+    }
+
+    /// Mutable payload of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn data_mut(&mut self, id: NodeId) -> &mut D {
+        &mut self.node_mut(id).data
+    }
+
+    /// `true` if `id` refers to a live node.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get_node(id).is_some()
+    }
+
+    /// Token depth of a node (tokens from root through its edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn depth(&self, id: NodeId) -> u64 {
+        self.node(id).depth
+    }
+
+    /// Length of the edge label from the node's parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn edge_len(&self, id: NodeId) -> u64 {
+        self.node(id).edge.len() as u64
+    }
+
+    /// Parent of a node (`None` for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Number of children of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.node(id).children.len()
+    }
+
+    /// `true` if the node has no children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).children.is_empty()
+    }
+
+    /// Children of a node, in deterministic (first-token) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id).children.values().copied()
+    }
+
+    /// Iterates over all live non-root node ids, in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(i, s)| s.as_node().map(|_| NodeId(i as u32)))
+    }
+
+    /// Nodes eligible for eviction: live non-root nodes with ≤ 1 child.
+    ///
+    /// Nodes with multiple children are common prefixes shared by multiple
+    /// requests and are not evicted directly (paper §4.3); they become
+    /// candidates once their descendants are gone.
+    pub fn eviction_candidates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.child_count(id) <= 1)
+    }
+
+    /// Finds the longest stored prefix of `query`.
+    #[must_use]
+    pub fn match_prefix(&self, query: &[Token]) -> PrefixMatch {
+        let mut path = Vec::new();
+        let mut cur = NodeId::ROOT;
+        let mut pos: usize = 0;
+        loop {
+            if pos == query.len() {
+                return PrefixMatch {
+                    path,
+                    matched_len: pos as u64,
+                    ends_mid_edge: false,
+                };
+            }
+            match self.node(cur).children.get(&query[pos]).copied() {
+                None => {
+                    return PrefixMatch {
+                        path,
+                        matched_len: pos as u64,
+                        ends_mid_edge: false,
+                    }
+                }
+                Some(child) => {
+                    let shared = self.shared_edge_len(child, &query[pos..]);
+                    pos += shared;
+                    if shared == self.node(child).edge.len() {
+                        path.push(child);
+                        cur = child;
+                    } else {
+                        return PrefixMatch {
+                            path,
+                            matched_len: pos as u64,
+                            ends_mid_edge: true,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Predicts the structural effect of inserting `seq` without mutating
+    /// the tree (the paper's *speculative insertion*, §4.1).
+    #[must_use]
+    pub fn speculate_insert(&self, seq: &[Token]) -> Speculation {
+        let m = self.match_prefix(seq);
+        Speculation {
+            matched_len: m.matched_len,
+            creates_branch_at: m.ends_mid_edge.then_some(m.matched_len),
+        }
+    }
+
+    /// Tokens along the path from the root to (and including) `id`'s edge.
+    ///
+    /// Intended for debugging and tests; O(depth) allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn path_tokens(&self, id: NodeId) -> Vec<Token> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = self.node(c);
+            chain.push(&n.edge);
+            cur = n.parent;
+        }
+        chain.reverse();
+        chain.into_iter().flatten().copied().collect()
+    }
+
+    /// Removes a node with ≤ 1 child.
+    ///
+    /// * Leaf: the node and its edge tokens leave the tree.
+    /// * Single child: the node is spliced out and its edge label is
+    ///   *prepended* to the child's (the child absorbs the KVs; only the
+    ///   node's payload — e.g. its SSM state — is released).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoveError::IsRoot`] for the root, [`RemoveError::NotFound`] for a
+    /// dead id, and [`RemoveError::HasMultipleChildren`] for shared-prefix
+    /// nodes.
+    pub fn remove(&mut self, id: NodeId) -> Result<Removed<D>, RemoveError> {
+        if id == NodeId::ROOT {
+            return Err(RemoveError::IsRoot);
+        }
+        let node = self.get_node(id).ok_or(RemoveError::NotFound)?;
+        if node.children.len() > 1 {
+            return Err(RemoveError::HasMultipleChildren);
+        }
+        let parent = node.parent.expect("non-root has a parent");
+        let first_tok = node.edge[0];
+        let child = node.children.values().next().copied();
+
+        match child {
+            None => {
+                let node = self.free(id);
+                self.node_mut(parent).children.remove(&first_tok);
+                self.token_count -= node.edge.len() as u64;
+                Ok(Removed {
+                    data: node.data,
+                    freed_tokens: node.edge.len() as u64,
+                    merged_into: None,
+                })
+            }
+            Some(child) => {
+                let node = self.free(id);
+                // Child absorbs the edge: tokens (KVs) stay in the tree.
+                let c = self.node_mut(child);
+                c.parent = Some(parent);
+                let mut new_edge = node.edge;
+                new_edge.extend_from_slice(&c.edge);
+                c.edge = new_edge;
+                self.node_mut(parent).children.insert(first_tok, child);
+                Ok(Removed {
+                    data: node.data,
+                    freed_tokens: 0,
+                    merged_into: Some(child),
+                })
+            }
+        }
+    }
+
+    fn free(&mut self, id: NodeId) -> Node<D> {
+        let slot = std::mem::replace(
+            &mut self.slots[id.index()],
+            Slot::Free {
+                next: self.free_head,
+            },
+        );
+        self.free_head = Some(id.0 as u32);
+        self.node_count -= 1;
+        match slot {
+            Slot::Occupied(n) => n,
+            Slot::Free { .. } => unreachable!("free() called on free slot"),
+        }
+    }
+
+    /// Exhaustively checks the structural invariants; for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn assert_invariants(&self) {
+        let mut seen_tokens = 0u64;
+        let mut seen_nodes = 0usize;
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            if id != NodeId::ROOT {
+                seen_nodes += 1;
+                assert!(!n.edge.is_empty(), "{id}: empty edge on non-root");
+                let p = self.node(n.parent.expect("non-root parent"));
+                assert_eq!(
+                    p.depth + n.edge.len() as u64,
+                    n.depth,
+                    "{id}: depth mismatch"
+                );
+                seen_tokens += n.edge.len() as u64;
+            } else {
+                assert!(n.parent.is_none(), "root has a parent");
+                assert_eq!(n.depth, 0, "root depth nonzero");
+            }
+            for (&tok, &cid) in &n.children {
+                let c = self.node(cid);
+                assert_eq!(c.parent, Some(id), "{cid}: bad parent pointer");
+                assert_eq!(c.edge[0], tok, "{cid}: child key != first edge token");
+                stack.push(cid);
+            }
+        }
+        assert_eq!(seen_nodes, self.node_count, "node_count drift");
+        assert_eq!(seen_tokens, self.token_count, "token_count drift");
+    }
+
+    /// Graphviz `dot` rendering of the tree structure (edge labels
+    /// abbreviated), for debugging.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph radix {\n  node [shape=circle];\n");
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            for &cid in n.children.values() {
+                let c = self.node(cid);
+                let label: Vec<String> = if c.edge.len() <= 6 {
+                    c.edge.iter().map(|t| t.to_string()).collect()
+                } else {
+                    let mut v: Vec<String> = c.edge[..3].iter().map(|t| t.to_string()).collect();
+                    v.push(format!("…(+{})", c.edge.len() - 3));
+                    v
+                };
+                let _ = writeln!(out, "  {id} -> {cid} [label=\"{}\"];", label.join(" "));
+                stack.push(cid);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> RadixTree<u32> {
+        RadixTree::new()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = tree();
+        assert!(t.is_empty());
+        assert_eq!(t.token_count(), 0);
+        let m = t.match_prefix(&[1, 2, 3]);
+        assert_eq!(m.matched_len, 0);
+        assert!(m.path.is_empty());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn insert_single_sequence() {
+        let mut t = tree();
+        let out = t.insert(&[1, 2, 3]);
+        assert_eq!(out.added_tokens, 3);
+        assert!(out.split_node.is_none());
+        assert_eq!(out.new_leaf, Some(out.end_node));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.token_count(), 3);
+        assert_eq!(t.depth(out.end_node), 3);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn insert_empty_sequence_is_noop() {
+        let mut t = tree();
+        let out = t.insert(&[]);
+        assert_eq!(out.end_node, NodeId::ROOT);
+        assert_eq!(out.added_tokens, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reinsert_is_structural_noop() {
+        let mut t = tree();
+        let first = t.insert(&[5, 6, 7]);
+        let second = t.insert(&[5, 6, 7]);
+        assert_eq!(second.end_node, first.end_node);
+        assert_eq!(second.added_tokens, 0);
+        assert!(second.split_node.is_none());
+        assert!(second.new_leaf.is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn diverging_sequences_split_edge() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2, 9, 9]);
+        let mid = out.split_node.expect("split");
+        assert_eq!(t.depth(mid), 2);
+        assert_eq!(t.child_count(mid), 2);
+        assert_eq!(out.added_tokens, 2);
+        assert_eq!(t.token_count(), 6); // [1,2] + [3,4] + [9,9]
+        assert_eq!(t.len(), 3);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn extension_creates_leaf_without_split() {
+        let mut t = tree();
+        let a = t.insert(&[1, 2]);
+        let b = t.insert(&[1, 2, 3, 4]);
+        assert!(b.split_node.is_none());
+        assert_eq!(b.added_tokens, 2);
+        assert_eq!(t.parent(b.end_node), Some(a.end_node));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn prefix_of_existing_edge_splits_with_single_child() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2]);
+        let mid = out.split_node.expect("split");
+        assert_eq!(out.end_node, mid);
+        assert_eq!(t.child_count(mid), 1);
+        assert_eq!(out.added_tokens, 0);
+        assert_eq!(t.token_count(), 4);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn match_prefix_full_and_partial() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        t.insert(&[1, 2, 9, 9]);
+
+        let m = t.match_prefix(&[1, 2, 3, 4]);
+        assert_eq!(m.matched_len, 4);
+        assert!(!m.ends_mid_edge);
+        assert_eq!(m.path.len(), 2); // branch node at depth 2, leaf at 4
+
+        let m = t.match_prefix(&[1, 2, 3, 7]);
+        assert_eq!(m.matched_len, 3);
+        assert!(m.ends_mid_edge);
+        assert_eq!(m.path.len(), 1); // only the branch node fully matched
+
+        let m = t.match_prefix(&[1, 2]);
+        assert_eq!(m.matched_len, 2);
+        assert!(!m.ends_mid_edge);
+        assert_eq!(m.deepest(), m.path.last().copied());
+
+        let m = t.match_prefix(&[7]);
+        assert_eq!(m.matched_len, 0);
+    }
+
+    #[test]
+    fn speculation_matches_insert_behaviour() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+
+        // Divergence mid-edge: would split.
+        let s = t.speculate_insert(&[1, 2, 9]);
+        assert_eq!(s, Speculation { matched_len: 2, creates_branch_at: Some(2) });
+
+        // Pure extension past a leaf: no split.
+        let s = t.speculate_insert(&[1, 2, 3, 4, 5]);
+        assert_eq!(s.creates_branch_at, None);
+        assert_eq!(s.matched_len, 4);
+
+        // Strict prefix ending mid-edge: would split (single-child mid).
+        let s = t.speculate_insert(&[1, 2, 3]);
+        assert_eq!(s.creates_branch_at, Some(3));
+
+        // Fresh sequence: no split.
+        let s = t.speculate_insert(&[8, 8]);
+        assert_eq!(s, Speculation { matched_len: 0, creates_branch_at: None });
+    }
+
+    #[test]
+    fn speculation_never_mutates() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let before = (t.len(), t.token_count());
+        let _ = t.speculate_insert(&[1, 2, 9]);
+        let _ = t.speculate_insert(&[1, 2, 3]);
+        assert_eq!((t.len(), t.token_count()), before);
+    }
+
+    #[test]
+    fn remove_leaf_frees_tokens() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2, 9, 9]);
+        let leaf = out.new_leaf.unwrap();
+        let removed = t.remove(leaf).unwrap();
+        assert_eq!(removed.freed_tokens, 2);
+        assert_eq!(removed.merged_into, None);
+        assert_eq!(t.token_count(), 4);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn remove_intermediate_merges_edge_into_child() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2]); // splits, mid has one child
+        let mid = out.split_node.unwrap();
+        let removed = t.remove(mid).unwrap();
+        assert_eq!(removed.freed_tokens, 0, "KVs absorbed by child");
+        let child = removed.merged_into.unwrap();
+        assert_eq!(t.edge_len(child), 4);
+        assert_eq!(t.depth(child), 4);
+        assert_eq!(t.token_count(), 4);
+        // The merged path still matches fully.
+        assert_eq!(t.match_prefix(&[1, 2, 3, 4]).matched_len, 4);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn remove_branch_node_rejected_until_children_gone() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2, 9, 9]);
+        let branch = out.split_node.unwrap();
+        assert_eq!(t.remove(branch), Err(RemoveError::HasMultipleChildren));
+        // Evict one child; the branch becomes removable.
+        let leaf = out.new_leaf.unwrap();
+        t.remove(leaf).unwrap();
+        assert!(t.remove(branch).is_ok());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn remove_root_rejected() {
+        let mut t = tree();
+        assert_eq!(t.remove(NodeId::ROOT), Err(RemoveError::IsRoot));
+    }
+
+    #[test]
+    fn remove_dead_id_rejected() {
+        let mut t = tree();
+        let out = t.insert(&[1]);
+        t.remove(out.end_node).unwrap();
+        assert_eq!(t.remove(out.end_node), Err(RemoveError::NotFound));
+        assert!(!t.contains(out.end_node));
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut t = tree();
+        let a = t.insert(&[1]).end_node;
+        t.remove(a).unwrap();
+        let b = t.insert(&[2]).end_node;
+        assert_eq!(a.index(), b.index(), "freed slot reused");
+    }
+
+    #[test]
+    fn eviction_candidates_exclude_branch_nodes() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        t.insert(&[1, 2, 9, 9]);
+        let cands: Vec<_> = t.eviction_candidates().collect();
+        // Two leaves are candidates; the 2-child branch node is not.
+        assert_eq!(cands.len(), 2);
+        for c in cands {
+            assert!(t.is_leaf(c));
+        }
+    }
+
+    #[test]
+    fn path_tokens_roundtrip() {
+        let mut t = tree();
+        let out = t.insert(&[1, 2, 3, 4, 5]);
+        t.insert(&[1, 2, 9]);
+        assert_eq!(t.path_tokens(out.end_node), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn data_is_mutable_per_node() {
+        let mut t = tree();
+        let out = t.insert(&[1, 2]);
+        *t.data_mut(out.end_node) = 42;
+        assert_eq!(*t.data(out.end_node), 42);
+        // Splitting preserves the child's payload and defaults the mid.
+        let out2 = t.insert(&[1, 9]);
+        let mid = out2.split_node.unwrap();
+        assert_eq!(*t.data(mid), 0);
+        // The old node kept its data through the split.
+        let m = t.match_prefix(&[1, 2]);
+        assert_eq!(*t.data(m.deepest().unwrap()), 42);
+    }
+
+    #[test]
+    fn node_ids_iterates_live_nodes_only() {
+        let mut t = tree();
+        t.insert(&[1, 2]);
+        let out = t.insert(&[3, 4]);
+        t.remove(out.end_node).unwrap();
+        assert_eq!(t.node_ids().count(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn to_dot_contains_edges() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        t.insert(&[1, 2, 9]);
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains('…'), "long edges abbreviated");
+    }
+
+    #[test]
+    fn deep_chain_of_splits() {
+        // Repeatedly inserting prefixes creates a chain of single-child
+        // intermediates.
+        let mut t = tree();
+        let seq: Vec<Token> = (0..64).collect();
+        t.insert(&seq);
+        for cut in (8..64).step_by(8).rev() {
+            let out = t.insert(&seq[..cut]);
+            assert!(out.split_node.is_some(), "cut {cut} should split");
+        }
+        assert_eq!(t.token_count(), 64);
+        t.assert_invariants();
+        // Every prefix node matches exactly.
+        for cut in (8..=64).step_by(8) {
+            let m = t.match_prefix(&seq[..cut]);
+            assert_eq!(m.matched_len, cut as u64);
+            assert!(!m.ends_mid_edge);
+        }
+    }
+}

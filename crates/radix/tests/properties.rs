@@ -1,0 +1,160 @@
+//! Property-based tests: the radix tree against a naive reference model.
+//!
+//! The reference model is a plain set of inserted sequences. From it we can
+//! derive ground truth for the longest stored prefix of any query and for
+//! the number of distinct prefixes (= tree token count).
+
+use marconi_radix::{NodeId, RadixTree, Token};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Longest prefix of `query` that is a prefix of any sequence in `seqs`.
+fn reference_longest_prefix(seqs: &[Vec<Token>], query: &[Token]) -> usize {
+    seqs.iter()
+        .map(|s| {
+            s.iter()
+                .zip(query.iter())
+                .take_while(|(a, b)| a == b)
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Number of distinct non-empty prefixes across all sequences.
+fn reference_distinct_prefixes(seqs: &[Vec<Token>]) -> usize {
+    let mut set: HashSet<&[Token]> = HashSet::new();
+    for s in seqs {
+        for end in 1..=s.len() {
+            set.insert(&s[..end]);
+        }
+    }
+    set.len()
+}
+
+/// Sequences drawn from a tiny alphabet to force heavy prefix sharing.
+fn seq_strategy() -> impl Strategy<Value = Vec<Token>> {
+    prop::collection::vec(0u32..4, 1..24)
+}
+
+fn seqs_strategy() -> impl Strategy<Value = Vec<Vec<Token>>> {
+    prop::collection::vec(seq_strategy(), 1..24)
+}
+
+proptest! {
+    #[test]
+    fn match_agrees_with_reference(seqs in seqs_strategy(), query in seq_strategy()) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        tree.assert_invariants();
+        let got = tree.match_prefix(&query).matched_len as usize;
+        let want = reference_longest_prefix(&seqs, &query);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn token_count_equals_distinct_prefixes(seqs in seqs_strategy()) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        prop_assert_eq!(tree.token_count() as usize, reference_distinct_prefixes(&seqs));
+    }
+
+    #[test]
+    fn inserted_sequences_fully_match(seqs in seqs_strategy()) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        for s in &seqs {
+            let m = tree.match_prefix(s);
+            prop_assert_eq!(m.matched_len as usize, s.len());
+            prop_assert!(!m.ends_mid_edge);
+        }
+    }
+
+    #[test]
+    fn speculation_predicts_insert(seqs in seqs_strategy(), next in seq_strategy()) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        let spec = tree.speculate_insert(&next);
+        let outcome = tree.insert(&next);
+        match spec.creates_branch_at {
+            Some(depth) => {
+                let mid = outcome.split_node.expect("speculation promised a split");
+                prop_assert_eq!(tree.depth(mid), depth);
+            }
+            None => prop_assert!(outcome.split_node.is_none()),
+        }
+        prop_assert_eq!(tree.depth(outcome.end_node), next.len() as u64);
+        tree.assert_invariants();
+    }
+
+    #[test]
+    fn random_removals_preserve_invariants(
+        seqs in seqs_strategy(),
+        victims in prop::collection::vec(any::<prop::sample::Index>(), 1..32),
+    ) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        for victim in victims {
+            let candidates: Vec<NodeId> = tree.eviction_candidates().collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let id = candidates[victim.index(candidates.len())];
+            tree.remove(id).expect("candidate is removable");
+            tree.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn removing_everything_empties_the_tree(seqs in seqs_strategy()) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        // Leaf-first removal must be able to drain any tree.
+        while tree.len() > 0 {
+            let leaf = tree
+                .node_ids()
+                .find(|&id| tree.is_leaf(id))
+                .expect("non-empty tree has a leaf");
+            tree.remove(leaf).unwrap();
+        }
+        prop_assert_eq!(tree.token_count(), 0);
+        tree.assert_invariants();
+    }
+
+    #[test]
+    fn merge_on_remove_keeps_sequences_reachable(seqs in seqs_strategy()) {
+        let mut tree: RadixTree<()> = RadixTree::new();
+        for s in &seqs {
+            tree.insert(s);
+        }
+        // Remove every single-child intermediate node (structural squash).
+        loop {
+            let target = tree
+                .node_ids()
+                .find(|&id| tree.child_count(id) == 1);
+            match target {
+                Some(id) => {
+                    tree.remove(id).unwrap();
+                }
+                None => break,
+            }
+        }
+        tree.assert_invariants();
+        // Full sequences still match end to end.
+        for s in &seqs {
+            prop_assert_eq!(tree.match_prefix(s).matched_len as usize, s.len());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Analytic GPU timing model.
+
+use marconi_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Roofline-style device model: prefill is compute-bound, so latency is
+/// FLOPs over sustained throughput, plus a fixed per-request overhead
+/// (scheduling, tokenization, kernel launch).
+///
+/// The absolute numbers are calibrated to land in the paper's TTFT range
+/// (hundreds of milliseconds to ~1.8 s on SWE-Bench-scale contexts); every
+/// cross-system *comparison* cancels the constants, so conclusions depend
+/// only on FLOPs skipped.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_model::ModelConfig;
+/// use marconi_sim::GpuModel;
+///
+/// let gpu = GpuModel::a100_x4();
+/// let m = ModelConfig::hybrid_7b();
+/// let cold = gpu.ttft_ms(&m, 8192, 0);
+/// let warm = gpu.ttft_ms(&m, 8192, 8000);
+/// assert!(warm < cold);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    name: String,
+    /// Sustained FLOP/s across the serving devices.
+    effective_flops: f64,
+    /// Fixed per-request overhead in seconds.
+    overhead_s: f64,
+}
+
+impl GpuModel {
+    /// Creates a custom device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effective_flops` is not positive or `overhead_s` is
+    /// negative.
+    #[must_use]
+    pub fn new(name: impl Into<String>, effective_flops: f64, overhead_s: f64) -> Self {
+        assert!(
+            effective_flops > 0.0 && effective_flops.is_finite(),
+            "effective_flops must be positive"
+        );
+        assert!(
+            overhead_s >= 0.0 && overhead_s.is_finite(),
+            "overhead_s must be non-negative"
+        );
+        GpuModel {
+            name: name.into(),
+            effective_flops,
+            overhead_s,
+        }
+    }
+
+    /// Four A100-40GB at ~40% model FLOPs utilization — the paper's TTFT
+    /// testbed for Jamba-1.5-Mini.
+    #[must_use]
+    pub fn a100_x4() -> Self {
+        GpuModel::new("4xA100-40GB", 4.0 * 312e12 * 0.4, 0.015)
+    }
+
+    /// Eight A100-40GB (the paper's p4d.24xlarge host).
+    #[must_use]
+    pub fn a100_x8() -> Self {
+        GpuModel::new("8xA100-40GB", 8.0 * 312e12 * 0.4, 0.015)
+    }
+
+    /// Device name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sustained throughput in FLOP/s.
+    #[must_use]
+    pub fn effective_flops(&self) -> f64 {
+        self.effective_flops
+    }
+
+    /// Time to first token in seconds for an `input_len`-token prefill of
+    /// which `cached_prefix` tokens are served from cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cached_prefix > input_len`.
+    #[must_use]
+    pub fn ttft_s(&self, model: &ModelConfig, input_len: u64, cached_prefix: u64) -> f64 {
+        let flops = model.prefill_flops_with_prefix(input_len, cached_prefix);
+        self.overhead_s + flops as f64 / self.effective_flops
+    }
+
+    /// [`ttft_s`](GpuModel::ttft_s) in milliseconds.
+    #[must_use]
+    pub fn ttft_ms(&self, model: &ModelConfig, input_len: u64, cached_prefix: u64) -> f64 {
+        self.ttft_s(model, input_len, cached_prefix) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttft_scale_matches_paper_range() {
+        // The paper's TTFTs run from tens of ms (short prefills) to
+        // ~1.8 s (30K-token agentic contexts).
+        let gpu = GpuModel::a100_x4();
+        let m = ModelConfig::jamba_mini_like();
+        let short = gpu.ttft_ms(&m, 512, 0);
+        let long = gpu.ttft_ms(&m, 30_000, 0);
+        assert!(short < 100.0, "short prefill {short} ms");
+        assert!((400.0..3000.0).contains(&long), "long prefill {long} ms");
+    }
+
+    #[test]
+    fn full_hit_leaves_only_overhead() {
+        let gpu = GpuModel::a100_x4();
+        let m = ModelConfig::hybrid_7b();
+        assert_eq!(gpu.ttft_s(&m, 1000, 1000), 0.015);
+    }
+
+    #[test]
+    fn hits_monotonically_reduce_ttft() {
+        let gpu = GpuModel::a100_x4();
+        let m = ModelConfig::hybrid_7b();
+        let mut last = f64::INFINITY;
+        for prefix in [0, 1000, 4000, 8000] {
+            let t = gpu.ttft_ms(&m, 8192, prefix);
+            assert!(t < last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn hybrid_prefills_faster_than_transformer_at_length() {
+        // §2.1: hybrid models are up to ~8x faster than Transformers on
+        // long contexts.
+        let gpu = GpuModel::a100_x4();
+        let h = ModelConfig::hybrid_7b();
+        let t = ModelConfig::transformer_7b();
+        let len = 30_000;
+        assert!(gpu.ttft_s(&h, len, 0) < gpu.ttft_s(&t, len, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_throughput_panics() {
+        let _ = GpuModel::new("bad", 0.0, 0.0);
+    }
+}

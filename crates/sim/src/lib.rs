@@ -1,0 +1,46 @@
+//! Trace-driven serving simulator for hybrid-LLM prefix caching.
+//!
+//! Replays a [`marconi_workload::Trace`] against any
+//! [`marconi_core::PrefixCache`], producing per-request records (hit
+//! tokens, FLOPs, TTFT) and aggregate reports. TTFT comes from an analytic
+//! [`GpuModel`]: prefill is compute-bound, so time-to-first-token is the
+//! FLOPs of the *uncached* prefill portion divided by effective device
+//! throughput plus a fixed overhead (DESIGN.md documents this substitution
+//! for the paper's 4×A100 testbed).
+//!
+//! The [`Comparison`] runner drives the same trace through Marconi and
+//! every baseline (vanilla, vLLM+, SGLang+, and the offline static-α
+//! oracle) for the paper's end-to-end experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use marconi_model::ModelConfig;
+//! use marconi_sim::{Comparison, GpuModel, SystemKind};
+//! use marconi_workload::{DatasetKind, TraceGenerator};
+//!
+//! let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+//!     .sessions(5)
+//!     .seed(1)
+//!     .generate();
+//! let cmp = Comparison::new(ModelConfig::hybrid_7b(), 4 << 30)
+//!     .gpu(GpuModel::a100_x4())
+//!     .systems(&[SystemKind::Vanilla, SystemKind::Marconi])
+//!     .run(&trace);
+//! let marconi = cmp.report(SystemKind::Marconi).unwrap();
+//! let vanilla = cmp.report(SystemKind::Vanilla).unwrap();
+//! assert!(marconi.token_hit_rate() >= vanilla.token_hit_rate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comparison;
+mod engine;
+mod gpu;
+mod report;
+
+pub use comparison::{Comparison, ComparisonResult, SystemKind};
+pub use engine::Engine;
+pub use gpu::GpuModel;
+pub use report::{RequestRecord, SimReport};

@@ -1,0 +1,175 @@
+//! Per-request records and aggregate simulation reports.
+
+use marconi_core::CacheStats;
+use marconi_metrics::{BinnedMean, BoxStats, Cdf, Percentiles};
+use serde::{Deserialize, Serialize};
+
+/// One request's outcome in a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id (arrival order within the trace).
+    pub id: u64,
+    /// Session the request belonged to.
+    pub session_id: u64,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Prefill length in tokens.
+    pub input_len: u64,
+    /// Tokens served from cache.
+    pub hit_tokens: u64,
+    /// Raw longest match ignoring SSM checkpoint constraints (diagnostic).
+    pub raw_matched: u64,
+    /// Time to first token, in milliseconds.
+    pub ttft_ms: f64,
+    /// Prefill FLOPs actually spent.
+    pub flops_spent: u128,
+    /// Prefill FLOPs skipped thanks to the cache.
+    pub flops_saved: u128,
+}
+
+impl RequestRecord {
+    /// This request's token hit rate.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.input_len == 0 {
+            return 0.0;
+        }
+        self.hit_tokens as f64 / self.input_len as f64
+    }
+}
+
+/// Aggregate result of replaying one trace through one cache system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// System name (`"marconi"`, `"vllm+"`, ...).
+    pub system: String,
+    /// Trace name the run used.
+    pub trace: String,
+    /// Per-request outcomes, in arrival order.
+    pub records: Vec<RequestRecord>,
+    /// The cache's own cumulative statistics.
+    pub cache_stats: CacheStats,
+}
+
+impl SimReport {
+    /// Overall token hit rate: cache-served tokens over all input tokens.
+    #[must_use]
+    pub fn token_hit_rate(&self) -> f64 {
+        self.cache_stats.token_hit_rate()
+    }
+
+    /// Total prefill FLOPs saved across the run.
+    #[must_use]
+    pub fn total_flops_saved(&self) -> u128 {
+        self.records.iter().map(|r| r.flops_saved).sum()
+    }
+
+    /// Per-request TTFT values in milliseconds.
+    #[must_use]
+    pub fn ttfts_ms(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.ttft_ms).collect()
+    }
+
+    /// TTFT percentile in milliseconds (e.g. `0.95` for the paper's P95).
+    ///
+    /// Returns `None` for an empty run.
+    #[must_use]
+    pub fn ttft_percentile_ms(&self, q: f64) -> Option<f64> {
+        Percentiles::new(&self.ttfts_ms()).map(|p| p.quantile(q))
+    }
+
+    /// TTFT distribution for CDF plots (Fig. 10b).
+    #[must_use]
+    pub fn ttft_cdf(&self) -> Option<Cdf> {
+        Cdf::new(&self.ttfts_ms())
+    }
+
+    /// Box statistics of per-request hit rates.
+    #[must_use]
+    pub fn hit_rate_box(&self) -> Option<BoxStats> {
+        let rates: Vec<f64> = self.records.iter().map(RequestRecord::hit_rate).collect();
+        BoxStats::new(&rates)
+    }
+
+    /// Mean per-request hit rate binned by input length (Fig. 10a).
+    #[must_use]
+    pub fn hit_rate_by_input_len(&self, bin_width: f64) -> BinnedMean {
+        let mut bins = BinnedMean::new(bin_width);
+        for r in &self.records {
+            bins.add(r.input_len as f64, r.hit_rate());
+        }
+        bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, input: u64, hit: u64, ttft: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            session_id: 0,
+            arrival: id as f64,
+            input_len: input,
+            hit_tokens: hit,
+            raw_matched: hit,
+            ttft_ms: ttft,
+            flops_spent: 10,
+            flops_saved: 5,
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            system: "test".into(),
+            trace: "t".into(),
+            records: vec![
+                record(0, 100, 0, 500.0),
+                record(1, 100, 50, 300.0),
+                record(2, 200, 200, 50.0),
+            ],
+            cache_stats: CacheStats {
+                input_tokens: 400,
+                hit_tokens: 250,
+                ..CacheStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn aggregate_hit_rate_uses_cache_stats() {
+        assert!((report().token_hit_rate() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttft_percentiles() {
+        let r = report();
+        let p95 = r.ttft_percentile_ms(0.95).unwrap();
+        assert!(p95 > 400.0 && p95 <= 500.0);
+        assert!(r.ttft_cdf().is_some());
+    }
+
+    #[test]
+    fn per_request_rates_bin_by_length() {
+        let bins = report().hit_rate_by_input_len(150.0);
+        let means = bins.means();
+        // Bin 0 holds the two 100-token requests (rates 0.0, 0.5).
+        assert_eq!(means[0].1, Some(0.25));
+        // Bin 1 holds the 200-token request (rate 1.0).
+        assert_eq!(means[1].1, Some(1.0));
+    }
+
+    #[test]
+    fn empty_report_yields_none() {
+        let r = SimReport {
+            system: "x".into(),
+            trace: "t".into(),
+            records: vec![],
+            cache_stats: CacheStats::default(),
+        };
+        assert!(r.ttft_percentile_ms(0.95).is_none());
+        assert!(r.hit_rate_box().is_none());
+        assert_eq!(r.total_flops_saved(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Length distributions for synthetic workloads.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over token counts.
+///
+/// Real request-length distributions are heavy-tailed; the log-normal body
+/// with hard min/max clamps reproduces the shapes in the paper's Fig. 6
+/// without needing the original traces.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_workload::LenDist;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let dist = LenDist::log_normal(200.0, 0.8, 10, 4000);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let len = dist.sample(&mut rng);
+/// assert!((10..=4000).contains(&len));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LenDist {
+    /// Always the same length.
+    Fixed(u64),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+    /// Log-normal with the given *median* and log-space σ, clamped to
+    /// `[min, max]`.
+    LogNormal {
+        /// Median of the distribution (`e^μ`).
+        median: f64,
+        /// Standard deviation in log space.
+        sigma: f64,
+        /// Smallest value ever returned.
+        min: u64,
+        /// Largest value ever returned.
+        max: u64,
+    },
+}
+
+impl LenDist {
+    /// Log-normal constructor; see [`LenDist::LogNormal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0`, `sigma < 0`, or `min > max`.
+    #[must_use]
+    pub fn log_normal(median: f64, sigma: f64, min: u64, max: u64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(min <= max, "min must not exceed max");
+        LenDist::LogNormal {
+            median,
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// Draws one length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LenDist::Fixed(v) => v,
+            LenDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            LenDist::LogNormal {
+                median,
+                sigma,
+                min,
+                max,
+            } => {
+                let z = standard_normal(rng);
+                let v = median * (sigma * z).exp();
+                (v.round() as u64).clamp(min, max)
+            }
+        }
+    }
+
+    /// The distribution's mean (exact for `Fixed`/`Uniform`; the unclamped
+    /// analytic mean for `LogNormal`).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LenDist::Fixed(v) => v as f64,
+            LenDist::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LenDist::LogNormal { median, sigma, .. } => median * (sigma * sigma / 2.0).exp(),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8 has no normal distribution
+/// without `rand_distr`, which is outside the sanctioned dependency set).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = LenDist::Fixed(42);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 42);
+        }
+        assert_eq!(d.mean(), 42.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LenDist::Uniform { lo: 5, hi: 9 };
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            assert!((5..=9).contains(&v));
+        }
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn log_normal_clamps_and_centres() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LenDist::log_normal(100.0, 0.5, 10, 1000);
+        let samples: Vec<u64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| (10..=1000).contains(&v)));
+        // Median of samples near the configured median.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!((70.0..140.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn log_normal_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LenDist::log_normal(100.0, 1.2, 1, 1_000_000);
+        let samples: Vec<u64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!(mean > 1.3 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LenDist::log_normal(100.0, 0.7, 1, 10_000);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "median")]
+    fn invalid_median_panics() {
+        let _ = LenDist::log_normal(0.0, 1.0, 1, 2);
+    }
+}

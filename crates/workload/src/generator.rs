@@ -1,0 +1,324 @@
+//! The trace generator.
+
+use crate::arrival::ArrivalConfig;
+use crate::spec::{DatasetKind, SessionSpec};
+use crate::trace::{Request, Trace};
+use crate::Token;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Token-id block reserved per fresh segment so distinct segments never
+/// accidentally share prefixes (real tokenized text essentially never
+/// repeats hundreds of tokens by chance).
+const VOCAB: u32 = 50_000;
+
+/// Generates deterministic synthetic traces for a dataset family.
+///
+/// See the [crate docs](crate) for what the generator reproduces and why.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_workload::{ArrivalConfig, DatasetKind, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(DatasetKind::SweBench)
+///     .sessions(5)
+///     .arrival(ArrivalConfig::new(0.5, 5.0))
+///     .seed(42)
+///     .generate();
+/// trace.assert_well_formed();
+/// // Agentic turns carry the full trajectory: inputs grow monotonically
+/// // within a session.
+/// let s0: Vec<_> = trace
+///     .requests
+///     .iter()
+///     .filter(|r| r.session_id == 0)
+///     .collect();
+/// for pair in s0.windows(2) {
+///     assert!(pair[1].input_len() > pair[0].input_len());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    kind: DatasetKind,
+    spec: SessionSpec,
+    sessions: usize,
+    arrival: ArrivalConfig,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for the dataset family with its default spec,
+    /// 50 sessions, default arrivals, and seed 0.
+    #[must_use]
+    pub fn new(kind: DatasetKind) -> Self {
+        TraceGenerator {
+            kind,
+            spec: kind.spec(),
+            sessions: 50,
+            arrival: ArrivalConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Overrides the session spec (defaults to [`DatasetKind::spec`]).
+    #[must_use]
+    pub fn spec(mut self, spec: SessionSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the number of sessions.
+    #[must_use]
+    pub fn sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Sets the arrival dynamics.
+    #[must_use]
+    pub fn arrival(mut self, arrival: ArrivalConfig) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the RNG seed (every seed produces one fixed trace).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4d61_7263_6f6e_6931);
+        let spec = &self.spec;
+
+        // Shared system prompts: the cross-session, purely-input prefixes.
+        let prompts: Vec<Vec<Token>> = (0..spec.prompt_pool)
+            .map(|_| {
+                let len = spec.prompt_len.sample(&mut rng);
+                fresh_segment(&mut rng, len)
+            })
+            .collect();
+
+        let mut requests = Vec::new();
+        let mut session_start = 0.0f64;
+        for session_id in 0..self.sessions as u64 {
+            session_start += self.arrival.next_session_gap(&mut rng);
+            let turns = spec.turns.sample(&mut rng).max(1) as u32;
+
+            // Conversation state.
+            let mut history: Vec<Token> = if rng.gen::<f64>() < spec.no_prompt_prob {
+                Vec::new()
+            } else {
+                prompts[rng.gen_range(0..prompts.len().max(1))].clone()
+            };
+            let mut at = session_start;
+            for turn in 0..turns {
+                let new_len = if turn == 0 {
+                    spec.first_input_len.sample(&mut rng)
+                } else {
+                    spec.turn_input_len.sample(&mut rng)
+                };
+                let mut input = history.clone();
+                input.extend(fresh_segment(&mut rng, new_len));
+                let output_len = spec.output_len.sample(&mut rng);
+                let output = fresh_segment(&mut rng, output_len);
+                requests.push(Request {
+                    id: 0, // assigned after the arrival sort
+                    session_id,
+                    turn,
+                    arrival: at,
+                    input: input.clone(),
+                    output: output.clone(),
+                });
+                history = input;
+                history.extend_from_slice(&output);
+                if history.len() as u64 >= spec.max_context {
+                    break;
+                }
+                at += self.arrival.next_turn_gap(&mut rng);
+            }
+        }
+
+        requests.sort_by(|a, b| {
+            a.arrival
+                .total_cmp(&b.arrival)
+                .then(a.session_id.cmp(&b.session_id))
+        });
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        Trace {
+            name: format!(
+                "{}-s{}-r{:.2}-t{:.1}-seed{}",
+                self.kind,
+                self.sessions,
+                self.arrival.sessions_per_second,
+                self.arrival.mean_response_time,
+                self.seed
+            ),
+            requests,
+        }
+    }
+}
+
+/// A run of random token ids: models freshly tokenized novel text.
+fn fresh_segment(rng: &mut StdRng, len: u64) -> Vec<Token> {
+    (0..len).map(|_| rng.gen_range(0..VOCAB)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(kind: DatasetKind) -> Trace {
+        TraceGenerator::new(kind)
+            .sessions(20)
+            .seed(11)
+            .generate()
+    }
+
+    #[test]
+    fn traces_are_well_formed() {
+        for kind in DatasetKind::ALL {
+            let t = small(kind);
+            t.assert_well_formed();
+            assert!(t.len() >= 20, "{kind}: at least one request per session");
+            assert_eq!(t.session_count(), 20);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_different() {
+        let a = small(DatasetKind::Lmsys);
+        let b = small(DatasetKind::Lmsys);
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(20)
+            .seed(12)
+            .generate();
+        assert_ne!(a.requests[0].input, c.requests[0].input);
+    }
+
+    #[test]
+    fn turns_carry_full_history() {
+        let t = small(DatasetKind::ShareGpt);
+        let mut by_session: std::collections::HashMap<u64, Vec<&Request>> = Default::default();
+        for r in &t.requests {
+            by_session.entry(r.session_id).or_default().push(r);
+        }
+        for reqs in by_session.values() {
+            let mut reqs = reqs.clone();
+            reqs.sort_by_key(|r| r.turn);
+            for pair in reqs.windows(2) {
+                let (prev, next) = (pair[0], pair[1]);
+                let mut expected = prev.input.clone();
+                expected.extend_from_slice(&prev.output);
+                assert!(
+                    next.input.starts_with(&expected),
+                    "turn {} must start with turn {}'s full sequence",
+                    next.turn,
+                    prev.turn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn system_prompts_are_shared_across_sessions() {
+        let t = TraceGenerator::new(DatasetKind::SweBench)
+            .sessions(30)
+            .seed(3)
+            .generate();
+        // With a pool of 3 prompts and 30 sessions, some pair of sessions
+        // must share a long common prefix.
+        let firsts: Vec<&Request> = t.requests.iter().filter(|r| r.turn == 0).collect();
+        let mut shared = 0;
+        for i in 0..firsts.len() {
+            for j in i + 1..firsts.len() {
+                let common = firsts[i]
+                    .input
+                    .iter()
+                    .zip(firsts[j].input.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                if common >= 900 {
+                    shared += 1;
+                }
+            }
+        }
+        assert!(shared > 0, "expected shared system prompts");
+    }
+
+    #[test]
+    fn fig6_length_contrasts_hold() {
+        let lmsys = small(DatasetKind::Lmsys);
+        let sharegpt = small(DatasetKind::ShareGpt);
+        let swebench = small(DatasetKind::SweBench);
+
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // ShareGPT outputs are succinct; LMSys outputs are long.
+        assert!(mean(&lmsys.output_lengths()) > 3.0 * mean(&sharegpt.output_lengths()));
+        // ShareGPT sequences stay short.
+        let sharegpt_max = sharegpt
+            .requests
+            .iter()
+            .map(Request::total_len)
+            .max()
+            .unwrap();
+        assert!(sharegpt_max <= 5_500, "got {sharegpt_max}");
+        // SWE-Bench inputs have the widest spread.
+        let spread = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(f64::total_cmp);
+            s[(s.len() * 95) / 100] - s[(s.len() * 5) / 100]
+        };
+        assert!(spread(&swebench.input_lengths()) > spread(&sharegpt.input_lengths()));
+    }
+
+    #[test]
+    fn context_cap_is_respected() {
+        for kind in DatasetKind::ALL {
+            let spec = kind.spec();
+            let t = small(kind);
+            for r in &t.requests {
+                // A request may exceed max_context by at most one turn's
+                // growth (the cap stops *further* turns).
+                assert!(
+                    r.total_len() < spec.max_context + 16_000,
+                    "{kind}: runaway context {}",
+                    r.total_len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_rate_scales_session_density() {
+        let slow = TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(50)
+            .arrival(ArrivalConfig::new(0.5, 5.0))
+            .seed(1)
+            .generate();
+        let fast = TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(50)
+            .arrival(ArrivalConfig::new(2.0, 5.0))
+            .seed(1)
+            .generate();
+        // Same sessions arrive in a quarter of the wall-clock span.
+        assert!(fast.duration() < slow.duration());
+    }
+
+    #[test]
+    fn trace_name_encodes_parameters() {
+        let t = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(5)
+            .seed(9)
+            .generate();
+        assert!(t.name.contains("lmsys"));
+        assert!(t.name.contains("seed9"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Traces and requests.
+
+use crate::Token;
+use serde::{Deserialize, Serialize};
+
+/// One inference request: the tokens prefilled, the tokens decoded, and
+/// when it arrived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Global request index within the trace (arrival order).
+    pub id: u64,
+    /// Session this request belongs to.
+    pub session_id: u64,
+    /// Zero-based turn number within the session.
+    pub turn: u32,
+    /// Arrival time in seconds from trace start.
+    pub arrival: f64,
+    /// Prefill tokens: full conversation history plus new tokens.
+    pub input: Vec<Token>,
+    /// Decoded tokens.
+    pub output: Vec<Token>,
+}
+
+impl Request {
+    /// Input length in tokens.
+    #[must_use]
+    pub fn input_len(&self) -> u64 {
+        self.input.len() as u64
+    }
+
+    /// Output length in tokens.
+    #[must_use]
+    pub fn output_len(&self) -> u64 {
+        self.output.len() as u64
+    }
+
+    /// Total sequence length (input + output).
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.input_len() + self.output_len()
+    }
+}
+
+/// A workload trace: requests sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Descriptive name (dataset + parameters).
+    pub name: String,
+    /// Requests in nondecreasing arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` if the trace has no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Per-request input lengths (for Fig. 6-style distributions).
+    #[must_use]
+    pub fn input_lengths(&self) -> Vec<f64> {
+        self.requests.iter().map(|r| r.input_len() as f64).collect()
+    }
+
+    /// Per-request output lengths.
+    #[must_use]
+    pub fn output_lengths(&self) -> Vec<f64> {
+        self.requests
+            .iter()
+            .map(|r| r.output_len() as f64)
+            .collect()
+    }
+
+    /// Total input tokens across the trace.
+    #[must_use]
+    pub fn total_input_tokens(&self) -> u64 {
+        self.requests.iter().map(Request::input_len).sum()
+    }
+
+    /// Trace duration: arrival of the last request.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.requests.last().map_or(0.0, |r| r.arrival)
+    }
+
+    /// Number of distinct sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.requests.iter().map(|r| r.session_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Checks arrival ordering and id consistency; for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are out of order or ids are not 0..n.
+    pub fn assert_well_formed(&self) {
+        for (i, r) in self.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "request ids must be arrival-ordered");
+            if i > 0 {
+                assert!(
+                    self.requests[i - 1].arrival <= r.arrival,
+                    "arrivals must be nondecreasing"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, arrival: f64, input: usize, output: usize) -> Request {
+        Request {
+            id,
+            session_id: 0,
+            turn: 0,
+            arrival,
+            input: (0..input as u32).collect(),
+            output: (0..output as u32).collect(),
+        }
+    }
+
+    #[test]
+    fn lengths_and_totals() {
+        let r = request(0, 0.0, 10, 4);
+        assert_eq!(r.input_len(), 10);
+        assert_eq!(r.output_len(), 4);
+        assert_eq!(r.total_len(), 14);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let t = Trace {
+            name: "t".into(),
+            requests: vec![request(0, 0.0, 5, 1), request(1, 2.0, 7, 2)],
+        };
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_input_tokens(), 12);
+        assert_eq!(t.duration(), 2.0);
+        assert_eq!(t.input_lengths(), vec![5.0, 7.0]);
+        t.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn out_of_order_trace_detected() {
+        let t = Trace {
+            name: "bad".into(),
+            requests: vec![request(0, 5.0, 1, 1), request(1, 2.0, 1, 1)],
+        };
+        t.assert_well_formed();
+    }
+}

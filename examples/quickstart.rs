@@ -1,0 +1,83 @@
+//! Quickstart: the core Marconi workflow in one file.
+//!
+//! Builds a hybrid 7B model description and a Marconi cache, then walks
+//! through the three reuse scenarios of the paper's taxonomy:
+//!
+//! 1. conversation resume (input-and-output reuse, instant);
+//! 2. shared system prompt (purely-input reuse, hits from the third
+//!    occurrence);
+//! 3. the "all or nothing" property that makes hybrid caching hard.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use marconi::prelude::*;
+
+fn main() {
+    // The paper's 7B hybrid: 4 Attention, 24 SSM, 28 MLP layers.
+    let model = ModelConfig::hybrid_7b();
+    println!("model: {model}");
+    println!(
+        "  one SSM checkpoint: {:.1} MiB | KVs per token: {:.1} KiB",
+        model.ssm_checkpoint_bytes() as f64 / (1 << 20) as f64,
+        model.kv_bytes_per_token() as f64 / 1024.0
+    );
+
+    let mut cache = HybridPrefixCache::builder(model)
+        .capacity_bytes(8 << 30) // 8 GiB
+        .build();
+
+    // --- Scenario 1: conversation history -----------------------------
+    let system_prompt: Vec<Token> = (0..256).collect();
+    let mut turn1 = system_prompt.clone();
+    turn1.extend(10_000..10_040); // the user's first message
+    let answer1: Vec<Token> = (20_000..20_200).collect();
+
+    assert!(!cache.lookup(&turn1).is_hit(), "cold cache misses");
+    let report = cache.insert_sequence(&turn1, &answer1);
+    println!(
+        "\nturn 1 admitted: {} SSM state(s), {:.1} MiB",
+        report.ssm_states_admitted,
+        report.bytes_added as f64 / (1 << 20) as f64
+    );
+
+    let mut turn2 = turn1.clone();
+    turn2.extend_from_slice(&answer1);
+    turn2.extend(11_000..11_030);
+    let hit = cache.lookup(&turn2);
+    println!(
+        "turn 2 resumes from the last decoded token: {} / {} tokens reused ({:.1e} FLOPs saved)",
+        hit.tokens_matched,
+        turn2.len(),
+        hit.flops_saved as f64
+    );
+    cache.insert_sequence(&turn2, &(21_000..21_100).collect::<Vec<_>>());
+
+    // --- Scenario 2: a shared system prompt ---------------------------
+    let other_user = |tag: u32| {
+        let mut v = system_prompt.clone();
+        v.extend(tag..tag + 50);
+        v
+    };
+    let second = cache.lookup(&other_user(30_000));
+    println!(
+        "\nsecond occurrence of the prompt: {} tokens reused (checkpointing happens now)",
+        second.tokens_matched
+    );
+    cache.insert_sequence(&other_user(30_000), &[1, 2, 3]);
+    let third = cache.lookup(&other_user(40_000));
+    println!(
+        "third occurrence: {} tokens reused (the branch-point SSM state pays off)",
+        third.tokens_matched
+    );
+
+    // --- Scenario 3: all or nothing ------------------------------------
+    let strict_prefix = &turn1[..100];
+    let partial = cache.lookup(strict_prefix);
+    println!(
+        "\nstrict prefix of a cached sequence: raw match {} tokens, usable {} — \
+         SSM states cannot roll back",
+        partial.raw_matched, partial.tokens_matched
+    );
+
+    println!("\n{}", cache.stats());
+}
