@@ -2,12 +2,12 @@
 //! each policy, eviction storms, and the α grid-search replay.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use marconi_core::oracle::{best_static_alpha, SequenceEvent};
 use marconi_core::{EvictionPolicy, HybridPrefixCache, PrefixCache};
 use marconi_model::ModelConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn sequences(n: u32, len: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
     let mut rng = StdRng::seed_from_u64(5);

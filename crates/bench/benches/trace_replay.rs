@@ -1,11 +1,11 @@
 //! Criterion benches for end-to-end trace replay throughput per system.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
 use marconi_bench::GB;
 use marconi_model::ModelConfig;
 use marconi_sim::{Comparison, SystemKind};
 use marconi_workload::{DatasetKind, TraceGenerator};
+use std::time::Duration;
 
 fn bench_replay(c: &mut Criterion) {
     let trace = TraceGenerator::new(DatasetKind::ShareGpt)

@@ -37,8 +37,8 @@ fn run_config(
         marconi_core::HybridPrefixCacheBuilder,
     ) -> marconi_core::HybridPrefixCacheBuilder,
 ) -> AblationPoint {
-    let builder = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
-        .capacity_bytes(2_000_000_000);
+    let builder =
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b()).capacity_bytes(2_000_000_000);
     let cache = configure(builder).build();
     let mut engine = Engine::new(cache, GpuModel::a100_x4());
     let report = engine.run(trace);
@@ -90,7 +90,11 @@ pub fn ablations() -> String {
         out,
         "# Ablations: design choices on the contended SWE-agent trace (fig10 regime)"
     );
-    let _ = writeln!(out, "{:<32} {:>10} {:>10}", "configuration", "hit rate", "evictions");
+    let _ = writeln!(
+        out,
+        "{:<32} {:>10} {:>10}",
+        "configuration", "hit rate", "evictions"
+    );
     for p in &points {
         let _ = writeln!(
             out,

@@ -15,7 +15,10 @@ pub fn table1() -> String {
     let m = ModelConfig::hybrid_7b();
     let eff = FlopEfficiency::new(&m);
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 1: FLOP efficiency of layer types (7B hybrid, D=4096, N=128)");
+    let _ = writeln!(
+        out,
+        "# Table 1: FLOP efficiency of layer types (7B hybrid, D=4096, N=128)"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>18} {:>16} {:>22}",
@@ -51,7 +54,10 @@ pub fn table1() -> String {
 pub fn fig3b() -> String {
     let m = ModelConfig::hybrid_7b();
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 3b: cache size of ONE sequence, fine-grained checkpointing (GB)");
+    let _ = writeln!(
+        out,
+        "# Fig 3b: cache size of ONE sequence, fine-grained checkpointing (GB)"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>12} {:>12} {:>12}",
@@ -86,7 +92,10 @@ pub fn fig5() -> String {
         ModelConfig::transformer_7b(),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 5: FLOP efficiency (FLOPs saved / byte) vs sequence length");
+    let _ = writeln!(
+        out,
+        "# Fig 5: FLOP efficiency (FLOPs saved / byte) vs sequence length"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>14} {:>14} {:>14}",

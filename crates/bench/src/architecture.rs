@@ -37,8 +37,7 @@ fn working_set_bytes(model: &ModelConfig, trace: &Trace) -> u64 {
         *e = (*e).max(r.total_len());
     }
     let tokens: u64 = final_len.values().sum();
-    tokens * model.kv_bytes_per_token()
-        + 2 * final_len.len() as u64 * model.ssm_checkpoint_bytes()
+    tokens * model.kv_bytes_per_token() + 2 * final_len.len() as u64 * model.ssm_checkpoint_bytes()
 }
 
 /// Runs one variant with capacity at a fixed fraction of that variant's

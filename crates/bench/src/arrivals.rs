@@ -61,13 +61,7 @@ fn run_arrival(arrival: ArrivalConfig, label: String, cache_gb: u64) -> ArrivalP
 pub fn run_session_rates() -> Vec<ArrivalPoint> {
     [0.5f64, 1.0, 2.0]
         .iter()
-        .map(|&rate| {
-            run_arrival(
-                ArrivalConfig::new(rate, 10.0),
-                format!("{rate} sess/s"),
-                3,
-            )
-        })
+        .map(|&rate| run_arrival(ArrivalConfig::new(rate, 10.0), format!("{rate} sess/s"), 3))
         .collect()
 }
 
@@ -76,13 +70,7 @@ pub fn run_session_rates() -> Vec<ArrivalPoint> {
 pub fn run_response_times() -> Vec<ArrivalPoint> {
     [10.0f64, 15.0, 20.0]
         .iter()
-        .map(|&resp| {
-            run_arrival(
-                ArrivalConfig::new(1.0, resp),
-                format!("{resp} s resp"),
-                3,
-            )
-        })
+        .map(|&resp| run_arrival(ArrivalConfig::new(1.0, resp), format!("{resp} s resp"), 3))
         .collect()
 }
 

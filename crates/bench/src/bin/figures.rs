@@ -11,8 +11,22 @@
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig3a", "fig3b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "ablations",
+    "table1",
+    "fig3a",
+    "fig3b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12a",
+    "fig12b",
+    "fig13a",
+    "fig13b",
+    "fig14",
+    "ablations",
 ];
 
 fn main() {
@@ -49,7 +63,9 @@ fn main() {
         .any(|e| matches!(*e, "fig7" | "fig8" | "fig9"));
     let sweep = needs_sweep.then(|| {
         let t = Instant::now();
-        eprintln!("[sweep] running the fig7/8/9 config grid (3 datasets × 9 configs × 4 systems)...");
+        eprintln!(
+            "[sweep] running the fig7/8/9 config grid (3 datasets × 9 configs × 4 systems)..."
+        );
         let s = marconi_bench::end_to_end::run_all();
         eprintln!("[sweep] done in {:.1?}", t.elapsed());
         s

@@ -46,7 +46,7 @@ pub fn run(cache_sizes_gb: &[f64]) -> Vec<ContentionPoint> {
         .map(|&cache_gb| {
             let capacity = (cache_gb * GB as f64) as u64;
             let result = Comparison::new(ModelConfig::hybrid_7b(), capacity)
-                        .systems(&[SystemKind::SglangPlus, SystemKind::Marconi])
+                .systems(&[SystemKind::SglangPlus, SystemKind::Marconi])
                 .run(&trace);
             ContentionPoint {
                 cache_gb,
@@ -68,7 +68,10 @@ pub fn run(cache_sizes_gb: &[f64]) -> Vec<ContentionPoint> {
 pub fn fig11() -> String {
     let points = run(&[1.0, 1.5, 2.0, 3.0, 4.0]);
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 11: token hit rate vs cache size (SWEBench-like trace)");
+    let _ = writeln!(
+        out,
+        "# Fig 11: token hit rate vs cache size (SWEBench-like trace)"
+    );
     let _ = writeln!(
         out,
         "{:>10} {:>10} {:>10} {:>12}",

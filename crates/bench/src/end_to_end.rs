@@ -31,7 +31,10 @@ fn hit_rates(cells: &[SweepCell], system: SystemKind) -> Vec<f64> {
 #[must_use]
 pub fn fig7(sweeps: &[(DatasetKind, Vec<SweepCell>)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 7: token hit rate over the config sweep (boxes: P5|Q1|med|Q3|P95)");
+    let _ = writeln!(
+        out,
+        "# Fig 7: token hit rate over the config sweep (boxes: P5|Q1|med|Q3|P95)"
+    );
     for (dataset, cells) in sweeps {
         for system in [SystemKind::VllmPlus, SystemKind::Marconi] {
             let rates = hit_rates(cells, system);
@@ -46,7 +49,11 @@ pub fn fig7(sweeps: &[(DatasetKind, Vec<SweepCell>)]) -> String {
         }
         let vllm: f64 = mean(&hit_rates(cells, SystemKind::VllmPlus));
         let marconi: f64 = mean(&hit_rates(cells, SystemKind::Marconi));
-        let ratio = if vllm > 0.0 { marconi / vllm } else { f64::INFINITY };
+        let ratio = if vllm > 0.0 {
+            marconi / vllm
+        } else {
+            f64::INFINITY
+        };
         let _ = writeln!(
             out,
             "{:<10} marconi/vllm+ mean hit-rate ratio: {}",
@@ -65,7 +72,10 @@ pub fn fig7(sweeps: &[(DatasetKind, Vec<SweepCell>)]) -> String {
 #[must_use]
 pub fn fig8(sweeps: &[(DatasetKind, Vec<SweepCell>)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 8: token hit rate win of Marconi over SGLang+ (%)");
+    let _ = writeln!(
+        out,
+        "# Fig 8: token hit rate win of Marconi over SGLang+ (%)"
+    );
     for (dataset, cells) in sweeps {
         let wins: Vec<f64> = cells
             .iter()
@@ -90,14 +100,24 @@ pub fn fig8(sweeps: &[(DatasetKind, Vec<SweepCell>)]) -> String {
 #[must_use]
 pub fn fig9(sweeps: &[(DatasetKind, Vec<SweepCell>)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 9: P95 TTFT relative to vanilla (lower is better)");
+    let _ = writeln!(
+        out,
+        "# Fig 9: P95 TTFT relative to vanilla (lower is better)"
+    );
     for (dataset, cells) in sweeps {
         let _ = writeln!(out, "## {dataset}");
-        for system in [SystemKind::VllmPlus, SystemKind::SglangPlus, SystemKind::Marconi] {
+        for system in [
+            SystemKind::VllmPlus,
+            SystemKind::SglangPlus,
+            SystemKind::Marconi,
+        ] {
             let ratios: Vec<f64> = cells
                 .iter()
                 .filter_map(|c| {
-                    let v = c.result.report(SystemKind::Vanilla)?.ttft_percentile_ms(0.95)?;
+                    let v = c
+                        .result
+                        .report(SystemKind::Vanilla)?
+                        .ttft_percentile_ms(0.95)?;
                     let s = c.result.report(system)?.ttft_percentile_ms(0.95)?;
                     Some(s / v)
                 })

@@ -57,8 +57,15 @@ pub fn fig10() -> String {
     const BIN: f64 = 4000.0;
     let mb = marconi.hit_rate_by_input_len(BIN);
     let sb = sglang.hit_rate_by_input_len(BIN);
-    let _ = writeln!(out, "\n## (a) avg hit rate diff by input length (marconi − sglang+)");
-    let _ = writeln!(out, "{:>16} {:>12} {:>12} {:>10}", "len_bin", "marconi", "sglang+", "diff");
+    let _ = writeln!(
+        out,
+        "\n## (a) avg hit rate diff by input length (marconi − sglang+)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>16} {:>12} {:>12} {:>10}",
+        "len_bin", "marconi", "sglang+", "diff"
+    );
     for (m, s) in mb.means().iter().zip(sb.means().iter()) {
         if let (Some(mm), Some(ss)) = (m.1, s.1) {
             let _ = writeln!(
@@ -79,7 +86,11 @@ pub fn fig10() -> String {
 
     // (b) TTFT distribution.
     let _ = writeln!(out, "\n## (b) TTFT (ms) percentiles");
-    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "system", "P5", "P50", "P95");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>8}",
+        "system", "P5", "P50", "P95"
+    );
     for (name, rep) in [
         ("marconi", marconi),
         ("sglang+", sglang),

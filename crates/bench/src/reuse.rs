@@ -61,7 +61,10 @@ pub fn run(block_sizes: &[u64]) -> Vec<ReusePoint> {
 pub fn fig3a() -> String {
     let points = run(&[32, 64, 128]);
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig 3a: % of cached token blocks ever reused (vLLM+ fine-grained)");
+    let _ = writeln!(
+        out,
+        "# Fig 3a: % of cached token blocks ever reused (vLLM+ fine-grained)"
+    );
     let _ = writeln!(
         out,
         "{:>12} {:>12} {:>12} {:>10}",

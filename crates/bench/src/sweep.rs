@@ -126,10 +126,7 @@ pub fn run_cell(config: &SweepConfig, systems: &[SystemKind]) -> SweepCell {
 /// Runs the whole grid for a dataset.
 #[must_use]
 pub fn run_dataset(dataset: DatasetKind, systems: &[SystemKind]) -> Vec<SweepCell> {
-    grid(dataset)
-        .iter()
-        .map(|c| run_cell(c, systems))
-        .collect()
+    grid(dataset).iter().map(|c| run_cell(c, systems)).collect()
 }
 
 /// The systems Fig. 7–9 need (everything except the slow oracle).

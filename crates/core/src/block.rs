@@ -468,9 +468,7 @@ mod tests {
     fn lru_eviction_prefers_leaf_blocks() {
         let m = ModelConfig::hybrid_7b();
         let per_block = 32 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes();
-        let mut c = BlockCache::builder(m)
-            .capacity_bytes(3 * per_block)
-            .build();
+        let mut c = BlockCache::builder(m).capacity_bytes(3 * per_block).build();
         c.insert_sequence(&seq(0..96), &[]); // 3 blocks, chain
         c.insert_sequence(&seq(1000..1032), &[]); // forces one eviction
         assert_eq!(c.block_count(), 3);

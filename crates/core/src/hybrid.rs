@@ -23,10 +23,11 @@ struct NodeMeta {
 
 /// How SSM states are materialized at a branch point during prefill
 /// (paper §4.1, "Obtaining states during prefill").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub enum CheckpointMode {
     /// Two-pass prefill (or a custom roll-forward kernel): the state is
     /// checkpointed at the exact branch depth. Default.
+    #[default]
     Exact,
     /// Chunked state passing (Mamba-2/RetNet/GLA-style): only states at
     /// chunk boundaries are materialized, so the checkpoint lands at the
@@ -50,12 +51,6 @@ impl CheckpointMode {
                 (branch_depth / chunk_size) * chunk_size
             }
         }
-    }
-}
-
-impl Default for CheckpointMode {
-    fn default() -> Self {
-        CheckpointMode::Exact
     }
 }
 
@@ -564,8 +559,7 @@ impl PrefixCache for HybridPrefixCache {
             }
         }
 
-        let kv_added =
-            (self.tree.token_count() - tokens_before) * self.model.kv_bytes_per_token();
+        let kv_added = (self.tree.token_count() - tokens_before) * self.model.kv_bytes_per_token();
         report.ssm_states_admitted = admitted;
         report.bytes_added = kv_added + admitted * self.model.ssm_checkpoint_bytes();
         self.stats.insertions += 1;
@@ -771,7 +765,10 @@ mod tests {
         let report = c.insert_sequence(&seq(0..200), &seq(2000..2100));
         assert!(report.ssm_states_admitted <= 2, "judicious admission");
         // First insertion: only the final state (no branch existed yet).
-        assert_eq!(c.stats().ssm_states_admitted, 1 + report.ssm_states_admitted);
+        assert_eq!(
+            c.stats().ssm_states_admitted,
+            1 + report.ssm_states_admitted
+        );
     }
 
     #[test]
@@ -831,6 +828,7 @@ mod tests {
         let mut c = sglang(capacity);
         c.insert_sequence(&seq(0..96), &seq(500..532)); // A (oldest)
         c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+
         // C forces eviction of A.
         c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532));
         let mut turn_b = seq(10_000..10_096);
@@ -848,6 +846,7 @@ mod tests {
         let mut c = sglang(capacity);
         c.insert_sequence(&seq(0..96), &seq(500..532)); // A
         c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+
         // Touch A so B becomes the LRU victim.
         let mut turn_a = seq(0..96);
         turn_a.extend(seq(500..532));
@@ -904,10 +903,7 @@ mod tests {
                 parallel: false,
             }))
             .build();
-        assert_eq!(
-            c.tuner_state(),
-            Some(TunerState::WaitingForFirstEviction)
-        );
+        assert_eq!(c.tuner_state(), Some(TunerState::WaitingForFirstEviction));
         let mut i = 0u32;
         while !matches!(c.tuner_state(), Some(TunerState::Tuned { .. })) {
             let input = seq(i * 10_000..i * 10_000 + 128 + (i % 7) * 64);
@@ -978,10 +974,7 @@ mod tests {
             "sglang+"
         );
         assert_eq!(
-            HybridPrefixCache::builder(m)
-                .name("custom")
-                .build()
-                .name(),
+            HybridPrefixCache::builder(m).name("custom").build().name(),
             "custom"
         );
     }

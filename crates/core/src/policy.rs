@@ -100,11 +100,10 @@ pub(crate) fn pick_victim<Id: Copy + Ord>(candidates: &[Candidate<Id>], alpha: f
     candidates
         .iter()
         .min_by(|a, b| {
-            let score =
-                |c: &Candidate<Id>| {
-                    norm(c.last_access, ts_min, ts_max)
-                        + alpha * norm(c.flop_efficiency, eff_min, eff_max)
-                };
+            let score = |c: &Candidate<Id>| {
+                norm(c.last_access, ts_min, ts_max)
+                    + alpha * norm(c.flop_efficiency, eff_min, eff_max)
+            };
             score(a)
                 .total_cmp(&score(b))
                 .then(a.last_access.total_cmp(&b.last_access))
@@ -160,6 +159,85 @@ mod tests {
     fn degenerate_ranges_fall_back_to_id_order() {
         let cands = [cand(7, 1.0, 3.0), cand(3, 1.0, 3.0)];
         assert_eq!(pick_victim(&cands, 1.0), Some(3));
+    }
+
+    // ------------------------------------------------------------------
+    // The scoring formula itself: S(n) = recency(n) + α·flop_efficiency(n)
+    // over min-max-normalized terms, lowest score evicted (paper §4.2).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn score_matches_normalized_formula_exactly() {
+        // Hand-computed: timestamps {0, 5, 10} normalize to {0, 0.5, 1};
+        // efficiencies {100, 300, 200} normalize to {0, 1, 0.5}.
+        // With α = 1: S = {0+0, 0.5+1, 1+0.5} = {0, 1.5, 1.5} → evict 1.
+        let cands = [
+            cand(1, 0.0, 100.0),
+            cand(2, 5.0, 300.0),
+            cand(3, 10.0, 200.0),
+        ];
+        assert_eq!(pick_victim(&cands, 1.0), Some(1));
+        // With α = 4: S = {0, 4.5, 3} → still evict 1 (old AND inefficient
+        // dominates at any α ≥ 0).
+        assert_eq!(pick_victim(&cands, 4.0), Some(1));
+    }
+
+    #[test]
+    fn moderate_alpha_overrides_recency_for_efficiency() {
+        // Node 1 is the LRU victim but highly FLOP-efficient (a long shared
+        // prefix); node 2 is fresher but inefficient (a short sequence whose
+        // SSM state dominates its footprint). Normalized: node 1 scores
+        // 0 + α·1, node 2 scores 1 + α·0 — the crossover is exactly α = 1.
+        let cands = [cand(1, 0.0, 1000.0), cand(2, 10.0, 10.0)];
+        assert_eq!(pick_victim(&cands, 0.0), Some(1), "LRU picks oldest");
+        assert_eq!(pick_victim(&cands, 0.5), Some(1), "below crossover");
+        assert_eq!(pick_victim(&cands, 2.0), Some(2), "above crossover");
+    }
+
+    #[test]
+    fn ordering_is_invariant_under_affine_rescaling() {
+        // Min-max normalization makes the victim depend only on *relative*
+        // position, so shifting/scaling all timestamps (seconds vs request
+        // ids) or all efficiencies (FLOPs vs TFLOPs per byte) must not
+        // change the decision.
+        let base = [cand(1, 1.0, 7.0), cand(2, 3.0, 2.0), cand(3, 9.0, 5.0)];
+        for alpha in [0.0, 0.5, 1.0, 2.0, 8.0] {
+            let want = pick_victim(&base, alpha);
+            let shifted: Vec<_> = base
+                .iter()
+                .map(|c| {
+                    cand(
+                        c.id,
+                        1000.0 + 60.0 * c.last_access,
+                        1e12 * c.flop_efficiency,
+                    )
+                })
+                .collect();
+            assert_eq!(pick_victim(&shifted, alpha), want, "α = {alpha}");
+        }
+    }
+
+    #[test]
+    fn victim_shifts_from_oldest_to_least_efficient_as_alpha_grows() {
+        // Three-way tradeoff: 1 is oldest/most efficient, 3 is freshest/
+        // least efficient, 2 sits between. Sweeping α must move the victim
+        // monotonically from the LRU choice (1) to the efficiency choice (3)
+        // without ever bouncing back.
+        let cands = [
+            cand(1, 0.0, 900.0),
+            cand(2, 5.0, 500.0),
+            cand(3, 10.0, 100.0),
+        ];
+        let sweep: Vec<u32> = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0]
+            .iter()
+            .map(|&a| pick_victim(&cands, a).unwrap())
+            .collect();
+        assert_eq!(*sweep.first().unwrap(), 1, "α=0 is LRU");
+        assert_eq!(*sweep.last().unwrap(), 3, "large α is pure efficiency");
+        assert!(
+            sweep.windows(2).all(|w| w[0] <= w[1]),
+            "monotone: {sweep:?}"
+        );
     }
 
     #[test]

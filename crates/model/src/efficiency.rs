@@ -93,12 +93,12 @@ mod tests {
         let m = ModelConfig::hybrid_7b();
         let eff = FlopEfficiency::new(&m);
         for len in [1u64, 77, 1024, 30_000] {
-            let attn_exact = m.layer_flops(LayerKind::Attention, len) as f64
-                / (4 * len * m.d_model()) as f64;
+            let attn_exact =
+                m.layer_flops(LayerKind::Attention, len) as f64 / (4 * len * m.d_model()) as f64;
             assert!((eff.attention_flops_per_byte(len) - attn_exact).abs() < 1e-6);
 
-            let ssm_exact = m.layer_flops(LayerKind::Ssm, len) as f64
-                / (2 * m.d_model() * m.d_state()) as f64;
+            let ssm_exact =
+                m.layer_flops(LayerKind::Ssm, len) as f64 / (2 * m.d_model() * m.d_state()) as f64;
             let rel = (eff.ssm_flops_per_byte(len) - ssm_exact).abs() / ssm_exact;
             assert!(rel < 1e-9, "len {len}: rel err {rel}");
         }

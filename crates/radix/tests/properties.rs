@@ -122,7 +122,7 @@ proptest! {
             tree.insert(s);
         }
         // Leaf-first removal must be able to drain any tree.
-        while tree.len() > 0 {
+        while !tree.is_empty() {
             let leaf = tree
                 .node_ids()
                 .find(|&id| tree.is_leaf(id))

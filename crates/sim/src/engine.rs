@@ -74,8 +74,7 @@ impl<C: PrefixCache> Engine<C> {
             let ttft_ms = self
                 .gpu
                 .ttft_ms(&model, req.input_len(), hit.tokens_matched);
-            let flops_spent =
-                model.prefill_flops_with_prefix(req.input_len(), hit.tokens_matched);
+            let flops_spent = model.prefill_flops_with_prefix(req.input_len(), hit.tokens_matched);
             self.cache.insert_at(&req.input, &req.output, req.arrival);
             records.push(RequestRecord {
                 id: req.id,

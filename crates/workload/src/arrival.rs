@@ -92,8 +92,7 @@ mod tests {
         let n = 20_000;
         let session_mean: f64 =
             (0..n).map(|_| c.next_session_gap(&mut rng)).sum::<f64>() / f64::from(n);
-        let turn_mean: f64 =
-            (0..n).map(|_| c.next_turn_gap(&mut rng)).sum::<f64>() / f64::from(n);
+        let turn_mean: f64 = (0..n).map(|_| c.next_turn_gap(&mut rng)).sum::<f64>() / f64::from(n);
         assert!((session_mean - 0.5).abs() < 0.02, "session {session_mean}");
         assert!((turn_mean - 7.5).abs() < 0.25, "turn {turn_mean}");
     }

@@ -175,10 +175,7 @@ mod tests {
     use super::*;
 
     fn small(kind: DatasetKind) -> Trace {
-        TraceGenerator::new(kind)
-            .sessions(20)
-            .seed(11)
-            .generate()
+        TraceGenerator::new(kind).sessions(20).seed(11).generate()
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn main() {
     );
 
     println!("\navg hit rate by input length (the Fig. 10a tradeoff):");
-    println!("{:>18} {:>10} {:>10} {:>8}", "input length", "marconi", "lru", "diff");
+    println!(
+        "{:>18} {:>10} {:>10} {:>8}",
+        "input length", "marconi", "lru", "diff"
+    );
     let mb = marconi.hit_rate_by_input_len(8000.0);
     let sb = sglang.hit_rate_by_input_len(8000.0);
     for (m, s) in mb.means().iter().zip(sb.means().iter()) {

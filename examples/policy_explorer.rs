@@ -37,9 +37,7 @@ fn main() {
     };
 
     let mut requests = Vec::new();
-    for (spec, sessions, seed, id_base) in
-        [(heavy, 12usize, 1u64, 0u64), (light, 80, 2, 1_000)]
-    {
+    for (spec, sessions, seed, id_base) in [(heavy, 12usize, 1u64, 0u64), (light, 80, 2, 1_000)] {
         let trace = TraceGenerator::new(DatasetKind::SweBench)
             .spec(spec)
             .sessions(sessions)
@@ -63,20 +61,10 @@ fn main() {
     println!("mixed workload: {} requests", events.len());
 
     let model = ModelConfig::hybrid_7b();
-    println!(
-        "\n{:>10} | {}",
-        "cache",
-        "token hit rate by α (0 = LRU)"
-    );
+    println!("\n{:>10} | token hit rate by α (0 = LRU)", "cache");
     for cache_gb in [1u64, 2, 4, 8] {
         let capacity = cache_gb * 1_000_000_000;
-        let outcome = best_static_alpha(
-            &model,
-            capacity,
-            &events,
-            &[0.0, 0.25, 1.0, 4.0],
-            true,
-        );
+        let outcome = best_static_alpha(&model, capacity, &events, &[0.0, 0.25, 1.0, 4.0], true);
         let cells: Vec<String> = outcome
             .sweep
             .iter()

@@ -77,12 +77,9 @@ proptest! {
         let mut seen_resume = false;
         let mut prev_total: std::collections::HashMap<Vec<Token>, u64> = Default::default();
         for (i, (input, output)) in expand(&w).iter().enumerate() {
+            let hit = cache.lookup_at(input, i as f64);
             // If this input extends a previously completed sequence, the
             // hit must cover that whole sequence.
-            if let Some(&len) = prev_total.get(&input[..input.len().min(input.len())].to_vec()) {
-                let _ = len;
-            }
-            let hit = cache.lookup_at(input, i as f64);
             for (seq, &len) in &prev_total {
                 if input.len() as u64 > len && input.starts_with(seq) {
                     prop_assert!(

@@ -75,7 +75,11 @@ fn caching_systems_dominate_vanilla_ttft() {
         SystemKind::SglangPlus,
         SystemKind::Marconi,
     ] {
-        let p95 = cmp.report(system).unwrap().ttft_percentile_ms(0.95).unwrap();
+        let p95 = cmp
+            .report(system)
+            .unwrap()
+            .ttft_percentile_ms(0.95)
+            .unwrap();
         assert!(
             p95 <= vanilla_p95 + 1e-9,
             "{system}: P95 {p95} must not exceed vanilla {vanilla_p95}"

@@ -1,0 +1,268 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the API subset the workspace's benches use, with a simple
+//! measurement loop: each benchmark runs `sample_size` timed iterations
+//! after one warm-up iteration, and prints the mean wall time per
+//! iteration (plus throughput when configured). No statistics, plots, or
+//! baselines — swap in real criterion from crates.io for those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        run_one(&id.0, self.sample_size, None, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has a fixed warm-up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the units processed per iteration, for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (tokens, requests, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+///
+/// Each sample times `scale` back-to-back routine invocations under one
+/// `Instant` pair, so the ~20–40 ns timer overhead is amortized away and
+/// nanosecond-scale routines (single radix lookups/inserts) measure
+/// meaningfully. `scale` is calibrated from the warm-up sample.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    scale: u64,
+}
+
+/// Wall time each measurement sample should roughly occupy.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    fn with_scale(scale: u64) -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            scale: scale.max(1),
+        }
+    }
+
+    /// Times `scale` invocations of `routine` as one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.scale {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += self.scale;
+    }
+
+    /// Times `scale` invocations of `routine`, each on a fresh `setup()`
+    /// input materialized up front; setup time is excluded from the
+    /// measurement. The inner scale is capped so pre-built inputs don't
+    /// balloon memory.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let batch = self.scale.min(1024);
+        let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.total += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up sample at scale 1; its per-iteration time calibrates how many
+    // inner iterations fit in TARGET_SAMPLE_TIME.
+    let mut warm = Bencher::with_scale(1);
+    f(&mut warm);
+    let scale = if warm.iters == 0 {
+        1
+    } else {
+        let per_iter_nanos = (warm.total.as_nanos() / u128::from(warm.iters)).max(1);
+        u64::try_from(TARGET_SAMPLE_TIME.as_nanos() / per_iter_nanos)
+            .unwrap_or(u64::MAX)
+            .clamp(1, 1 << 20)
+    };
+
+    let mut b = Bencher::with_scale(scale);
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.iters == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let mean = Duration::from_secs_f64(b.total.as_secs_f64() / b.iters as f64);
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3e} elem/s)", per_sec(n)),
+            Throughput::Bytes(n) => format!(" ({:.3e} B/s)", per_sec(n)),
+        }
+    });
+    println!(
+        "{label}: {mean:?}/iter over {} iters{}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

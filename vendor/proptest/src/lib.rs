@@ -1,0 +1,348 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with [`Strategy::prop_map`],
+//! integer-range and tuple strategies, [`collection::vec`],
+//! [`sample::Index`], [`arbitrary::any`], and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the panic
+//!   message (`prop_assert!` is a plain `assert!`), but is not minimized.
+//! * **Deterministic runs.** Each test's RNG is seeded from the test's name,
+//!   so failures reproduce exactly and CI never flakes.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Run configuration and the per-test RNG.
+
+    pub use rand::rngs::StdRng as TestRngInner;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's `Config`: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test body runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub TestRngInner);
+
+    impl TestRng {
+        /// Seeds the RNG from the test's name (FNV-1a), so every test has
+        /// its own fixed, reproducible stream.
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            TestRng(TestRngInner::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Size bounds for generated collections: `[min, max)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.min..self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use crate::arbitrary::Arbitrary;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use time;
+    /// maps a raw random value proportionally into `0..len`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the index against a collection of length `len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((u128::from(self.0) * len as u128) >> 64) as usize
+        }
+    }
+
+    /// Strategy generating uniformly random [`Index`]es.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+
+        fn new_value(&self, rng: &mut TestRng) -> Index {
+            Index(rand::RngCore::next_u64(rng))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+
+        fn arbitrary() -> IndexStrategy {
+            IndexStrategy
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`].
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias of the crate root, so `prop::collection::vec` etc. resolve.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a property test (no shrinking: plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

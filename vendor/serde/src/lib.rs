@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's sanctioned dependency set includes `serde`, but this build
+//! environment has no network access to a crate registry. Nothing in the
+//! workspace currently *serializes* (there is no `serde_json` consumer); the
+//! derives only brand types as serializable for future tooling. This shim
+//! therefore provides:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits with blanket impls, so
+//!   `T: Serialize` bounds are always satisfiable, and
+//! * re-exported no-op derive macros, so `#[derive(Serialize, Deserialize)]`
+//!   compiles unchanged.
+//!
+//! Swapping this for the real crates.io `serde` is a one-line change in the
+//! workspace manifest and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
