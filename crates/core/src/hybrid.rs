@@ -1,6 +1,6 @@
 //! The Marconi prefix cache (and, with LRU eviction, the SGLang+ baseline).
 
-use crate::policy::{pick_victim, Candidate, EvictionPolicy};
+use crate::policy::{pick_victim_index, Candidate, EvictionPolicy};
 use crate::result::{AdmissionReport, LookupResult};
 use crate::stats::CacheStats;
 use crate::tuner::{TunerConfig, TunerState};
@@ -19,6 +19,21 @@ struct NodeMeta {
     frequency: u32,
     /// GDSF priority `H = L + F·C/S`, refreshed on access.
     gdsf_priority: f64,
+    /// Memoized eviction-scoring inputs, or `None` when never computed /
+    /// explicitly invalidated (SSM-checkpoint admission). Also implicitly
+    /// invalidated whenever the node's leaf status, edge length, or depth
+    /// changes, via the tree's structure version.
+    cost_memo: Option<CostMemo>,
+}
+
+/// Memoized per-node `freed_bytes` / `flop_efficiency`, valid while the
+/// node's [`structure_version`](RadixTree::structure_version) still equals
+/// `version`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CostMemo {
+    version: u32,
+    freed_bytes: u64,
+    flop_efficiency: f64,
 }
 
 /// How SSM states are materialized at a branch point during prefill
@@ -109,6 +124,14 @@ pub struct HybridPrefixCache {
     leaf_only_eviction: bool,
     /// GDSF inflation clock `L` (monotone, set to each victim's priority).
     gdsf_clock: f64,
+    /// Victim ids in eviction order; recorded so parity tests can compare
+    /// the incremental selection byte-for-byte against the scan reference.
+    #[cfg(test)]
+    eviction_log: Vec<NodeId>,
+    /// Route evictions through the pre-refactor full-arena-scan selection
+    /// (the parity tests' reference implementation).
+    #[cfg(test)]
+    use_scan_eviction: bool,
 }
 
 impl HybridPrefixCache {
@@ -227,9 +250,52 @@ impl HybridPrefixCache {
         delta as f64 / freed as f64
     }
 
+    /// Memoized `(freed_bytes, flop_efficiency)` for `id`.
+    ///
+    /// The FLOP math behind these scores walks the model's layer
+    /// configuration, which dominated the old per-victim re-scan; here it
+    /// runs once per node and is reused until the node's leaf status, edge
+    /// length, or depth changes (tracked by the tree's structure version)
+    /// or an SSM checkpoint lands on the node (explicit invalidation in
+    /// [`checkpoint`](Self::checkpoint)).
+    fn node_costs(&mut self, id: NodeId) -> (u64, f64) {
+        let version = self.tree.structure_version(id);
+        if let Some(memo) = self.tree.data(id).cost_memo {
+            if memo.version == version {
+                debug_assert_eq!(
+                    memo.freed_bytes,
+                    self.freed_bytes(id),
+                    "stale freed_bytes memo on {id}"
+                );
+                debug_assert_eq!(
+                    memo.flop_efficiency.to_bits(),
+                    self.node_flop_efficiency(id).to_bits(),
+                    "stale flop_efficiency memo on {id}"
+                );
+                return (memo.freed_bytes, memo.flop_efficiency);
+            }
+        }
+        let freed = self.freed_bytes(id);
+        let eff = self.node_flop_efficiency(id);
+        self.tree.data_mut(id).cost_memo = Some(CostMemo {
+            version,
+            freed_bytes: freed,
+            flop_efficiency: eff,
+        });
+        (freed, eff)
+    }
+
     /// Refreshes a node's GDSF priority `H = L + F·C/S` after an access.
+    ///
+    /// No-op unless the active policy is [`EvictionPolicy::Gdsf`]: the
+    /// other policies never read `frequency`/`gdsf_priority`, so paying a
+    /// parent lookup plus two FLOP evaluations per inserted node for them
+    /// was pure overhead.
     fn refresh_gdsf(&mut self, id: NodeId, bump_frequency: bool) {
-        let cost_per_byte = self.node_flop_efficiency(id);
+        if !matches!(self.policy, EvictionPolicy::Gdsf) {
+            return;
+        }
+        let (_, cost_per_byte) = self.node_costs(id);
         let clock = self.gdsf_clock;
         let meta = self.tree.data_mut(id);
         if bump_frequency {
@@ -240,31 +306,150 @@ impl HybridPrefixCache {
         meta.gdsf_priority = clock + f64::from(meta.frequency) * cost_per_byte;
     }
 
-    /// Picks the GDSF victim: minimum priority, ties toward older nodes.
-    fn pick_gdsf_victim(&self, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates
-            .iter()
-            .min_by(|&&a, &&b| {
+    /// Picks the GDSF victim's position in `pool`: minimum priority, ties
+    /// toward older nodes, then lower ids — a strict total order, so the
+    /// result is independent of pool ordering.
+    fn pick_gdsf_victim_index(&self, pool: &[NodeId]) -> Option<usize> {
+        pool.iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
                 let (ma, mb) = (self.tree.data(a), self.tree.data(b));
                 ma.gdsf_priority
                     .total_cmp(&mb.gdsf_priority)
                     .then(ma.last_access.total_cmp(&mb.last_access))
                     .then(a.cmp(&b))
             })
-            .copied()
+            .map(|(i, _)| i)
     }
 
     /// Evicts lowest-utility candidates until usage fits the capacity.
+    ///
+    /// Complexity contract: one *pressure episode* (this whole call) costs
+    /// O(candidates) to build the victim pool — straight off the tree's
+    /// incremental candidate index, never an arena scan — plus O(pool) of
+    /// cheap memoized score reads per victim. The pool is repaired in place
+    /// as victims leave: the victim swap-removes in O(1), and the only node
+    /// whose *candidacy* can change is the victim's parent (a leaf victim
+    /// may drop it to ≤ 1 child). Nodes whose *scores* change (a merge
+    /// child's grown edge, a parent turned leaf) re-derive lazily through
+    /// the structure-version memo.
+    ///
+    /// Selection is deterministically identical to re-collecting and
+    /// re-scoring every candidate per victim (the pre-refactor behavior):
+    /// membership repairs reproduce the scan set exactly, scores come from
+    /// the same formulas, and both pickers minimize a strict total order,
+    /// making pool ordering irrelevant. Debug builds re-verify all three
+    /// claims on every iteration.
     fn evict_until_fits(&mut self, report: &mut AdmissionReport) {
+        #[cfg(test)]
+        if self.use_scan_eviction {
+            return self.evict_until_fits_scan(report);
+        }
+        if self.usage() <= self.capacity || self.tree.is_empty() {
+            return;
+        }
+        let leaf_only = self.leaf_only_eviction;
+        let mut pool: Vec<NodeId> = self
+            .tree
+            .eviction_candidates()
+            .filter(|&id| !leaf_only || self.tree.is_leaf(id))
+            .collect();
+        let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(pool.len());
+        while self.usage() > self.capacity && !self.tree.is_empty() {
+            #[cfg(debug_assertions)]
+            self.assert_pool_matches_scan(&pool);
+            let picked = if matches!(self.policy, EvictionPolicy::Gdsf) {
+                let idx = self.pick_gdsf_victim_index(&pool);
+                if let Some(i) = idx {
+                    let h = self.tree.data(pool[i]).gdsf_priority;
+                    if h.is_finite() {
+                        self.gdsf_clock = self.gdsf_clock.max(h);
+                    }
+                }
+                idx
+            } else {
+                scored.clear();
+                for &id in &pool {
+                    let (_, eff) = self.node_costs(id);
+                    scored.push(Candidate {
+                        id,
+                        last_access: self.tree.data(id).last_access,
+                        flop_efficiency: eff,
+                    });
+                }
+                pick_victim_index(&scored, self.effective_alpha)
+            };
+            let Some(i) = picked else {
+                break;
+            };
+            let victim = pool.swap_remove(i);
+            let (freed, _) = self.node_costs(victim);
+            let parent = self.tree.parent(victim).expect("victims are non-root");
+            let parent_children_before = self.tree.child_count(parent);
+            let removed = self
+                .tree
+                .remove(victim)
+                .expect("eviction candidates are removable");
+            // Repair the pool: a leaf victim's parent may have just become
+            // eligible (≤ 1 child — or, under the leaf-only ablation, a
+            // leaf). A merge victim changes no candidacies: its child keeps
+            // its own children and simply absorbs the edge.
+            if removed.merged_into.is_none() && parent != self.tree.root() {
+                let newly_eligible = if leaf_only {
+                    parent_children_before == 1
+                } else {
+                    parent_children_before == 2
+                };
+                if newly_eligible {
+                    pool.push(parent);
+                }
+            }
+            if removed.data.has_ssm_state {
+                self.ssm_states -= 1;
+            }
+            #[cfg(test)]
+            self.eviction_log.push(victim);
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += freed;
+            report.entries_evicted += 1;
+            report.bytes_evicted += freed;
+        }
+    }
+
+    /// Debug-only: the incremental pool must equal the from-scratch scan of
+    /// live ≤ 1-child nodes (the pre-refactor candidate set).
+    #[cfg(debug_assertions)]
+    fn assert_pool_matches_scan(&self, pool: &[NodeId]) {
+        let mut got: Vec<NodeId> = pool.to_vec();
+        got.sort_unstable();
+        got.windows(2)
+            .for_each(|w| assert_ne!(w[0], w[1], "duplicate pool entry {}", w[0]));
+        let mut want: Vec<NodeId> = self
+            .tree
+            .node_ids()
+            .filter(|&id| self.tree.child_count(id) <= 1)
+            .filter(|&id| !self.leaf_only_eviction || self.tree.is_leaf(id))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "incremental victim pool diverged from scan");
+    }
+
+    /// The pre-refactor eviction loop, verbatim: re-collect every candidate
+    /// by scanning the arena and re-derive every score, once per victim.
+    /// Kept (test-only) as the reference the parity suite replays against.
+    #[cfg(test)]
+    fn evict_until_fits_scan(&mut self, report: &mut AdmissionReport) {
+        use crate::policy::pick_victim;
         while self.usage() > self.capacity && !self.tree.is_empty() {
             let leaf_only = self.leaf_only_eviction;
             let ids: Vec<NodeId> = self
                 .tree
-                .eviction_candidates()
+                .node_ids()
+                .filter(|&id| self.tree.child_count(id) <= 1)
                 .filter(|&id| !leaf_only || self.tree.is_leaf(id))
                 .collect();
             let victim = if matches!(self.policy, EvictionPolicy::Gdsf) {
-                let v = self.pick_gdsf_victim(&ids);
+                let v = self.pick_gdsf_victim_index(&ids).map(|i| ids[i]);
                 if let Some(v) = v {
                     let h = self.tree.data(v).gdsf_priority;
                     if h.is_finite() {
@@ -294,6 +479,7 @@ impl HybridPrefixCache {
             if removed.data.has_ssm_state {
                 self.ssm_states -= 1;
             }
+            self.eviction_log.push(victim);
             self.stats.evictions += 1;
             self.stats.bytes_evicted += freed;
             report.entries_evicted += 1;
@@ -309,6 +495,9 @@ impl HybridPrefixCache {
             0
         } else {
             meta.has_ssm_state = true;
+            // The checkpoint changes what evicting this node frees: drop
+            // the memoized scores.
+            meta.cost_memo = None;
             self.ssm_states += 1;
             1
         }
@@ -374,8 +563,7 @@ impl HybridPrefixCache {
                     }
                 } else {
                     let alpha = grid_search(
-                        &self.model,
-                        self.capacity,
+                        self,
                         &snapshot,
                         &recorded,
                         &config.alpha_grid,
@@ -390,11 +578,18 @@ impl HybridPrefixCache {
     }
 
     /// Builds a fixed-α replica seeded from a snapshot, for replay.
-    fn replica(model: &ModelConfig, capacity: u64, snapshot: &Snapshot, alpha: f64) -> Self {
+    ///
+    /// The replica mirrors every behavioral knob of the live cache —
+    /// checkpoint mode, ancestor refresh, leaf-only eviction — differing
+    /// only in its (fixed) α. Anything less and the tuner grades each α
+    /// against replay dynamics the live cache will never exhibit: e.g. a
+    /// `Chunked` cache's branch checkpoints land on chunk boundaries, so an
+    /// `Exact`-mode replica would systematically overestimate reuse.
+    fn replica(&self, snapshot: &Snapshot, alpha: f64) -> Self {
         HybridPrefixCache {
             name: "replica".to_owned(),
-            model: model.clone(),
-            capacity,
+            model: self.model.clone(),
+            capacity: self.capacity,
             tree: snapshot.tree.clone(),
             ssm_states: snapshot.ssm_states,
             policy: EvictionPolicy::FlopAware { alpha },
@@ -402,10 +597,14 @@ impl HybridPrefixCache {
             effective_alpha: alpha,
             stats: CacheStats::default(),
             clock: snapshot.clock,
-            checkpoint_mode: CheckpointMode::Exact,
-            refresh_ancestors: false,
-            leaf_only_eviction: false,
+            checkpoint_mode: self.checkpoint_mode,
+            refresh_ancestors: self.refresh_ancestors,
+            leaf_only_eviction: self.leaf_only_eviction,
             gdsf_clock: 0.0,
+            #[cfg(test)]
+            eviction_log: Vec::new(),
+            #[cfg(test)]
+            use_scan_eviction: self.use_scan_eviction,
         }
     }
 }
@@ -414,8 +613,7 @@ impl HybridPrefixCache {
 /// maximizer (ties break toward the smaller α, so LRU wins when FLOP
 /// awareness adds nothing).
 fn grid_search(
-    model: &ModelConfig,
-    capacity: u64,
+    parent: &HybridPrefixCache,
     snapshot: &Snapshot,
     events: &[(Vec<Token>, Vec<Token>, f64)],
     grid: &[f64],
@@ -423,7 +621,7 @@ fn grid_search(
 ) -> f64 {
     assert!(!grid.is_empty(), "alpha grid must be non-empty");
     let score = |alpha: f64| -> f64 {
-        let mut cache = HybridPrefixCache::replica(model, capacity, snapshot, alpha);
+        let mut cache = parent.replica(snapshot, alpha);
         for (input, output, at) in events {
             cache.lookup_at(input, *at);
             cache.insert_at(input, output, *at);
@@ -487,11 +685,20 @@ impl PrefixCache for HybridPrefixCache {
                 },
             }
         } else {
-            // Pure Transformer: KVs slice at any token boundary.
+            // Pure Transformer: KVs slice at any token boundary. A match
+            // ending mid-edge is served from the *containing child's* KVs,
+            // so that child is the node whose recency the hit must refresh;
+            // crediting only `deepest()` (or nothing, at the root) would
+            // leave a hot, partially-matched prefix looking idle until LRU
+            // pressure evicts it.
             LookupResult {
                 tokens_matched: m.matched_len,
                 raw_matched: m.matched_len,
-                node: m.deepest(),
+                node: if m.ends_mid_edge {
+                    m.mid_edge_child
+                } else {
+                    m.deepest()
+                },
                 flops_saved: self.model.flops_saved(m.matched_len),
             }
         };
@@ -681,6 +888,10 @@ impl HybridPrefixCacheBuilder {
             refresh_ancestors: self.refresh_ancestors,
             leaf_only_eviction: self.leaf_only_eviction,
             gdsf_clock: 0.0,
+            #[cfg(test)]
+            eviction_log: Vec::new(),
+            #[cfg(test)]
+            use_scan_eviction: false,
         }
     }
 }
@@ -1131,6 +1342,211 @@ mod tests {
         assert!(
             states_ablated >= states_marconi,
             "pinned interiors retain at least as many states: {states_ablated} vs {states_marconi}"
+        );
+    }
+
+    #[test]
+    fn replica_mirrors_parent_configuration() {
+        // The α grid-search must replay against a cache with the *same*
+        // semantics as the live one; a drifted replica tunes α for a system
+        // that doesn't exist.
+        let parent = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 30)
+            .checkpoint_mode(CheckpointMode::Chunked { chunk_size: 32 })
+            .refresh_ancestors(true)
+            .leaf_only_eviction(true)
+            .build();
+        let snapshot = Snapshot {
+            tree: parent.tree.clone(),
+            ssm_states: parent.ssm_states,
+            clock: parent.clock,
+        };
+        let replica = parent.replica(&snapshot, 1.5);
+        assert_eq!(replica.checkpoint_mode, parent.checkpoint_mode);
+        assert_eq!(replica.refresh_ancestors, parent.refresh_ancestors);
+        assert_eq!(replica.leaf_only_eviction, parent.leaf_only_eviction);
+        assert_eq!(replica.effective_alpha, 1.5);
+    }
+
+    #[test]
+    fn chunked_tuner_replay_reproduces_chunked_checkpoint_depths() {
+        // Regression for the replica config drift: a Chunked{32} cache's
+        // replay replica must checkpoint a branch at depth 80 at the chunk
+        // boundary 64, exactly like the live cache — not at 80 as the old
+        // hardcoded Exact replica did.
+        let parent = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 42)
+            .checkpoint_mode(CheckpointMode::Chunked { chunk_size: 32 })
+            .build();
+        let snapshot = Snapshot {
+            tree: parent.tree.clone(),
+            ssm_states: parent.ssm_states,
+            clock: parent.clock,
+        };
+        let mut replica = parent.replica(&snapshot, 0.5);
+        let prompt = seq(0..80);
+        let mk = |tag: u32| {
+            let mut v = prompt.clone();
+            v.extend(seq(tag..tag + 16));
+            v
+        };
+        replica.insert_sequence(&mk(1000), &seq(9000..9004));
+        let rep = replica.insert_sequence(&mk(2000), &seq(9100..9104));
+        assert_eq!(
+            rep.branch_checkpoint_depth,
+            Some(64),
+            "replica must inherit the parent's chunked checkpointing"
+        );
+        assert_eq!(replica.lookup(&mk(3000)).tokens_matched, 64);
+    }
+
+    #[test]
+    fn mid_edge_partial_hits_refresh_recency() {
+        // Pure Transformer: a request repeatedly reusing the first half of
+        // a cached sequence ends mid-edge. The containing node must get its
+        // recency refreshed so LRU pressure evicts genuinely cold entries
+        // instead.
+        let m = ModelConfig::transformer_7b();
+        let capacity = 2 * 160 * m.kv_bytes_per_token() + 1;
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .policy(EvictionPolicy::Lru)
+            .build();
+        c.insert_sequence(&seq(0..128), &seq(1000..1032)); // A (older)
+        c.insert_sequence(&seq(50_000..50_128), &seq(60_000..60_032)); // B
+
+        // Repeated partial hits on A end mid-edge (depth 64 of 160).
+        for _ in 0..3 {
+            let r = c.lookup(&seq(0..64));
+            assert_eq!(r.tokens_matched, 64);
+            assert!(r.node.is_some(), "mid-edge hit must name the hot node");
+        }
+        // C forces an eviction: B (stale) must go, not the partially-hot A.
+        c.insert_sequence(&seq(70_000..70_128), &seq(80_000..80_032));
+        assert_eq!(
+            c.lookup(&seq(0..64)).tokens_matched,
+            64,
+            "partially-hit prefix survived LRU pressure"
+        );
+        assert_eq!(
+            c.lookup(&seq(50_000..50_064)).tokens_matched,
+            0,
+            "the stale full sequence was the victim"
+        );
+    }
+
+    #[test]
+    fn gdsf_bookkeeping_is_gated_on_policy() {
+        let m = ModelConfig::hybrid_7b();
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::FlopAware { alpha: 2.0 },
+        ] {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(1 << 40)
+                .policy(policy)
+                .build();
+            c.insert_sequence(&seq(0..128), &seq(1000..1032));
+            c.lookup(&{
+                let mut v = seq(0..128);
+                v.extend(seq(1000..1032));
+                v
+            });
+            for id in c.tree.node_ids() {
+                let meta = c.tree.data(id);
+                assert_eq!(
+                    meta.frequency, 0,
+                    "{}: GDSF counters must stay idle",
+                    c.name
+                );
+                assert_eq!(meta.gdsf_priority, 0.0);
+            }
+        }
+        // Under GDSF the counters do move.
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(1 << 40)
+            .policy(EvictionPolicy::Gdsf)
+            .build();
+        c.insert_sequence(&seq(0..128), &seq(1000..1032));
+        assert!(c.tree.node_ids().any(|id| c.tree.data(id).frequency > 0));
+    }
+
+    /// Replays a seeded trace through two identically-configured caches —
+    /// one using the pre-refactor full-scan selection, one the incremental
+    /// pool — and demands byte-identical victim sequences and stats.
+    fn assert_eviction_parity(policy: EvictionPolicy, capacity: u64, trace_seed: u64) {
+        use marconi_workload::{DatasetKind, TraceGenerator};
+        let trace = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(12)
+            .seed(trace_seed)
+            .generate();
+        let build = |scan: bool| {
+            let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                .capacity_bytes(capacity)
+                .policy(policy.clone())
+                .build();
+            c.use_scan_eviction = scan;
+            c
+        };
+        let mut reference = build(true);
+        let mut incremental = build(false);
+        for r in &trace.requests {
+            reference.lookup_at(&r.input, r.arrival);
+            incremental.lookup_at(&r.input, r.arrival);
+            reference.insert_at(&r.input, &r.output, r.arrival);
+            incremental.insert_at(&r.input, &r.output, r.arrival);
+        }
+        assert!(
+            reference.stats.evictions > 0,
+            "parity trace must exercise eviction ({policy})"
+        );
+        assert_eq!(
+            reference.eviction_log, incremental.eviction_log,
+            "victim sequence diverged under {policy}"
+        );
+        assert_eq!(
+            reference.stats, incremental.stats,
+            "stats diverged under {policy}"
+        );
+        assert_eq!(reference.usage(), incremental.usage());
+        assert_eq!(reference.effective_alpha, incremental.effective_alpha);
+    }
+
+    #[test]
+    fn eviction_order_parity_lru() {
+        let m = ModelConfig::hybrid_7b();
+        let cap = 9000 * m.kv_bytes_per_token();
+        assert_eviction_parity(EvictionPolicy::Lru, cap, 7);
+    }
+
+    #[test]
+    fn eviction_order_parity_flop_aware() {
+        let m = ModelConfig::hybrid_7b();
+        let cap = 9000 * m.kv_bytes_per_token();
+        assert_eviction_parity(EvictionPolicy::FlopAware { alpha: 2.0 }, cap, 11);
+    }
+
+    #[test]
+    fn eviction_order_parity_gdsf() {
+        let m = ModelConfig::hybrid_7b();
+        let cap = 9000 * m.kv_bytes_per_token();
+        assert_eviction_parity(EvictionPolicy::Gdsf, cap, 13);
+    }
+
+    #[test]
+    fn eviction_order_parity_auto_tuned() {
+        // AutoTuned also exercises replica replay parity: the tuner's grid
+        // search must pick the same α either way.
+        let m = ModelConfig::hybrid_7b();
+        let cap = 9000 * m.kv_bytes_per_token();
+        assert_eviction_parity(
+            EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }),
+            cap,
+            17,
         );
     }
 

@@ -68,12 +68,17 @@ pub(crate) struct Candidate<Id> {
 /// Picks the eviction victim: lowest `recency + α·efficiency` after min-max
 /// normalizing both terms across the candidates (the paper normalizes "by
 /// comparing all nodes' last-accessed timestamps and FLOP saved/byte in the
-/// radix tree").
+/// radix tree"). Returns the victim's *position* in `candidates` so callers
+/// keeping a live pool can `swap_remove` it in O(1).
 ///
 /// Infinite-efficiency candidates (zero bytes freed) are kept unless
 /// nothing else can be evicted; ties break toward older, then lower id, so
-/// eviction order is deterministic.
-pub(crate) fn pick_victim<Id: Copy + Ord>(candidates: &[Candidate<Id>], alpha: f64) -> Option<Id> {
+/// the chosen victim is the unique minimum of a strict total order — the
+/// result is independent of candidate ordering.
+pub(crate) fn pick_victim_index<Id: Copy + Ord>(
+    candidates: &[Candidate<Id>],
+    alpha: f64,
+) -> Option<usize> {
     if candidates.is_empty() {
         return None;
     }
@@ -99,7 +104,8 @@ pub(crate) fn pick_victim<Id: Copy + Ord>(candidates: &[Candidate<Id>], alpha: f
     };
     candidates
         .iter()
-        .min_by(|a, b| {
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
             let score = |c: &Candidate<Id>| {
                 norm(c.last_access, ts_min, ts_max)
                     + alpha * norm(c.flop_efficiency, eff_min, eff_max)
@@ -109,7 +115,15 @@ pub(crate) fn pick_victim<Id: Copy + Ord>(candidates: &[Candidate<Id>], alpha: f
                 .then(a.last_access.total_cmp(&b.last_access))
                 .then(a.id.cmp(&b.id))
         })
-        .map(|c| c.id)
+        .map(|(i, _)| i)
+}
+
+/// Id-returning convenience over [`pick_victim_index`]; the pre-refactor
+/// entry point, kept for the scan-based reference eviction the parity tests
+/// replay against.
+#[cfg(test)]
+pub(crate) fn pick_victim<Id: Copy + Ord>(candidates: &[Candidate<Id>], alpha: f64) -> Option<Id> {
+    pick_victim_index(candidates, alpha).map(|i| candidates[i].id)
 }
 
 #[cfg(test)]

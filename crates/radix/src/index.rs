@@ -1,0 +1,127 @@
+//! Incremental eviction-candidate index.
+//!
+//! Marconi's eviction hot path (paper §4.2–4.3) repeatedly needs the set of
+//! nodes with ≤ 1 child. Re-deriving that set by scanning the whole arena
+//! costs O(arena slots) per victim; this index keeps it materialized and
+//! updates it in O(1) per tree mutation, so a pressure episode pays only
+//! O(live candidates).
+//!
+//! Representation: a dense member vector plus a slot→position table, the
+//! classic O(1) insert / remove / contains set over arena indices. Removal
+//! swap-pops, so iteration order is *unspecified* but fully deterministic:
+//! it is a pure function of the operation history, which is what seeded
+//! replay parity relies on.
+
+use crate::node::NodeId;
+
+/// Sentinel for "slot is not a member".
+const ABSENT: u32 = u32::MAX;
+
+/// O(1)-amortized set of eviction-candidate node ids.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CandidateIndex {
+    /// Dense member list (unordered).
+    members: Vec<NodeId>,
+    /// Arena slot → position in `members`, or [`ABSENT`].
+    pos: Vec<u32>,
+}
+
+impl CandidateIndex {
+    /// Adds `id` to the set; no-op if already present.
+    pub fn insert(&mut self, id: NodeId) {
+        let slot = id.index();
+        if slot >= self.pos.len() {
+            self.pos.resize(slot + 1, ABSENT);
+        }
+        if self.pos[slot] != ABSENT {
+            return;
+        }
+        self.pos[slot] = self.members.len() as u32;
+        self.members.push(id);
+    }
+
+    /// Removes `id` from the set; no-op if absent.
+    pub fn remove(&mut self, id: NodeId) {
+        let slot = id.index();
+        let Some(&p) = self.pos.get(slot) else {
+            return;
+        };
+        if p == ABSENT {
+            return;
+        }
+        self.pos[slot] = ABSENT;
+        let last = self.members.len() - 1;
+        self.members.swap_remove(p as usize);
+        if (p as usize) < last {
+            let moved = self.members[p as usize];
+            self.pos[moved.index()] = p;
+        }
+    }
+
+    /// `true` if `id` is a member.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.pos.get(id.index()).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Iterates over members in the index's internal (deterministic but
+    /// unspecified) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut idx = CandidateIndex::default();
+        assert_eq!(idx.len(), 0);
+        idx.insert(NodeId(3));
+        idx.insert(NodeId(7));
+        idx.insert(NodeId(3)); // idempotent
+        assert_eq!(idx.len(), 2);
+        assert!(idx.contains(NodeId(3)));
+        assert!(idx.contains(NodeId(7)));
+        assert!(!idx.contains(NodeId(4)));
+        idx.remove(NodeId(3));
+        assert!(!idx.contains(NodeId(3)));
+        assert!(idx.contains(NodeId(7)));
+        idx.remove(NodeId(3)); // idempotent
+        idx.remove(NodeId(1000)); // out of range: no-op
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut idx = CandidateIndex::default();
+        for i in 1..=8u32 {
+            idx.insert(NodeId(i));
+        }
+        // Remove from the middle so the tail member gets relocated.
+        idx.remove(NodeId(2));
+        idx.remove(NodeId(5));
+        let mut got: Vec<u32> = idx.iter().map(|n| n.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 4, 6, 7, 8]);
+        for n in got {
+            assert!(idx.contains(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut idx = CandidateIndex::default();
+        idx.insert(NodeId(2));
+        idx.remove(NodeId(2));
+        idx.insert(NodeId(2));
+        assert!(idx.contains(NodeId(2)));
+        assert_eq!(idx.len(), 1);
+    }
+}

@@ -15,7 +15,11 @@
 //!   create a new intermediate node (a branch point whose SSM state is worth
 //!   checkpointing during prefill).
 //! * [`RadixTree::eviction_candidates`] — nodes with ≤ 1 child (§4.3),
-//!   because multi-child nodes represent hot shared prefixes.
+//!   because multi-child nodes represent hot shared prefixes. The set is
+//!   maintained incrementally (O(1) per mutation), so enumerating it costs
+//!   O(candidates) rather than O(arena), and
+//!   [`RadixTree::structure_version`] lets callers memoize per-node derived
+//!   costs with O(1) staleness checks.
 //! * [`RadixTree::remove`] — eviction with edge merging: removing an
 //!   intermediate node lets its child *absorb* the edge KVs while the SSM
 //!   state is released.
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod index;
 mod node;
 mod tree;
 

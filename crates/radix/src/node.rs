@@ -43,6 +43,11 @@ pub(crate) struct Node<D> {
     pub children: BTreeMap<Token, NodeId>,
     /// Token depth: number of tokens from the root through this node's edge.
     pub depth: u64,
+    /// Structure version: bumped whenever this node's leaf status, edge
+    /// length, or depth changes, so payload-side caches keyed on the cheap
+    /// structural inputs (e.g. Marconi's per-node FLOP-efficiency memo) can
+    /// be invalidated in O(1) without callbacks.
+    pub version: u32,
     /// Caller payload.
     pub data: D,
 }

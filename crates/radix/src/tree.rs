@@ -1,5 +1,6 @@
 //! The radix tree implementation.
 
+use crate::index::CandidateIndex;
 use crate::node::{Node, NodeId, Slot};
 use crate::Token;
 use std::collections::BTreeMap;
@@ -18,12 +19,19 @@ use std::fmt;
 /// 3. `depth(n) = depth(parent(n)) + edge_len(n)`;
 /// 4. [`token_count`](RadixTree::token_count) equals the sum of all edge
 ///    lengths, which equals the number of distinct prefixes stored.
+/// 5. [`eviction_candidates`](RadixTree::eviction_candidates) iterates an
+///    incrementally-maintained index whose membership always equals
+///    `{ live non-root n | child_count(n) ≤ 1 }`.
 #[derive(Debug, Clone)]
 pub struct RadixTree<D> {
     slots: Vec<Slot<D>>,
     free_head: Option<u32>,
     node_count: usize,
     token_count: u64,
+    /// Incremental eviction-candidate set (nodes with ≤ 1 child), kept in
+    /// sync by `insert`/`split_edge`/`remove` so the eviction hot path never
+    /// re-scans the arena.
+    candidates: CandidateIndex,
 }
 
 /// Result of [`RadixTree::match_prefix`].
@@ -38,6 +46,13 @@ pub struct PrefixMatch {
     pub matched_len: u64,
     /// `true` if the match ended partway through an edge label.
     pub ends_mid_edge: bool,
+    /// The child whose edge the match ended inside, when `ends_mid_edge`.
+    ///
+    /// This node holds the KVs of the partially-matched tokens, so a
+    /// recency-refreshing cache must stamp *it* (not just `deepest()`) on a
+    /// partial hit — otherwise a hot, partially-matched prefix looks idle
+    /// and gets evicted.
+    pub mid_edge_child: Option<NodeId>,
 }
 
 impl PrefixMatch {
@@ -135,11 +150,13 @@ impl<D: Default> RadixTree<D> {
                 edge: Vec::new(),
                 children: BTreeMap::new(),
                 depth: 0,
+                version: 0,
                 data: D::default(),
             })],
             free_head: None,
             node_count: 0,
             token_count: 0,
+            candidates: CandidateIndex::default(),
         }
     }
 
@@ -173,9 +190,18 @@ impl<D: Default> RadixTree<D> {
                         edge: seq[pos..].to_vec(),
                         children: BTreeMap::new(),
                         depth: self.node(cur).depth + added,
+                        version: 0,
                         data: D::default(),
                     });
+                    let was_leaf = self.node(cur).children.is_empty();
                     self.node_mut(cur).children.insert(next_tok, leaf);
+                    if was_leaf {
+                        // `cur`'s leaf status flipped: structural caches on
+                        // it (freed bytes) are stale.
+                        self.node_mut(cur).version += 1;
+                    }
+                    self.candidates.insert(leaf);
+                    self.sync_candidate(cur);
                     self.token_count += added;
                     return InsertOutcome {
                         end_node: leaf,
@@ -243,15 +269,22 @@ impl<D: Default> RadixTree<D> {
             edge: head,
             children: mid_children,
             depth: mid_depth,
+            version: 0,
             data: D::default(),
         });
         {
             let c = self.node_mut(child);
             c.edge = tail;
             c.parent = Some(mid);
+            // The child's edge shortened (and its parent changed): bump so
+            // memoized per-node costs recompute.
+            c.version += 1;
         }
         let first = self.node(mid).edge[0];
         self.node_mut(parent).children.insert(first, mid);
+        // `mid` replaces `child` under `parent`, so the parent's child count
+        // (and candidacy) is unchanged; `mid` itself has exactly one child.
+        self.candidates.insert(mid);
         // Splitting moves tokens between edges without adding any, so
         // token_count is untouched; alloc() already counted the new node.
         mid
@@ -273,6 +306,19 @@ impl<D> RadixTree<D> {
 
     fn get_node(&self, id: NodeId) -> Option<&Node<D>> {
         self.slots.get(id.index()).and_then(Slot::as_node)
+    }
+
+    /// Re-derives `id`'s candidate-index membership from its current child
+    /// count. O(1); idempotent; the root is never a candidate.
+    fn sync_candidate(&mut self, id: NodeId) {
+        if id == NodeId::ROOT {
+            return;
+        }
+        if self.node(id).children.len() <= 1 {
+            self.candidates.insert(id);
+        } else {
+            self.candidates.remove(id);
+        }
     }
 
     /// Number of leading tokens of `rest` matching `child`'s edge label.
@@ -406,8 +452,36 @@ impl<D> RadixTree<D> {
     /// Nodes with multiple children are common prefixes shared by multiple
     /// requests and are not evicted directly (paper §4.3); they become
     /// candidates once their descendants are gone.
+    ///
+    /// Served from an incrementally-maintained index, so iterating costs
+    /// O(candidates) — not O(arena slots) — regardless of how much the
+    /// arena has churned. Iteration order is unspecified but deterministic
+    /// (a pure function of the tree's operation history).
     pub fn eviction_candidates(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.node_ids().filter(|&id| self.child_count(id) <= 1)
+        self.candidates.iter()
+    }
+
+    /// Number of current eviction candidates, in O(1).
+    #[must_use]
+    pub fn eviction_candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Structure version of a node: bumped whenever the node's leaf status,
+    /// edge length, or depth changes (the inputs to Marconi's per-node
+    /// freed-bytes / FLOP-efficiency scores). Callers memoizing derived
+    /// quantities per node can compare versions to detect staleness in O(1).
+    ///
+    /// Versions restart at 0 when an arena slot is recycled; since the
+    /// payload is reset to `D::default()` at the same moment, a memo stored
+    /// *in* the payload can never observe a stale match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn structure_version(&self, id: NodeId) -> u32 {
+        self.node(id).version
     }
 
     /// Finds the longest stored prefix of `query`.
@@ -422,6 +496,7 @@ impl<D> RadixTree<D> {
                     path,
                     matched_len: pos as u64,
                     ends_mid_edge: false,
+                    mid_edge_child: None,
                 };
             }
             match self.node(cur).children.get(&query[pos]).copied() {
@@ -430,6 +505,7 @@ impl<D> RadixTree<D> {
                         path,
                         matched_len: pos as u64,
                         ends_mid_edge: false,
+                        mid_edge_child: None,
                     }
                 }
                 Some(child) => {
@@ -443,6 +519,7 @@ impl<D> RadixTree<D> {
                             path,
                             matched_len: pos as u64,
                             ends_mid_edge: true,
+                            mid_edge_child: Some(child),
                         };
                     }
                 }
@@ -505,10 +582,18 @@ impl<D> RadixTree<D> {
         let first_tok = node.edge[0];
         let child = node.children.values().next().copied();
 
+        self.candidates.remove(id);
         match child {
             None => {
                 let node = self.free(id);
                 self.node_mut(parent).children.remove(&first_tok);
+                if self.node(parent).children.is_empty() && parent != NodeId::ROOT {
+                    // The parent just became a leaf: its freed-bytes shape
+                    // changed.
+                    self.node_mut(parent).version += 1;
+                }
+                // Losing a child may have dropped the parent to ≤ 1.
+                self.sync_candidate(parent);
                 self.token_count -= node.edge.len() as u64;
                 Ok(Removed {
                     data: node.data,
@@ -524,6 +609,10 @@ impl<D> RadixTree<D> {
                 let mut new_edge = node.edge;
                 new_edge.extend_from_slice(&c.edge);
                 c.edge = new_edge;
+                // The child's edge grew (and its parent changed): bump so
+                // memoized per-node costs recompute. Its child count — and
+                // the parent's — are unchanged, so candidacies hold.
+                c.version += 1;
                 self.node_mut(parent).children.insert(first_tok, child);
                 Ok(Removed {
                     data: node.data,
@@ -557,6 +646,7 @@ impl<D> RadixTree<D> {
     pub fn assert_invariants(&self) {
         let mut seen_tokens = 0u64;
         let mut seen_nodes = 0usize;
+        let mut seen_candidates = 0usize;
         let mut stack = vec![NodeId::ROOT];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
@@ -570,6 +660,14 @@ impl<D> RadixTree<D> {
                     "{id}: depth mismatch"
                 );
                 seen_tokens += n.edge.len() as u64;
+                let should_be_candidate = n.children.len() <= 1;
+                assert_eq!(
+                    self.candidates.contains(id),
+                    should_be_candidate,
+                    "{id}: candidate-index membership drift (child_count = {})",
+                    n.children.len()
+                );
+                seen_candidates += usize::from(should_be_candidate);
             } else {
                 assert!(n.parent.is_none(), "root has a parent");
                 assert_eq!(n.depth, 0, "root depth nonzero");
@@ -583,6 +681,15 @@ impl<D> RadixTree<D> {
         }
         assert_eq!(seen_nodes, self.node_count, "node_count drift");
         assert_eq!(seen_tokens, self.token_count, "token_count drift");
+        assert_eq!(
+            seen_candidates,
+            self.candidates.len(),
+            "candidate index holds dead or duplicate entries"
+        );
+        assert!(
+            !self.candidates.contains(NodeId::ROOT),
+            "root must never be a candidate"
+        );
     }
 
     /// Graphviz `dot` rendering of the tree structure (edge labels
@@ -849,9 +956,105 @@ mod tests {
         let cands: Vec<_> = t.eviction_candidates().collect();
         // Two leaves are candidates; the 2-child branch node is not.
         assert_eq!(cands.len(), 2);
+        assert_eq!(t.eviction_candidate_count(), 2);
         for c in cands {
             assert!(t.is_leaf(c));
         }
+    }
+
+    #[test]
+    fn candidate_index_tracks_branch_transitions() {
+        let mut t = tree();
+        let a = t.insert(&[1, 2, 3, 4]);
+        // One leaf: one candidate.
+        assert_eq!(t.eviction_candidate_count(), 1);
+        // Split creates a branch (2 children, not a candidate) + new leaf.
+        let b = t.insert(&[1, 2, 9, 9]);
+        let branch = b.split_node.unwrap();
+        assert!(!t.eviction_candidates().any(|id| id == branch));
+        // A third diverging child keeps the branch out.
+        t.insert(&[1, 2, 7, 7]);
+        assert!(!t.eviction_candidates().any(|id| id == branch));
+        // Remove two of the three leaves: the branch drops to one child and
+        // becomes a candidate.
+        t.remove(a.end_node).unwrap();
+        t.remove(b.new_leaf.unwrap()).unwrap();
+        assert!(t.eviction_candidates().any(|id| id == branch));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn match_prefix_exposes_mid_edge_child() {
+        let mut t = tree();
+        let out = t.insert(&[1, 2, 3, 4]);
+        // Ends inside the single leaf's edge.
+        let m = t.match_prefix(&[1, 2, 3]);
+        assert!(m.ends_mid_edge);
+        assert_eq!(m.mid_edge_child, Some(out.end_node));
+        assert!(m.path.is_empty());
+        // Full match: no mid-edge child.
+        let m = t.match_prefix(&[1, 2, 3, 4]);
+        assert!(!m.ends_mid_edge);
+        assert_eq!(m.mid_edge_child, None);
+        // Miss at a node boundary: no mid-edge child either.
+        let m = t.match_prefix(&[9]);
+        assert_eq!(m.mid_edge_child, None);
+    }
+
+    #[test]
+    fn structure_version_bumps_only_on_shape_changes() {
+        let mut t = tree();
+        let a = t.insert(&[1, 2, 3, 4]);
+        let leaf = a.end_node;
+        let v0 = t.structure_version(leaf);
+
+        // Splitting the leaf's edge shortens it: version bumps.
+        let b = t.insert(&[1, 2, 9, 9]);
+        let branch = b.split_node.unwrap();
+        assert!(t.structure_version(leaf) > v0, "split must bump the child");
+
+        // Adding a *third* child to the branch leaves every existing node's
+        // shape alone.
+        let v_leaf = t.structure_version(leaf);
+        let v_branch = t.structure_version(branch);
+        t.insert(&[1, 2, 7, 7]);
+        assert_eq!(t.structure_version(leaf), v_leaf);
+        assert_eq!(t.structure_version(branch), v_branch);
+
+        // Extending past the leaf gives it its first child: leaf status
+        // flipped, version bumps.
+        t.insert(&[1, 2, 3, 4, 5, 6]);
+        assert!(t.structure_version(leaf) > v_leaf);
+    }
+
+    #[test]
+    fn structure_version_bumps_on_merge_and_leaf_loss() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2]); // split: mid with a single child
+        let mid = out.split_node.unwrap();
+        let m = t.match_prefix(&[1, 2, 3, 4]);
+        let child = m.deepest().unwrap();
+        let v_child = t.structure_version(child);
+        // Removing the single-child mid merges its edge into the child.
+        let removed = t.remove(mid).unwrap();
+        assert_eq!(removed.merged_into, Some(child));
+        assert!(
+            t.structure_version(child) > v_child,
+            "absorbing an edge must bump the child"
+        );
+
+        // Removing a node's last child turns the parent into a leaf: bump.
+        let mut t = tree();
+        t.insert(&[1, 2]);
+        let ext = t.insert(&[1, 2, 3, 4]);
+        let parent = t.parent(ext.end_node).unwrap();
+        let v_parent = t.structure_version(parent);
+        t.remove(ext.end_node).unwrap();
+        assert!(
+            t.structure_version(parent) > v_parent,
+            "losing the last child must bump the parent"
+        );
     }
 
     #[test]

@@ -134,6 +134,41 @@ proptest! {
     }
 
     #[test]
+    fn candidate_index_matches_scan_recompute(
+        seqs in seqs_strategy(),
+        ops in prop::collection::vec((0u32..2, any::<prop::sample::Index>()), 1..48),
+    ) {
+        // Interleave inserts and candidate removals, and after every
+        // mutation assert the incremental index equals a from-scratch
+        // recompute (`child_count ≤ 1` over `node_ids()`).
+        let mut tree: RadixTree<()> = RadixTree::new();
+        let check = |tree: &RadixTree<()>| {
+            let mut indexed: Vec<NodeId> = tree.eviction_candidates().collect();
+            indexed.sort_unstable();
+            let mut scanned: Vec<NodeId> = tree
+                .node_ids()
+                .filter(|&id| tree.child_count(id) <= 1)
+                .collect();
+            scanned.sort_unstable();
+            assert_eq!(indexed, scanned, "index drifted from scan recompute");
+            assert_eq!(tree.eviction_candidate_count(), scanned.len());
+        };
+        let mut next_seq = 0usize;
+        for (op, pick) in ops {
+            if op == 0 || tree.is_empty() {
+                tree.insert(&seqs[next_seq % seqs.len()]);
+                next_seq += 1;
+            } else {
+                let candidates: Vec<NodeId> = tree.eviction_candidates().collect();
+                let id = candidates[pick.index(candidates.len())];
+                tree.remove(id).expect("candidate is removable");
+            }
+            check(&tree);
+            tree.assert_invariants();
+        }
+    }
+
+    #[test]
     fn merge_on_remove_keeps_sequences_reachable(seqs in seqs_strategy()) {
         let mut tree: RadixTree<()> = RadixTree::new();
         for s in &seqs {
