@@ -14,10 +14,19 @@
 //! deterministic.
 //!
 //! The Criterion benches under `benches/` cover the *systems* costs
-//! (radix-tree operations, eviction sweeps, α grid search, end-to-end
+//! (radix-tree operations, eviction sweeps, cluster routing, end-to-end
 //! replay throughput); this library covers the *paper* results.
+//!
+//! # Examples
+//!
+//! ```
+//! // The formatting helpers every experiment table uses.
+//! assert_eq!(marconi_bench::pct(0.517), "51.7%");
+//! assert_eq!(marconi_bench::times(2.25), "2.2×");
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod ablations;
 pub mod analytic;

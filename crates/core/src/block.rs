@@ -245,6 +245,12 @@ impl PrefixCache for BlockCache {
         &self.model
     }
 
+    fn longest_cached_prefix_len(&self, input: &[Token]) -> u64 {
+        // `match_blocks` only walks the index; no recency or reuse flags
+        // are touched.
+        self.match_blocks(input).len() as u64 * self.block_size
+    }
+
     fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
         self.clock = self.clock.max(now);
         let matched = self.match_blocks(input);
@@ -517,6 +523,19 @@ mod tests {
         let mut q = seq(0..64);
         q.extend(seq(64..128));
         assert_eq!(c.lookup(&q).tokens_matched, 128);
+    }
+
+    #[test]
+    fn probe_is_block_quantized_and_non_mutating() {
+        let mut c = cache(1 << 42);
+        c.insert_sequence(&seq(0..100), &[]);
+        let stats_before = *c.stats();
+        assert_eq!(c.longest_cached_prefix_len(&seq(0..100)), 96);
+        assert_eq!(c.longest_cached_prefix_len(&seq(0..31)), 0);
+        assert_eq!(*c.stats(), stats_before, "probes must not move stats");
+        let rep = c.reuse_report();
+        assert_eq!(rep.kv_reused, 0, "probes must not latch reuse flags");
+        assert_eq!(rep.ssm_reused, 0);
     }
 
     #[test]

@@ -98,6 +98,20 @@ pub trait PrefixCache {
     /// any matched length is reusable.
     fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult;
 
+    /// Length of the longest *reusable* cached prefix of `input`, **without
+    /// mutating any cache state**.
+    ///
+    /// This is the placement probe used by cluster routers (`marconi-sim`'s
+    /// prefix-aware routing): a router may probe every replica before
+    /// picking one, so — unlike [`lookup_at`](PrefixCache::lookup_at) — a
+    /// probe must not refresh recency, bump hit/lookup counters, or trigger
+    /// speculative insertion. A replica that is probed but does not win the
+    /// request must remain byte-identical.
+    ///
+    /// The returned length always equals the `tokens_matched` that an
+    /// immediately following `lookup_at` on the same state would report.
+    fn longest_cached_prefix_len(&self, input: &[Token]) -> u64;
+
     /// Admits the states of a completed request (`input` prefilled, then
     /// `output` decoded) at time `now`, evicting entries if needed.
     fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport;
@@ -123,6 +137,10 @@ impl PrefixCache for Box<dyn PrefixCache> {
 
     fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
         self.as_mut().lookup_at(input, now)
+    }
+
+    fn longest_cached_prefix_len(&self, input: &[Token]) -> u64 {
+        self.as_ref().longest_cached_prefix_len(input)
     }
 
     fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {

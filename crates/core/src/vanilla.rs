@@ -53,6 +53,10 @@ impl PrefixCache for VanillaCache {
         LookupResult::MISS
     }
 
+    fn longest_cached_prefix_len(&self, _input: &[Token]) -> u64 {
+        0
+    }
+
     fn insert_at(&mut self, _input: &[Token], _output: &[Token], _now: f64) -> AdmissionReport {
         self.stats.insertions += 1;
         AdmissionReport::default()
@@ -85,5 +89,12 @@ mod tests {
         }
         assert_eq!(v.stats().token_hit_rate(), 0.0);
         assert_eq!(v.stats().lookups, 10);
+    }
+
+    #[test]
+    fn probe_always_reports_nothing_cached() {
+        let mut v = VanillaCache::new(ModelConfig::hybrid_7b());
+        v.insert_at(&[1, 2, 3], &[4], 0.0);
+        assert_eq!(v.longest_cached_prefix_len(&[1, 2, 3]), 0);
     }
 }

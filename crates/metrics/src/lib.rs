@@ -3,8 +3,9 @@
 //! Small, dependency-free implementations of exactly the aggregations the
 //! Marconi evaluation reports: order-statistic percentiles (P5/P50/P95
 //! TTFT), empirical CDFs (Fig. 9, Fig. 10b), five-number box statistics
-//! with P5/P95 whiskers (Fig. 7), binned means (Fig. 10a), and running
-//! summaries.
+//! with P5/P95 whiskers (Fig. 7), binned means (Fig. 10a), running
+//! summaries, and load-imbalance statistics for the sharded-cluster
+//! experiments ([`LoadImbalance`]).
 //!
 //! # Examples
 //!
@@ -22,11 +23,13 @@
 mod binned;
 mod boxstats;
 mod cdf;
+mod imbalance;
 mod percentile;
 mod summary;
 
 pub use binned::BinnedMean;
 pub use boxstats::BoxStats;
 pub use cdf::Cdf;
+pub use imbalance::LoadImbalance;
 pub use percentile::Percentiles;
 pub use summary::Summary;

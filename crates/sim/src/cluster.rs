@@ -1,0 +1,751 @@
+//! Sharded cluster simulation: N cache replicas behind a pluggable router.
+//!
+//! Marconi's evaluation is single-replica; at production scale a fleet of
+//! cache replicas sits behind a router that decides where each request
+//! lands, and the *placement* decision determines how much cross-request
+//! prefix reuse survives sharding. This module replays a trace against N
+//! independent [`HybridPrefixCache`] replicas — each with its own capacity
+//! slice and eviction policy — under a [`Router`]:
+//!
+//! * [`RoundRobin`] — spreads consecutive requests evenly, destroying both
+//!   session history and shared-prompt locality;
+//! * [`SessionAffinity`] — pins each session to `hash(session_id) % N`,
+//!   preserving within-session reuse but scattering tenants;
+//! * [`PrefixAware`] — probes every replica's radix tree for the longest
+//!   reusable cached prefix (via the non-mutating
+//!   [`PrefixCache::longest_cached_prefix_len`]) and routes to the best
+//!   match, breaking ties toward the least-loaded replica.
+//!
+//! An N=1 cluster reproduces the single-node [`Engine`](crate::Engine)
+//! byte-for-byte under every router (the parity tests below pin this), so
+//! the paper-claims suite anchors the cluster layer.
+
+use crate::gpu::GpuModel;
+use crate::report::{RequestRecord, SimReport};
+use marconi_core::{CacheStats, CheckpointMode, EvictionPolicy, HybridPrefixCache, PrefixCache};
+use marconi_metrics::LoadImbalance;
+use marconi_model::ModelConfig;
+use marconi_workload::{Request, Token, Trace};
+use std::fmt;
+
+/// What a [`Router`] may see of one replica: a read-only probe plus load
+/// accounting. Probing **cannot** mutate the replica — placement probes on
+/// replicas that don't win a request leave them byte-identical.
+#[derive(Debug)]
+pub struct ReplicaStatus<'a> {
+    index: usize,
+    cache: &'a HybridPrefixCache,
+}
+
+impl ReplicaStatus<'_> {
+    /// This replica's index in the cluster.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Longest reusable cached prefix of `input` on this replica, in
+    /// tokens, without touching recency or stats
+    /// ([`PrefixCache::longest_cached_prefix_len`]).
+    #[must_use]
+    pub fn probe(&self, input: &[Token]) -> u64 {
+        self.cache.longest_cached_prefix_len(input)
+    }
+
+    /// Input tokens routed to this replica so far (the load measure).
+    ///
+    /// Every routed request performs exactly one lookup on its winning
+    /// replica, so this is the cache's own cumulative `input_tokens`
+    /// counter — one source of truth shared with
+    /// [`ClusterReport::replica_loads`].
+    #[must_use]
+    pub fn routed_tokens(&self) -> u64 {
+        self.cache.stats().input_tokens
+    }
+
+    /// Bytes of model states currently cached on this replica.
+    #[must_use]
+    pub fn usage_bytes(&self) -> u64 {
+        self.cache.usage_bytes()
+    }
+
+    /// This replica's capacity slice in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.cache.capacity_bytes()
+    }
+}
+
+/// A routing policy: picks the replica each request is served on.
+///
+/// Implementations must be deterministic — same request sequence and same
+/// replica states must produce the same assignment — so cluster replays are
+/// reproducible (the seeded-determinism tests enforce this for the three
+/// built-in routers).
+pub trait Router: fmt::Debug {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Picks the replica index in `[0, replicas.len())` for `req`.
+    ///
+    /// Probing `replicas` is free of side effects; only the winning replica
+    /// will observe the request.
+    fn route(&mut self, req: &Request, replicas: &[ReplicaStatus<'_>]) -> usize;
+}
+
+/// Round-robin routing: request `k` goes to replica `k % N`. The
+/// locality-oblivious baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _req: &Request, replicas: &[ReplicaStatus<'_>]) -> usize {
+        let idx = self.next % replicas.len();
+        self.next = (self.next + 1) % replicas.len();
+        idx
+    }
+}
+
+/// Session-affinity routing: `splitmix64(session_id) % N`, so every turn of
+/// a session lands on the same replica. Preserves conversation-history
+/// reuse; blind to cross-session (shared-prompt) reuse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionAffinity;
+
+/// SplitMix64: a fixed, portable integer hash so assignments never depend
+/// on process- or platform-specific hasher state.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Router for SessionAffinity {
+    fn name(&self) -> &str {
+        "session-affinity"
+    }
+
+    fn route(&mut self, req: &Request, replicas: &[ReplicaStatus<'_>]) -> usize {
+        (splitmix64(req.session_id) % replicas.len() as u64) as usize
+    }
+}
+
+/// Prefix-aware routing: probe every replica for the longest reusable
+/// cached prefix of the request's input and route to the deepest match;
+/// ties break toward the least-loaded replica (fewest routed tokens), then
+/// toward the lowest index.
+///
+/// This recovers both reuse channels sharding endangers: a session's later
+/// turns follow its cached history, and a tenant's new sessions follow the
+/// replica already holding the tenant's system prompt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefixAware;
+
+impl Router for PrefixAware {
+    fn name(&self) -> &str {
+        "prefix-aware"
+    }
+
+    fn route(&mut self, req: &Request, replicas: &[ReplicaStatus<'_>]) -> usize {
+        // Probe each replica exactly once (a probe walks the radix tree
+        // over the full input — too expensive to re-run inside the
+        // comparator).
+        replicas
+            .iter()
+            .map(|r| (r.probe(&req.input), r))
+            .max_by(|(pa, a), (pb, b)| {
+                pa.cmp(pb)
+                    .then(b.routed_tokens().cmp(&a.routed_tokens()))
+                    .then(b.index.cmp(&a.index))
+            })
+            .map(|(_, r)| r.index)
+            .expect("clusters have at least one replica")
+    }
+}
+
+/// The built-in routing policies, for sweeps and builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingPolicy {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`SessionAffinity`].
+    SessionAffinity,
+    /// [`PrefixAware`].
+    PrefixAware,
+}
+
+impl RoutingPolicy {
+    /// All built-in policies, weakest locality first.
+    pub const ALL: [RoutingPolicy; 3] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::SessionAffinity,
+        RoutingPolicy::PrefixAware,
+    ];
+
+    /// Instantiates the router.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Router> {
+        match self {
+            RoutingPolicy::RoundRobin => Box::new(RoundRobin::default()),
+            RoutingPolicy::SessionAffinity => Box::new(SessionAffinity),
+            RoutingPolicy::PrefixAware => Box::new(PrefixAware),
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::SessionAffinity => "session-affinity",
+            RoutingPolicy::PrefixAware => "prefix-aware",
+        };
+        f.write_str(name)
+    }
+}
+
+/// N cache replicas behind a router, replayed like a single
+/// [`Engine`](crate::Engine) per replica.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_model::ModelConfig;
+/// use marconi_sim::{Cluster, RoutingPolicy};
+/// use marconi_workload::{DatasetKind, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+///     .sessions(8)
+///     .tenants(4)
+///     .seed(3)
+///     .generate();
+/// let mut cluster = Cluster::builder(ModelConfig::hybrid_7b())
+///     .replicas(4)
+///     .total_capacity_bytes(16 << 30)
+///     .routing(RoutingPolicy::PrefixAware)
+///     .build();
+/// let report = cluster.run(&trace);
+/// assert_eq!(report.assignments.len(), trace.len());
+/// assert_eq!(report.replicas.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    replicas: Vec<HybridPrefixCache>,
+    router: Box<dyn Router>,
+    gpu: GpuModel,
+}
+
+impl Cluster {
+    /// Starts building a cluster of caches for `model`.
+    ///
+    /// Defaults: 1 replica, 16 GiB total capacity, the cache's default
+    /// (Marconi auto-tuned) eviction policy, [`RoutingPolicy::PrefixAware`],
+    /// a 4×A100 device model per replica.
+    #[must_use]
+    pub fn builder(model: ModelConfig) -> ClusterBuilder {
+        ClusterBuilder {
+            model,
+            replicas: 1,
+            total_capacity: 16 << 30,
+            policy: EvictionPolicy::default(),
+            checkpoint_mode: CheckpointMode::Exact,
+            gpu: GpuModel::a100_x4(),
+            router: None,
+        }
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Read access to one replica's cache (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn replica_cache(&self, index: usize) -> &HybridPrefixCache {
+        &self.replicas[index]
+    }
+
+    /// The active router's name.
+    #[must_use]
+    pub fn router_name(&self) -> &str {
+        self.router.name()
+    }
+
+    /// Replays `trace`, routing each request as it arrives.
+    ///
+    /// Mirrors [`Engine::run`](crate::Engine::run) per replica: look up the
+    /// longest reusable prefix at arrival time, charge the uncached prefill
+    /// to the device model, admit the full sequence afterwards. Cache state
+    /// persists across calls (like `Engine`), but each call reports only
+    /// its own requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns an out-of-range replica index.
+    pub fn run(&mut self, trace: &Trace) -> ClusterReport {
+        let n = self.replicas.len();
+        let mut records: Vec<Vec<RequestRecord>> = vec![Vec::new(); n];
+        let mut assignments = Vec::with_capacity(trace.len());
+        let stats_before: Vec<CacheStats> = self.replicas.iter().map(|r| *r.stats()).collect();
+        for req in &trace.requests {
+            let statuses: Vec<ReplicaStatus<'_>> = self
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(index, cache)| ReplicaStatus { index, cache })
+                .collect();
+            let idx = self.router.route(req, &statuses);
+            assert!(
+                idx < n,
+                "router {} picked replica {idx} of {n}",
+                self.router.name()
+            );
+            let replica = &mut self.replicas[idx];
+            let hit = replica.lookup_at(&req.input, req.arrival);
+            let model = replica.model().clone();
+            let ttft_ms = self
+                .gpu
+                .ttft_ms(&model, req.input_len(), hit.tokens_matched);
+            let flops_spent = model.prefill_flops_with_prefix(req.input_len(), hit.tokens_matched);
+            replica.insert_at(&req.input, &req.output, req.arrival);
+            records[idx].push(RequestRecord {
+                id: req.id,
+                session_id: req.session_id,
+                arrival: req.arrival,
+                input_len: req.input_len(),
+                hit_tokens: hit.tokens_matched,
+                raw_matched: hit.raw_matched,
+                ttft_ms,
+                flops_spent,
+                flops_saved: hit.flops_saved,
+            });
+            assignments.push(idx);
+        }
+        let replicas = self
+            .replicas
+            .iter()
+            .zip(records)
+            .zip(stats_before)
+            .enumerate()
+            .map(|(i, ((r, records), before))| SimReport {
+                system: format!("{}[{i}]", r.name()),
+                trace: trace.name.clone(),
+                records,
+                cache_stats: r.stats().delta_since(&before),
+            })
+            .collect();
+        ClusterReport {
+            router: self.router.name().to_owned(),
+            trace: trace.name.clone(),
+            replicas,
+            assignments,
+        }
+    }
+}
+
+/// Builder for [`Cluster`]; see [`Cluster::builder`].
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    model: ModelConfig,
+    replicas: usize,
+    total_capacity: u64,
+    policy: EvictionPolicy,
+    checkpoint_mode: CheckpointMode,
+    gpu: GpuModel,
+    router: Option<Box<dyn Router>>,
+}
+
+impl ClusterBuilder {
+    /// Sets the replica count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the cluster-wide capacity; each replica gets an equal
+    /// `total / N` slice, so scaling N at fixed total capacity isolates the
+    /// *placement* effect from a memory-size effect.
+    #[must_use]
+    pub fn total_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.total_capacity = bytes;
+        self
+    }
+
+    /// Sets every replica's eviction policy (default: the cache's default,
+    /// Marconi's auto-tuned FLOP-aware policy).
+    #[must_use]
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets every replica's SSM checkpoint mode (default
+    /// [`CheckpointMode::Exact`]).
+    #[must_use]
+    pub fn checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint_mode = mode;
+        self
+    }
+
+    /// Sets the per-replica device model.
+    #[must_use]
+    pub fn gpu(mut self, gpu: GpuModel) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Selects a built-in routing policy (default
+    /// [`RoutingPolicy::PrefixAware`]).
+    #[must_use]
+    pub fn routing(mut self, policy: RoutingPolicy) -> Self {
+        self.router = Some(policy.build());
+        self
+    }
+
+    /// Installs a custom router.
+    #[must_use]
+    pub fn router(mut self, router: Box<dyn Router>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> Cluster {
+        let per_replica = self.total_capacity / self.replicas as u64;
+        let replicas = (0..self.replicas)
+            .map(|_| {
+                HybridPrefixCache::builder(self.model.clone())
+                    .capacity_bytes(per_replica)
+                    .policy(self.policy.clone())
+                    .checkpoint_mode(self.checkpoint_mode)
+                    .build()
+            })
+            .collect();
+        Cluster {
+            replicas,
+            router: self
+                .router
+                .unwrap_or_else(|| RoutingPolicy::PrefixAware.build()),
+            gpu: self.gpu,
+        }
+    }
+}
+
+/// Result of one [`Cluster::run`]: per-replica breakdowns plus the
+/// assignment log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Router name the run used.
+    pub router: String,
+    /// Trace name the run used.
+    pub trace: String,
+    /// One [`SimReport`] per replica (system names carry the replica
+    /// index, e.g. `marconi[2]`), covering this run's requests only.
+    pub replicas: Vec<SimReport>,
+    /// Replica index each request was routed to, in arrival order — the
+    /// determinism tests compare these logs across identical replays.
+    pub assignments: Vec<usize>,
+}
+
+impl ClusterReport {
+    /// Cluster-wide cache statistics: the per-replica counters summed.
+    ///
+    /// `peak_usage_bytes` is the sum of per-replica peaks (replicas peak at
+    /// different times, so this bounds — rather than equals — the true
+    /// simultaneous peak).
+    #[must_use]
+    pub fn aggregate_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for rep in &self.replicas {
+            let s = &rep.cache_stats;
+            total.lookups += s.lookups;
+            total.hits += s.hits;
+            total.input_tokens += s.input_tokens;
+            total.hit_tokens += s.hit_tokens;
+            total.flops_saved += s.flops_saved;
+            total.insertions += s.insertions;
+            total.ssm_states_admitted += s.ssm_states_admitted;
+            total.evictions += s.evictions;
+            total.bytes_evicted += s.bytes_evicted;
+            total.peak_usage_bytes += s.peak_usage_bytes;
+        }
+        total
+    }
+
+    /// Cluster-wide token hit rate: hit tokens over input tokens, summed
+    /// across replicas.
+    #[must_use]
+    pub fn aggregate_token_hit_rate(&self) -> f64 {
+        self.aggregate_stats().token_hit_rate()
+    }
+
+    /// Total prefill FLOPs saved across all replicas.
+    #[must_use]
+    pub fn total_flops_saved(&self) -> u128 {
+        self.replicas.iter().map(SimReport::total_flops_saved).sum()
+    }
+
+    /// Input tokens routed to each replica during this run.
+    #[must_use]
+    pub fn replica_loads(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.cache_stats.input_tokens)
+            .collect()
+    }
+
+    /// Requests routed to each replica during this run.
+    #[must_use]
+    pub fn assignment_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.replicas.len()];
+        for &idx in &self.assignments {
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Load-imbalance statistics over per-replica routed input tokens.
+    #[must_use]
+    pub fn load_imbalance(&self) -> Option<LoadImbalance> {
+        let loads: Vec<f64> = self.replica_loads().iter().map(|&t| t as f64).collect();
+        LoadImbalance::new(&loads)
+    }
+
+    /// All per-request TTFTs across replicas, in global arrival order.
+    #[must_use]
+    pub fn ttfts_ms(&self) -> Vec<f64> {
+        let mut with_ids: Vec<(u64, f64)> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.records.iter().map(|rec| (rec.id, rec.ttft_ms)))
+            .collect();
+        with_ids.sort_by_key(|&(id, _)| id);
+        with_ids.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use marconi_workload::{DatasetKind, TraceGenerator};
+
+    fn multi_tenant_trace(seed: u64) -> Trace {
+        TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(24)
+            .tenants(6)
+            .seed(seed)
+            .generate()
+    }
+
+    fn cluster(n: usize, policy: RoutingPolicy, capacity: u64) -> Cluster {
+        Cluster::builder(ModelConfig::hybrid_7b())
+            .replicas(n)
+            .total_capacity_bytes(capacity)
+            .policy(EvictionPolicy::Lru)
+            .routing(policy)
+            .build()
+    }
+
+    #[test]
+    fn n1_cluster_reproduces_single_node_engine_under_every_router() {
+        // The parity anchor: a cluster of one replica is the single-node
+        // simulator, byte for byte, regardless of router — so everything
+        // the paper-claims suite establishes about the engine transfers.
+        let trace = multi_tenant_trace(11);
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::FlopAware { alpha: 2.0 },
+            EvictionPolicy::default(), // Marconi auto-tuned
+        ] {
+            let capacity = 4 << 30;
+            let mut engine = Engine::new(
+                HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                    .capacity_bytes(capacity)
+                    .policy(policy.clone())
+                    .build(),
+                GpuModel::a100_x4(),
+            );
+            let single = engine.run(&trace);
+            for routing in RoutingPolicy::ALL {
+                let mut c = Cluster::builder(ModelConfig::hybrid_7b())
+                    .replicas(1)
+                    .total_capacity_bytes(capacity)
+                    .policy(policy.clone())
+                    .routing(routing)
+                    .build();
+                let report = c.run(&trace);
+                assert_eq!(
+                    report.replicas[0].cache_stats, single.cache_stats,
+                    "{routing}/{policy}: CacheStats must be byte-identical"
+                );
+                assert_eq!(
+                    report.replicas[0].records, single.records,
+                    "{routing}/{policy}: per-request records must match"
+                );
+                assert!(report.assignments.iter().all(|&i| i == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn routers_are_deterministic_across_replays() {
+        let trace = multi_tenant_trace(7);
+        for routing in RoutingPolicy::ALL {
+            let run = || {
+                let mut c = cluster(4, routing, 8 << 30);
+                c.run(&trace)
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.assignments, b.assignments, "{routing}: assignment log");
+            assert_eq!(a, b, "{routing}: full report");
+        }
+    }
+
+    #[test]
+    fn prefix_aware_beats_session_affinity_beats_round_robin() {
+        // The acceptance-criteria assertion: on a seeded multi-tenant trace
+        // at N=4, prefix-aware routing achieves strictly higher aggregate
+        // token hit rate than round-robin. Session affinity sits between:
+        // it preserves within-session reuse but scatters tenants.
+        let trace = multi_tenant_trace(42);
+        let rate = |routing: RoutingPolicy| {
+            let mut c = cluster(4, routing, 16 << 30);
+            c.run(&trace).aggregate_token_hit_rate()
+        };
+        let rr = rate(RoutingPolicy::RoundRobin);
+        let sa = rate(RoutingPolicy::SessionAffinity);
+        let pa = rate(RoutingPolicy::PrefixAware);
+        assert!(
+            pa > rr,
+            "prefix-aware ({pa:.3}) must beat round-robin ({rr:.3})"
+        );
+        assert!(
+            sa > rr,
+            "session affinity ({sa:.3}) must beat round-robin ({rr:.3})"
+        );
+        assert!(
+            pa >= sa,
+            "prefix-aware ({pa:.3}) must not lose to session affinity ({sa:.3})"
+        );
+    }
+
+    #[test]
+    fn losing_replicas_are_untouched_by_prefix_probes() {
+        // The probe-side regression: routing a request away from a replica
+        // must leave that replica byte-identical, even though the router
+        // probed its tree.
+        let model = ModelConfig::hybrid_7b();
+        let mut c = Cluster::builder(model.clone())
+            .replicas(2)
+            .total_capacity_bytes(8 << 30)
+            .policy(EvictionPolicy::Lru)
+            .routing(RoutingPolicy::PrefixAware)
+            .build();
+        let session_a: Vec<Token> = (0..400).collect();
+        let session_b: Vec<Token> = (100_000..100_400).collect();
+        let mk = |id, session_id, input: &[Token]| Request {
+            id,
+            session_id,
+            tenant_id: session_id,
+            turn: 0,
+            arrival: id as f64,
+            input: input.to_vec(),
+            output: (200_000..200_032).collect(),
+        };
+        // Request 0 (session A) → replica 0 (all probes 0, least loaded,
+        // lowest index); request 1 (session B, no shared prefix) → replica 1
+        // (least loaded).
+        let warmup = Trace {
+            name: "warmup".into(),
+            requests: vec![mk(0, 0, &session_a), mk(1, 1, &session_b)],
+        };
+        assert_eq!(c.run(&warmup).assignments, vec![0, 1]);
+
+        let loser_stats = *c.replica_cache(1).stats();
+        let loser_usage = c.replica_cache(1).usage_bytes();
+        let loser_nodes = c.replica_cache(1).node_count();
+        let loser_states = c.replica_cache(1).ssm_state_count();
+
+        // Session A's second turn: probing finds its history on replica 0,
+        // so replica 1 is probed and loses.
+        let mut resume = session_a.clone();
+        resume.extend(200_000..200_032);
+        resume.extend(300_000..300_040);
+        let turn2 = Trace {
+            name: "turn2".into(),
+            requests: vec![mk(2, 0, &resume)],
+        };
+        let report = c.run(&turn2);
+        assert_eq!(report.assignments, vec![0], "history lives on replica 0");
+        assert!(
+            report.replicas[0].cache_stats.hit_tokens > 0,
+            "the winning replica serves the resume from cache"
+        );
+        assert_eq!(
+            *c.replica_cache(1).stats(),
+            loser_stats,
+            "losing replica's stats must not move"
+        );
+        assert_eq!(c.replica_cache(1).usage_bytes(), loser_usage);
+        assert_eq!(c.replica_cache(1).node_count(), loser_nodes);
+        assert_eq!(c.replica_cache(1).ssm_state_count(), loser_states);
+    }
+
+    #[test]
+    fn capacity_is_sliced_evenly_across_replicas() {
+        let c = cluster(4, RoutingPolicy::RoundRobin, 16 << 30);
+        for i in 0..4 {
+            assert_eq!(c.replica_cache(i).capacity_bytes(), 4 << 30);
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_request_counts() {
+        let trace = multi_tenant_trace(3);
+        let mut c = cluster(4, RoutingPolicy::RoundRobin, 8 << 30);
+        let report = c.run(&trace);
+        let counts = report.assignment_counts();
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "round-robin counts differ: {counts:?}");
+        let imbalance = report.load_imbalance().unwrap();
+        assert!(imbalance.factor() >= 1.0);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_replica_counters() {
+        let trace = multi_tenant_trace(9);
+        let mut c = cluster(4, RoutingPolicy::SessionAffinity, 8 << 30);
+        let report = c.run(&trace);
+        let agg = report.aggregate_stats();
+        assert_eq!(agg.lookups, trace.len() as u64);
+        assert_eq!(agg.input_tokens, trace.total_input_tokens());
+        assert_eq!(
+            agg.lookups,
+            report
+                .replicas
+                .iter()
+                .map(|r| r.cache_stats.lookups)
+                .sum::<u64>()
+        );
+        assert_eq!(report.ttfts_ms().len(), trace.len());
+    }
+}

@@ -12,6 +12,12 @@
 //! every baseline (vanilla, vLLM+, SGLang+, and the offline static-α
 //! oracle) for the paper's end-to-end experiments.
 //!
+//! Beyond the paper's single-replica setting, the [`cluster`] module shards
+//! the cache across N replicas behind a pluggable [`Router`] (round-robin,
+//! session-affinity, or prefix-aware placement) to study how much prefix
+//! reuse survives at cluster scale; see `ARCHITECTURE.md` for the layer's
+//! contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,11 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod comparison;
 mod engine;
 mod gpu;
 mod report;
 
+pub use cluster::{
+    Cluster, ClusterBuilder, ClusterReport, PrefixAware, ReplicaStatus, RoundRobin, Router,
+    RoutingPolicy, SessionAffinity,
+};
 pub use comparison::{Comparison, ComparisonResult, SystemKind};
 pub use engine::Engine;
 pub use gpu::GpuModel;

@@ -43,19 +43,21 @@ pub struct TraceGenerator {
     kind: DatasetKind,
     spec: SessionSpec,
     sessions: usize,
+    tenants: usize,
     arrival: ArrivalConfig,
     seed: u64,
 }
 
 impl TraceGenerator {
     /// Creates a generator for the dataset family with its default spec,
-    /// 50 sessions, default arrivals, and seed 0.
+    /// 50 sessions, one tenant, default arrivals, and seed 0.
     #[must_use]
     pub fn new(kind: DatasetKind) -> Self {
         TraceGenerator {
             kind,
             spec: kind.spec(),
             sessions: 50,
+            tenants: 1,
             arrival: ArrivalConfig::default(),
             seed: 0,
         }
@@ -72,6 +74,32 @@ impl TraceGenerator {
     #[must_use]
     pub fn sessions(mut self, sessions: usize) -> Self {
         self.sessions = sessions;
+        self
+    }
+
+    /// Sets the number of tenants (default 1), enabling the multi-tenant
+    /// trace mode.
+    ///
+    /// Each tenant draws from its **own** pool of `prompt_pool` system
+    /// prompts, and sessions are interleaved across tenants round-robin
+    /// (`tenant = session_id % tenants`). Prefix reuse across sessions
+    /// therefore only exists *within* a tenant — the workload structure
+    /// under which cluster routing policies (`marconi-sim`'s `cluster`
+    /// module) actually differ: a router that co-locates a tenant's
+    /// sessions on one replica preserves cross-session prompt reuse that
+    /// scattering destroys.
+    ///
+    /// With `tenants == 1` the generator is byte-identical to the
+    /// single-tenant mode (same RNG stream, same trace name), so every
+    /// seeded trace predating this knob is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is zero.
+    #[must_use]
+    pub fn tenants(mut self, tenants: usize) -> Self {
+        assert!(tenants > 0, "at least one tenant is required");
+        self.tenants = tenants;
         self
     }
 
@@ -96,16 +124,26 @@ impl TraceGenerator {
         let spec = &self.spec;
 
         // Shared system prompts: the cross-session, purely-input prefixes.
-        let prompts: Vec<Vec<Token>> = (0..spec.prompt_pool)
+        // One pool per tenant, drawn sequentially so the single-tenant case
+        // consumes the RNG stream exactly as it always has (the seeded
+        // traces every downstream test is calibrated against must not
+        // shift).
+        let pools: Vec<Vec<Vec<Token>>> = (0..self.tenants)
             .map(|_| {
-                let len = spec.prompt_len.sample(&mut rng);
-                fresh_segment(&mut rng, len)
+                (0..spec.prompt_pool)
+                    .map(|_| {
+                        let len = spec.prompt_len.sample(&mut rng);
+                        fresh_segment(&mut rng, len)
+                    })
+                    .collect()
             })
             .collect();
 
         let mut requests = Vec::new();
         let mut session_start = 0.0f64;
         for session_id in 0..self.sessions as u64 {
+            let tenant_id = session_id % self.tenants as u64;
+            let prompts = &pools[tenant_id as usize];
             session_start += self.arrival.next_session_gap(&mut rng);
             let turns = spec.turns.sample(&mut rng).max(1) as u32;
 
@@ -129,6 +167,7 @@ impl TraceGenerator {
                 requests.push(Request {
                     id: 0, // assigned after the arrival sort
                     session_id,
+                    tenant_id,
                     turn,
                     arrival: at,
                     input: input.clone(),
@@ -151,11 +190,19 @@ impl TraceGenerator {
         for (i, r) in requests.iter_mut().enumerate() {
             r.id = i as u64;
         }
+        // The tenant tag appears only in multi-tenant mode so pre-existing
+        // trace names (keys into golden expectations) are unchanged.
+        let tenant_tag = if self.tenants > 1 {
+            format!("-x{}", self.tenants)
+        } else {
+            String::new()
+        };
         Trace {
             name: format!(
-                "{}-s{}-r{:.2}-t{:.1}-seed{}",
+                "{}-s{}{}-r{:.2}-t{:.1}-seed{}",
                 self.kind,
                 self.sessions,
+                tenant_tag,
                 self.arrival.sessions_per_second,
                 self.arrival.mean_response_time,
                 self.seed
@@ -307,6 +354,90 @@ mod tests {
             .generate();
         // Same sessions arrive in a quarter of the wall-clock span.
         assert!(fast.duration() < slow.duration());
+    }
+
+    /// Longest common prefix of two token sequences.
+    fn lcp(a: &[Token], b: &[Token]) -> usize {
+        a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+    }
+
+    #[test]
+    fn multi_tenant_interleaves_sessions_round_robin() {
+        let t = TraceGenerator::new(DatasetKind::SweBench)
+            .sessions(12)
+            .tenants(4)
+            .seed(5)
+            .generate();
+        assert_eq!(t.tenant_count(), 4);
+        for r in &t.requests {
+            assert_eq!(r.tenant_id, r.session_id % 4);
+        }
+    }
+
+    #[test]
+    fn tenant_prompts_are_shared_within_but_not_across_tenants() {
+        // SWE-Bench always carries a prompt (no_prompt_prob = 0), so every
+        // session's first input starts with one of its tenant's prompts.
+        let t = TraceGenerator::new(DatasetKind::SweBench)
+            .sessions(24)
+            .tenants(4)
+            .seed(8)
+            .generate();
+        let firsts: Vec<&Request> = t.requests.iter().filter(|r| r.turn == 0).collect();
+        let mut within = 0usize;
+        for i in 0..firsts.len() {
+            for j in i + 1..firsts.len() {
+                let common = lcp(&firsts[i].input, &firsts[j].input);
+                if firsts[i].tenant_id == firsts[j].tenant_id {
+                    within += usize::from(common >= 900);
+                } else {
+                    // Fresh segments draw from a 50k vocabulary: any long
+                    // shared run across tenants would mean pools leaked.
+                    assert!(
+                        common < 30,
+                        "tenants {} and {} share a {}-token prefix",
+                        firsts[i].tenant_id,
+                        firsts[j].tenant_id,
+                        common
+                    );
+                }
+            }
+        }
+        assert!(within > 0, "same-tenant sessions must share prompts");
+    }
+
+    #[test]
+    fn single_tenant_mode_is_byte_identical_to_default() {
+        // `.tenants(1)` must not disturb the RNG stream: every seeded trace
+        // generated before this knob existed is pinned by downstream tests.
+        let default = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(15)
+            .seed(4)
+            .generate();
+        let explicit = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(15)
+            .tenants(1)
+            .seed(4)
+            .generate();
+        assert_eq!(default, explicit);
+        assert_eq!(default.name, explicit.name);
+        assert!(default.requests.iter().all(|r| r.tenant_id == 0));
+    }
+
+    #[test]
+    fn multi_tenant_trace_name_carries_the_tenant_tag() {
+        let t = TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(8)
+            .tenants(4)
+            .seed(2)
+            .generate();
+        assert!(t.name.contains("-x4"), "got {}", t.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenants_rejected() {
+        let _ = TraceGenerator::new(DatasetKind::ShareGpt).tenants(0);
     }
 
     #[test]

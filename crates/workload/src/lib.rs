@@ -18,7 +18,11 @@
 //!   outputs, mostly < 2K-token sequences; SWE-Bench: very wide input
 //!   distribution from hundreds to tens of thousands of tokens);
 //! * arrival dynamics — Poisson session arrivals and exponential think
-//!   times between turns, the two knobs of the paper's Fig. 13.
+//!   times between turns, the two knobs of the paper's Fig. 13;
+//! * an optional multi-tenant mode ([`TraceGenerator::tenants`]) that
+//!   interleaves sessions across tenants with per-tenant prompt pools, the
+//!   workload under which cluster routing policies (`marconi-sim`)
+//!   actually differ.
 //!
 //! All randomness flows from a single `u64` seed: the same seed always
 //! produces the identical trace.

@@ -11,6 +11,15 @@ pub struct Request {
     pub id: u64,
     /// Session this request belongs to.
     pub session_id: u64,
+    /// Tenant the session belongs to (0 for single-tenant traces).
+    ///
+    /// In multi-tenant traces ([`TraceGenerator::tenants`]), sessions of the
+    /// same tenant share that tenant's system-prompt pool, so cross-session
+    /// prefix reuse exists *within* a tenant but not across tenants — the
+    /// structure that makes cluster routing policies distinguishable.
+    ///
+    /// [`TraceGenerator::tenants`]: crate::TraceGenerator::tenants
+    pub tenant_id: u64,
     /// Zero-based turn number within the session.
     pub turn: u32,
     /// Arrival time in seconds from trace start.
@@ -99,6 +108,15 @@ impl Trace {
         ids.len()
     }
 
+    /// Number of distinct tenants (1 for single-tenant traces).
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.requests.iter().map(|r| r.tenant_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
     /// Checks arrival ordering and id consistency; for tests.
     ///
     /// # Panics
@@ -125,6 +143,7 @@ mod tests {
         Request {
             id,
             session_id: 0,
+            tenant_id: 0,
             turn: 0,
             arrival,
             input: (0..input as u32).collect(),

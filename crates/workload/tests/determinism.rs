@@ -25,6 +25,7 @@ fn encode(trace: &Trace) -> Vec<u8> {
     for r in &trace.requests {
         bytes.extend_from_slice(&r.id.to_le_bytes());
         bytes.extend_from_slice(&r.session_id.to_le_bytes());
+        bytes.extend_from_slice(&r.tenant_id.to_le_bytes());
         bytes.extend_from_slice(&r.turn.to_le_bytes());
         bytes.extend_from_slice(&r.arrival.to_bits().to_le_bytes());
         bytes.extend_from_slice(&(r.input.len() as u64).to_le_bytes());
@@ -75,6 +76,21 @@ fn builder_order_does_not_affect_the_trace() {
         .sessions(10)
         .generate();
     assert_eq!(encode(&a), encode(&b));
+}
+
+#[test]
+fn multi_tenant_traces_are_byte_identical_across_runs() {
+    for seed in [0u64, 21, 1234] {
+        let make = || {
+            TraceGenerator::new(DatasetKind::ShareGpt)
+                .sessions(16)
+                .tenants(4)
+                .arrival(ArrivalConfig::new(1.0, 6.0))
+                .seed(seed)
+                .generate()
+        };
+        assert_eq!(encode(&make()), encode(&make()), "seed {seed}");
+    }
 }
 
 #[test]

@@ -77,6 +77,8 @@ pub mod prelude {
     pub use marconi_metrics::{BoxStats, Cdf, Percentiles, Summary};
     pub use marconi_model::{FlopBreakdown, LayerKind, ModelConfig, StateFootprint};
     pub use marconi_radix::{RadixTree, Token};
-    pub use marconi_sim::{Comparison, Engine, GpuModel, RequestRecord, SimReport};
+    pub use marconi_sim::{
+        Cluster, ClusterReport, Comparison, Engine, GpuModel, RequestRecord, Router, SimReport,
+    };
     pub use marconi_workload::{ArrivalConfig, DatasetKind, Request, Trace, TraceGenerator};
 }

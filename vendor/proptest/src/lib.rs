@@ -1,9 +1,10 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest API this workspace's property tests
-//! use: the [`proptest!`] macro, [`Strategy`] with [`Strategy::prop_map`],
-//! integer-range and tuple strategies, [`collection::vec`],
-//! [`sample::Index`], [`arbitrary::any`], and `ProptestConfig::with_cases`.
+//! use: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! [`prop_map`](strategy::Strategy::prop_map), integer-range and tuple
+//! strategies, [`collection::vec()`], [`sample::Index`],
+//! [`arbitrary::any`], and `ProptestConfig::with_cases`.
 //!
 //! Differences from the real crate, by design:
 //!
@@ -190,7 +191,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
