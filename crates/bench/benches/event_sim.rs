@@ -1,0 +1,87 @@
+//! Criterion bench for the discrete-event serving simulator.
+//!
+//! Measures wall time of `EventSim::run` — the full virtual-clock loop:
+//! FIFO admission, chunked-prefill/decode iteration scheduling, cache
+//! lookups at admission and insertions at completion — on a seeded
+//! ShareGPT-like trace, in both service modes:
+//!
+//! * `modeled/saturated`: arrivals compressed 20× over a 4×A100 device, so
+//!   queues form and the batch stays full (the regime docs/latency.md
+//!   studies);
+//! * `instantaneous`: the zero-load parity limit (most iterations, one per
+//!   decode token, no batching overlap).
+//!
+//! A `event_sim/[sweep]` line per configuration prints simulated events
+//! (iterations) and requests per wall-second. The CI smoke run uses the
+//! default size (~10k events); set `EVENT_SIM_FULL=1` for the ~100k-event
+//! trace.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use marconi_core::{EvictionPolicy, HybridPrefixCache};
+use marconi_model::ModelConfig;
+use marconi_sim::{EventSim, GpuModel};
+use marconi_workload::{DatasetKind, Trace, TraceGenerator};
+use std::time::Instant;
+
+fn trace() -> Trace {
+    let sessions = if std::env::var("EVENT_SIM_FULL").is_ok() {
+        160
+    } else {
+        40
+    };
+    TraceGenerator::new(DatasetKind::ShareGpt)
+        .sessions(sessions)
+        .seed(29)
+        .generate()
+}
+
+fn cache() -> HybridPrefixCache {
+    HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+        .capacity_bytes(4 << 30)
+        .policy(EvictionPolicy::FlopAware { alpha: 2.0 })
+        .build()
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let base = trace();
+    let saturated = base.time_scaled(20.0);
+    let mut group = c.benchmark_group("event_sim");
+    group.sample_size(10);
+    group.bench_function("modeled/saturated", |b| {
+        b.iter(|| {
+            let mut sim = EventSim::new(cache(), GpuModel::a100_x4());
+            black_box(sim.run(&saturated).cache_stats.hit_tokens)
+        });
+    });
+    group.bench_function("instantaneous", |b| {
+        b.iter(|| {
+            let mut sim = EventSim::instantaneous(cache());
+            black_box(sim.run(&base).cache_stats.hit_tokens)
+        });
+    });
+    group.finish();
+
+    for (label, t, modeled) in [
+        ("modeled/saturated", &saturated, true),
+        ("instantaneous", &base, false),
+    ] {
+        let mut sim = if modeled {
+            EventSim::new(cache(), GpuModel::a100_x4())
+        } else {
+            EventSim::instantaneous(cache())
+        };
+        let started = Instant::now();
+        let report = sim.run(t);
+        let wall = started.elapsed().as_secs_f64();
+        println!(
+            "event_sim/[sweep] {label}: {} requests, {} events, {:.0} req/s, {:.2e} events/s",
+            report.records.len(),
+            report.iterations,
+            report.records.len() as f64 / wall,
+            report.iterations as f64 / wall,
+        );
+    }
+}
+
+criterion_group!(benches, bench_event_sim);
+criterion_main!(benches);

@@ -51,6 +51,23 @@ impl CacheStats {
         self.hits as f64 / self.lookups as f64
     }
 
+    /// Adds another replica's counters into this one — the cluster-level
+    /// aggregation. `peak_usage_bytes` is summed: replicas peak at
+    /// different times, so the sum *bounds* (rather than equals) the true
+    /// simultaneous peak.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.input_tokens += other.input_tokens;
+        self.hit_tokens += other.hit_tokens;
+        self.flops_saved += other.flops_saved;
+        self.insertions += other.insertions;
+        self.ssm_states_admitted += other.ssm_states_admitted;
+        self.evictions += other.evictions;
+        self.bytes_evicted += other.bytes_evicted;
+        self.peak_usage_bytes += other.peak_usage_bytes;
+    }
+
     /// Difference of this snapshot against an earlier one; used by the α
     /// tuner to score a replay window.
     #[must_use]
@@ -123,6 +140,31 @@ mod tests {
         assert_eq!(d.lookups, 15);
         assert_eq!(d.input_tokens, 200);
         assert!((d.token_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_counters() {
+        let mut total = CacheStats::default();
+        let a = CacheStats {
+            lookups: 3,
+            input_tokens: 100,
+            hit_tokens: 40,
+            peak_usage_bytes: 7,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            lookups: 2,
+            input_tokens: 50,
+            hit_tokens: 10,
+            peak_usage_bytes: 5,
+            ..CacheStats::default()
+        };
+        total.accumulate(&a);
+        total.accumulate(&b);
+        assert_eq!(total.lookups, 5);
+        assert_eq!(total.input_tokens, 150);
+        assert_eq!(total.hit_tokens, 50);
+        assert_eq!(total.peak_usage_bytes, 12);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! Marconi evaluation reports: order-statistic percentiles (P5/P50/P95
 //! TTFT), empirical CDFs (Fig. 9, Fig. 10b), five-number box statistics
 //! with P5/P95 whiskers (Fig. 7), binned means (Fig. 10a), running
-//! summaries, and load-imbalance statistics for the sharded-cluster
-//! experiments ([`LoadImbalance`]).
+//! summaries, load-imbalance statistics for the sharded-cluster
+//! experiments ([`LoadImbalance`]), and the latency distribution view
+//! every serving report shares ([`LatencySummary`], with SLO attainment
+//! via [`Percentiles::fraction_le`]).
 //!
 //! # Examples
 //!
@@ -24,6 +26,7 @@ mod binned;
 mod boxstats;
 mod cdf;
 mod imbalance;
+mod latency;
 mod percentile;
 mod summary;
 
@@ -31,5 +34,6 @@ pub use binned::BinnedMean;
 pub use boxstats::BoxStats;
 pub use cdf::Cdf;
 pub use imbalance::LoadImbalance;
+pub use latency::LatencySummary;
 pub use percentile::Percentiles;
 pub use summary::Summary;

@@ -121,6 +121,25 @@ impl Percentiles {
     pub fn sorted_values(&self) -> &[f64] {
         &self.sorted
     }
+
+    /// Fraction of samples `≤ threshold` — SLO attainment when the sample
+    /// is a latency distribution and `threshold` the SLO.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marconi_metrics::Percentiles;
+    ///
+    /// let p = Percentiles::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+    /// assert_eq!(p.fraction_le(25.0), 0.5);
+    /// assert_eq!(p.fraction_le(5.0), 0.0);
+    /// assert_eq!(p.fraction_le(40.0), 1.0);
+    /// ```
+    #[must_use]
+    pub fn fraction_le(&self, threshold: f64) -> f64 {
+        let met = self.sorted.partition_point(|&v| v <= threshold);
+        met as f64 / self.sorted.len() as f64
+    }
 }
 
 #[cfg(test)]

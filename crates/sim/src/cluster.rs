@@ -14,7 +14,10 @@
 //! * [`PrefixAware`] — probes every replica's radix tree for the longest
 //!   reusable cached prefix (via the non-mutating
 //!   [`PrefixCache::longest_cached_prefix_len`]) and routes to the best
-//!   match, breaking ties toward the least-loaded replica.
+//!   match, breaking ties toward the least-loaded replica;
+//! * [`QueueAware`] — like [`PrefixAware`], but ties break toward the
+//!   fewest outstanding queued tokens — meaningful under the event-driven
+//!   [`EventCluster`](crate::EventCluster), where queues actually form.
 //!
 //! An N=1 cluster reproduces the single-node [`Engine`](crate::Engine)
 //! byte-for-byte under every router (the parity tests below pin this), so
@@ -35,13 +38,35 @@ use std::fmt;
 pub struct ReplicaStatus<'a> {
     index: usize,
     cache: &'a HybridPrefixCache,
+    queued_tokens: u64,
 }
 
-impl ReplicaStatus<'_> {
+impl<'a> ReplicaStatus<'a> {
+    /// Builds the router-facing view of one replica. `queued_tokens` is the
+    /// replica's outstanding prefill backlog; the instantaneous
+    /// [`Cluster`] always passes 0 (its queues never form), the
+    /// event-driven [`EventCluster`](crate::EventCluster) passes live
+    /// queue depth.
+    pub(crate) fn new(index: usize, cache: &'a HybridPrefixCache, queued_tokens: u64) -> Self {
+        ReplicaStatus {
+            index,
+            cache,
+            queued_tokens,
+        }
+    }
+
     /// This replica's index in the cluster.
     #[must_use]
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Outstanding prefill backlog in tokens: inputs waiting in the
+    /// replica's admission queue plus un-prefilled remainders of its
+    /// running batch. Always 0 under the instantaneous [`Cluster`].
+    #[must_use]
+    pub fn queued_tokens(&self) -> u64 {
+        self.queued_tokens
     }
 
     /// Longest reusable cached prefix of `input` on this replica, in
@@ -80,8 +105,8 @@ impl ReplicaStatus<'_> {
 ///
 /// Implementations must be deterministic — same request sequence and same
 /// replica states must produce the same assignment — so cluster replays are
-/// reproducible (the seeded-determinism tests enforce this for the three
-/// built-in routers).
+/// reproducible (the seeded-determinism tests enforce this for every
+/// built-in router).
 pub trait Router: fmt::Debug {
     /// Human-readable policy name (used in reports).
     fn name(&self) -> &str;
@@ -170,6 +195,44 @@ impl Router for PrefixAware {
     }
 }
 
+/// Queue-aware routing: probe every replica for the longest reusable
+/// cached prefix (like [`PrefixAware`]) but break ties toward the replica
+/// with the fewest *outstanding queued tokens*, then fewest routed
+/// tokens, then the lowest index.
+///
+/// Under the instantaneous [`Cluster`] every queue reads 0 and this
+/// degenerates to exactly [`PrefixAware`]; under the event-driven
+/// [`EventCluster`](crate::EventCluster) it is the policy that finally
+/// trades prefix locality against real-time load — a deep cached prefix
+/// on a replica with a long backlog can still win, but among equally-warm
+/// replicas the request joins the shortest queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueAware;
+
+impl Router for QueueAware {
+    fn name(&self) -> &str {
+        "queue-aware"
+    }
+
+    fn route(&mut self, req: &Request, replicas: &[ReplicaStatus<'_>]) -> usize {
+        replicas
+            .iter()
+            .map(|r| (r.probe(&req.input), r))
+            .max_by(|(pa, a), (pb, b)| {
+                pa.cmp(pb)
+                    .then(b.queued_tokens.cmp(&a.queued_tokens))
+                    // Queues tie (e.g. an idle fleet, or the instantaneous
+                    // cluster where depth is always 0): spread by
+                    // cumulative routed load like `PrefixAware`, so the
+                    // policy never funnels cold traffic to replica 0.
+                    .then(b.routed_tokens().cmp(&a.routed_tokens()))
+                    .then(b.index.cmp(&a.index))
+            })
+            .map(|(_, r)| r.index)
+            .expect("clusters have at least one replica")
+    }
+}
+
 /// The built-in routing policies, for sweeps and builders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoutingPolicy {
@@ -179,14 +242,17 @@ pub enum RoutingPolicy {
     SessionAffinity,
     /// [`PrefixAware`].
     PrefixAware,
+    /// [`QueueAware`].
+    QueueAware,
 }
 
 impl RoutingPolicy {
     /// All built-in policies, weakest locality first.
-    pub const ALL: [RoutingPolicy; 3] = [
+    pub const ALL: [RoutingPolicy; 4] = [
         RoutingPolicy::RoundRobin,
         RoutingPolicy::SessionAffinity,
         RoutingPolicy::PrefixAware,
+        RoutingPolicy::QueueAware,
     ];
 
     /// Instantiates the router.
@@ -196,6 +262,7 @@ impl RoutingPolicy {
             RoutingPolicy::RoundRobin => Box::new(RoundRobin::default()),
             RoutingPolicy::SessionAffinity => Box::new(SessionAffinity),
             RoutingPolicy::PrefixAware => Box::new(PrefixAware),
+            RoutingPolicy::QueueAware => Box::new(QueueAware),
         }
     }
 }
@@ -206,6 +273,7 @@ impl fmt::Display for RoutingPolicy {
             RoutingPolicy::RoundRobin => "round-robin",
             RoutingPolicy::SessionAffinity => "session-affinity",
             RoutingPolicy::PrefixAware => "prefix-aware",
+            RoutingPolicy::QueueAware => "queue-aware",
         };
         f.write_str(name)
     }
@@ -304,7 +372,7 @@ impl Cluster {
                 .replicas
                 .iter()
                 .enumerate()
-                .map(|(index, cache)| ReplicaStatus { index, cache })
+                .map(|(index, cache)| ReplicaStatus::new(index, cache, 0))
                 .collect();
             let idx = self.router.route(req, &statuses);
             assert!(
@@ -429,24 +497,46 @@ impl ClusterBuilder {
 
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
-        let per_replica = self.total_capacity / self.replicas as u64;
-        let replicas = (0..self.replicas)
-            .map(|_| {
-                HybridPrefixCache::builder(self.model.clone())
-                    .capacity_bytes(per_replica)
-                    .policy(self.policy.clone())
-                    .checkpoint_mode(self.checkpoint_mode)
-                    .build()
-            })
-            .collect();
         Cluster {
-            replicas,
+            replicas: build_replicas(
+                &self.model,
+                self.replicas,
+                self.total_capacity,
+                &self.policy,
+                self.checkpoint_mode,
+            ),
             router: self
                 .router
                 .unwrap_or_else(|| RoutingPolicy::PrefixAware.build()),
             gpu: self.gpu,
         }
     }
+}
+
+/// The one place replica caches are configured: every replica gets an
+/// equal `total / n` capacity slice and the same policy/checkpoint knobs.
+/// Shared by [`ClusterBuilder`] and
+/// [`EventClusterBuilder`](crate::EventClusterBuilder) so the
+/// instantaneous and event-driven clusters can never drift in how they
+/// construct replicas (the tuner-replica-fidelity lesson of PR 2: any new
+/// cache knob must flow through here to reach both).
+pub(crate) fn build_replicas(
+    model: &ModelConfig,
+    n: usize,
+    total_capacity: u64,
+    policy: &EvictionPolicy,
+    checkpoint_mode: CheckpointMode,
+) -> Vec<HybridPrefixCache> {
+    let per_replica = total_capacity / n as u64;
+    (0..n)
+        .map(|_| {
+            HybridPrefixCache::builder(model.clone())
+                .capacity_bytes(per_replica)
+                .policy(policy.clone())
+                .checkpoint_mode(checkpoint_mode)
+                .build()
+        })
+        .collect()
 }
 
 /// Result of one [`Cluster::run`]: per-replica breakdowns plus the
@@ -475,17 +565,7 @@ impl ClusterReport {
     pub fn aggregate_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for rep in &self.replicas {
-            let s = &rep.cache_stats;
-            total.lookups += s.lookups;
-            total.hits += s.hits;
-            total.input_tokens += s.input_tokens;
-            total.hit_tokens += s.hit_tokens;
-            total.flops_saved += s.flops_saved;
-            total.insertions += s.insertions;
-            total.ssm_states_admitted += s.ssm_states_admitted;
-            total.evictions += s.evictions;
-            total.bytes_evicted += s.bytes_evicted;
-            total.peak_usage_bytes += s.peak_usage_bytes;
+            total.accumulate(&rep.cache_stats);
         }
         total
     }
@@ -539,6 +619,12 @@ impl ClusterReport {
             .collect();
         with_ids.sort_by_key(|&(id, _)| id);
         with_ids.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Cluster-wide TTFT distribution summary; `None` for an empty run.
+    #[must_use]
+    pub fn ttft_summary(&self) -> Option<marconi_metrics::LatencySummary> {
+        marconi_metrics::LatencySummary::new(&self.ttfts_ms())
     }
 }
 
@@ -645,6 +731,23 @@ mod tests {
         assert!(
             pa >= sa,
             "prefix-aware ({pa:.3}) must not lose to session affinity ({sa:.3})"
+        );
+    }
+
+    #[test]
+    fn queue_aware_degenerates_to_prefix_aware_without_queues() {
+        // The instantaneous cluster never forms queues (queued_tokens is
+        // always 0), so queue-aware routing must reproduce prefix-aware
+        // assignments exactly — the queue tie-breaker only bites in the
+        // event-driven cluster.
+        let trace = multi_tenant_trace(5);
+        let run = |routing: RoutingPolicy| {
+            let mut c = cluster(4, routing, 8 << 30);
+            c.run(&trace).assignments
+        };
+        assert_eq!(
+            run(RoutingPolicy::QueueAware),
+            run(RoutingPolicy::PrefixAware)
         );
     }
 

@@ -1,0 +1,984 @@
+//! Discrete-event serving simulation: queueing, continuous batching, and
+//! load-dependent latency.
+//!
+//! The instantaneous [`Engine`](crate::Engine) replays traces with zero
+//! service time — arrival timestamps only *order* requests, so queueing
+//! delay, device occupancy, and the load regime where the paper's P95 TTFT
+//! reductions actually materialize are invisible. This module adds the
+//! missing layer: [`EventSim`] drives a trace through a virtual clock into
+//! a per-device FIFO admission queue and a continuous-batching
+//! [`executor`](crate::BatchConfig) (token-level scheduling: chunked
+//! prefill shared FIFO across the batch, one decode token per decoding
+//! request per iteration, completed requests free their slot mid-batch).
+//! Prefill cost is the *uncached* FLOPs left after the prefix-cache lookup
+//! at admission; decode cost comes from the same analytic
+//! [`GpuModel`]. A sequence enters the cache at
+//! **completion**, not arrival, so under load the cache sees the true
+//! serving interleaving.
+//!
+//! Determinism contract: the whole subsystem is a pure function of
+//! `(trace, cache configuration, BatchConfig, ServiceMode)` — no wall
+//! clock, no randomness anywhere; simultaneous events resolve executor
+//! events before arrivals, then by replica index, then FIFO. The
+//! zero-load anchor: [`ServiceMode::Instantaneous`] with empty queues
+//! reproduces the instantaneous `Engine` **byte-for-byte** (identical
+//! `CacheStats` and per-request hit tokens — the parity tests below and
+//! `ARCHITECTURE.md` pin this), so every claim established on the engine
+//! transfers to the event layer's zero-load limit.
+//!
+//! [`EventCluster`] shards the event layer across N replicas behind the
+//! same [`Router`] abstraction as the instantaneous cluster; the
+//! [`RoutingPolicy::QueueAware`] policy finally lets placement trade
+//! prefix locality against real-time queue depth.
+
+use crate::cluster::{ReplicaStatus, Router, RoutingPolicy};
+use crate::executor::{BatchConfig, Executor, ServiceMode};
+use crate::gpu::GpuModel;
+use marconi_core::{CacheStats, CheckpointMode, EvictionPolicy, HybridPrefixCache, PrefixCache};
+use marconi_metrics::{LatencySummary, Percentiles};
+use marconi_model::ModelConfig;
+use marconi_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One request's outcome in a discrete-event run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Request id (arrival order within the trace).
+    pub id: u64,
+    /// Session the request belonged to.
+    pub session_id: u64,
+    /// Arrival time in virtual seconds.
+    pub arrival: f64,
+    /// When the request left the FIFO queue for a batch slot.
+    pub admitted: f64,
+    /// When its last decode token finished (cache admission time).
+    pub completed: f64,
+    /// Prefill length in tokens.
+    pub input_len: u64,
+    /// Tokens served from cache at admission.
+    pub hit_tokens: u64,
+    /// Raw longest match ignoring SSM checkpoint constraints (diagnostic).
+    pub raw_matched: u64,
+    /// Queueing delay in milliseconds (admitted − arrival).
+    pub queue_ms: f64,
+    /// Time to first token in milliseconds: queueing delay + prefill
+    /// service (the load-dependent generalization of the engine's
+    /// analytic TTFT).
+    pub ttft_ms: f64,
+    /// End-to-end latency in milliseconds (completed − arrival).
+    pub e2e_ms: f64,
+    /// Prefill FLOPs actually spent.
+    pub flops_spent: u128,
+    /// Prefill FLOPs skipped thanks to the cache.
+    pub flops_saved: u128,
+}
+
+/// Aggregate result of one discrete-event run on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventReport {
+    /// System name (the cache's).
+    pub system: String,
+    /// Trace name the run used.
+    pub trace: String,
+    /// Per-request outcomes, sorted by request id (arrival order).
+    pub records: Vec<EventRecord>,
+    /// The cache's cumulative statistics after the run.
+    pub cache_stats: CacheStats,
+    /// Virtual seconds the device spent executing iterations.
+    pub busy_s: f64,
+    /// Batching iterations executed (the discrete-event count).
+    pub iterations: u64,
+    /// Virtual time of the last completion (trace start is 0).
+    pub makespan_s: f64,
+}
+
+impl EventReport {
+    /// Per-request TTFTs in milliseconds, in arrival order.
+    #[must_use]
+    pub fn ttfts_ms(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.ttft_ms).collect()
+    }
+
+    /// Per-request queueing delays in milliseconds, in arrival order.
+    #[must_use]
+    pub fn queue_delays_ms(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.queue_ms).collect()
+    }
+
+    /// TTFT percentile in milliseconds; `None` for an empty run.
+    #[must_use]
+    pub fn ttft_percentile_ms(&self, q: f64) -> Option<f64> {
+        Percentiles::new(&self.ttfts_ms()).map(|p| p.quantile(q))
+    }
+
+    /// TTFT distribution summary; `None` for an empty run.
+    #[must_use]
+    pub fn ttft_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::new(&self.ttfts_ms())
+    }
+
+    /// Queueing-delay distribution summary; `None` for an empty run.
+    #[must_use]
+    pub fn queue_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::new(&self.queue_delays_ms())
+    }
+
+    /// Device utilization: busy time over the makespan, in `[0, 1]`
+    /// (0.0 for an empty or instantaneous run).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_s / self.makespan_s).min(1.0)
+    }
+
+    /// Fraction of requests whose TTFT met `slo_ms`; `None` for an empty
+    /// run.
+    #[must_use]
+    pub fn slo_attainment(&self, slo_ms: f64) -> Option<f64> {
+        Percentiles::new(&self.ttfts_ms()).map(|p| p.fraction_le(slo_ms))
+    }
+
+    /// Goodput: SLO-meeting requests per virtual second of makespan
+    /// (0.0 for an empty run; an instantaneous run reports the trace's
+    /// own arrival rate, since every request trivially meets the SLO).
+    #[must_use]
+    pub fn goodput_rps(&self, slo_ms: f64) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        let met = self.records.iter().filter(|r| r.ttft_ms <= slo_ms).count();
+        met as f64 / self.makespan_s
+    }
+
+    /// Token hit rate from the cache's counters.
+    #[must_use]
+    pub fn token_hit_rate(&self) -> f64 {
+        self.cache_stats.token_hit_rate()
+    }
+
+    /// Total prefill FLOPs saved across the run.
+    #[must_use]
+    pub fn total_flops_saved(&self) -> u128 {
+        self.records.iter().map(|r| r.flops_saved).sum()
+    }
+}
+
+/// Discrete-event serving simulator for one device: FIFO admission queue
+/// in front of a continuous-batching executor, driving any
+/// [`PrefixCache`].
+///
+/// # Examples
+///
+/// ```
+/// use marconi_core::HybridPrefixCache;
+/// use marconi_model::ModelConfig;
+/// use marconi_sim::{EventSim, GpuModel};
+/// use marconi_workload::{DatasetKind, TraceGenerator};
+///
+/// let cache = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+///     .capacity_bytes(8 << 30)
+///     .build();
+/// let mut sim = EventSim::new(cache, GpuModel::a100_x4());
+/// let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+///     .sessions(3)
+///     .seed(5)
+///     .generate();
+/// let report = sim.run(&trace);
+/// assert_eq!(report.records.len(), trace.len());
+/// // TTFT now includes queueing delay on top of prefill service.
+/// assert!(report.records.iter().all(|r| r.ttft_ms >= r.queue_ms));
+/// ```
+#[derive(Debug)]
+pub struct EventSim<C> {
+    cache: C,
+    service: ServiceMode,
+    batch: BatchConfig,
+}
+
+impl<C: PrefixCache> EventSim<C> {
+    /// Creates a simulator whose iteration latencies come from `gpu`.
+    #[must_use]
+    pub fn new(cache: C, gpu: GpuModel) -> Self {
+        EventSim {
+            cache,
+            service: ServiceMode::Modeled(gpu),
+            batch: BatchConfig::default(),
+        }
+    }
+
+    /// Creates a simulator in the infinite-throughput limit: every
+    /// iteration takes zero virtual time, so queues never form and the run
+    /// reproduces the instantaneous [`Engine`](crate::Engine)
+    /// byte-for-byte (the zero-load parity contract).
+    #[must_use]
+    pub fn instantaneous(cache: C) -> Self {
+        EventSim {
+            cache,
+            service: ServiceMode::Instantaneous,
+            batch: BatchConfig::default(),
+        }
+    }
+
+    /// Overrides the continuous-batching knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a knob is zero.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        batch.validate();
+        self.batch = batch;
+        self
+    }
+
+    /// Access to the underlying cache.
+    #[must_use]
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
+    /// Consumes the simulator and returns the cache.
+    #[must_use]
+    pub fn into_cache(self) -> C {
+        self.cache
+    }
+
+    /// Replays `trace` under the virtual clock and returns the report.
+    ///
+    /// Arrivals feed the FIFO queue as events; the executor's iteration
+    /// boundaries are the only other event source. At equal timestamps
+    /// executor events fire before arrivals (a completing request admits
+    /// its sequence before a simultaneous arrival looks it up — matching
+    /// the engine's per-request lookup→insert order in the zero-load
+    /// limit). Cache state persists across calls, like `Engine`.
+    pub fn run(&mut self, trace: &Trace) -> EventReport {
+        let mut exec = Executor::new(self.batch.clone(), self.service.clone());
+        let mut arrivals = trace.arrivals().peekable();
+        loop {
+            let arrival = arrivals.peek().map(|r| r.arrival);
+            match (exec.next_event(), arrival) {
+                (Some(te), Some(ta)) if te <= ta => exec.advance(&mut self.cache, te),
+                (_, Some(ta)) => {
+                    let req = arrivals.next().expect("peeked arrival exists");
+                    exec.enqueue(req, &mut self.cache, ta);
+                }
+                (Some(te), None) => exec.advance(&mut self.cache, te),
+                (None, None) => break,
+            }
+        }
+        debug_assert!(exec.is_idle());
+        let mut records = exec.take_records();
+        records.sort_by_key(|r| r.id);
+        let makespan_s = records.iter().fold(0.0f64, |m, r| m.max(r.completed));
+        EventReport {
+            system: self.cache.name().to_owned(),
+            trace: trace.name.clone(),
+            records,
+            cache_stats: *self.cache.stats(),
+            busy_s: exec.busy_s(),
+            iterations: exec.iterations(),
+            makespan_s,
+        }
+    }
+}
+
+/// N event-driven replicas — each its own FIFO queue, executor, and cache
+/// slice — behind a [`Router`] that sees real-time queue depth.
+///
+/// # Examples
+///
+/// ```
+/// use marconi_model::ModelConfig;
+/// use marconi_sim::{EventCluster, RoutingPolicy};
+/// use marconi_workload::{DatasetKind, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+///     .sessions(8)
+///     .tenants(4)
+///     .seed(3)
+///     .generate();
+/// let mut cluster = EventCluster::builder(ModelConfig::hybrid_7b())
+///     .replicas(2)
+///     .total_capacity_bytes(8 << 30)
+///     .routing(RoutingPolicy::QueueAware)
+///     .build();
+/// let report = cluster.run(&trace);
+/// assert_eq!(report.assignments.len(), trace.len());
+/// ```
+#[derive(Debug)]
+pub struct EventCluster {
+    replicas: Vec<HybridPrefixCache>,
+    router: Box<dyn Router>,
+    service: ServiceMode,
+    batch: BatchConfig,
+}
+
+impl EventCluster {
+    /// Starts building an event-driven cluster for `model`.
+    ///
+    /// Defaults: 1 replica, 16 GiB total capacity, the cache's default
+    /// (Marconi auto-tuned) eviction policy,
+    /// [`RoutingPolicy::QueueAware`], a 4×A100 device per replica, default
+    /// [`BatchConfig`].
+    #[must_use]
+    pub fn builder(model: ModelConfig) -> EventClusterBuilder {
+        EventClusterBuilder {
+            model,
+            replicas: 1,
+            total_capacity: 16 << 30,
+            policy: EvictionPolicy::default(),
+            checkpoint_mode: CheckpointMode::Exact,
+            service: ServiceMode::Modeled(GpuModel::a100_x4()),
+            batch: BatchConfig::default(),
+            router: None,
+        }
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Read access to one replica's cache (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn replica_cache(&self, index: usize) -> &HybridPrefixCache {
+        &self.replicas[index]
+    }
+
+    /// The active router's name.
+    #[must_use]
+    pub fn router_name(&self) -> &str {
+        self.router.name()
+    }
+
+    /// Replays `trace` event-by-event across all replicas.
+    ///
+    /// Each arrival routes against live [`ReplicaStatus`]es — prefix probe
+    /// plus *outstanding queued tokens* — then joins the winner's FIFO.
+    /// Simultaneous events resolve deterministically: executor iterations
+    /// before arrivals, lower replica index first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns an out-of-range replica index.
+    pub fn run(&mut self, trace: &Trace) -> EventClusterReport {
+        let n = self.replicas.len();
+        let stats_before: Vec<CacheStats> = self.replicas.iter().map(|r| *r.stats()).collect();
+        let mut execs: Vec<Executor<'_>> = (0..n)
+            .map(|_| Executor::new(self.batch.clone(), self.service.clone()))
+            .collect();
+        let mut assignments = Vec::with_capacity(trace.len());
+        let mut arrivals = trace.arrivals().peekable();
+        loop {
+            let exec_event = execs
+                .iter()
+                .enumerate()
+                .filter_map(|(k, e)| e.next_event().map(|t| (k, t)))
+                .min_by(|(ka, ta), (kb, tb)| ta.total_cmp(tb).then(ka.cmp(kb)));
+            let arrival = arrivals.peek().map(|r| r.arrival);
+            match (exec_event, arrival) {
+                (Some((k, te)), Some(ta)) if te <= ta => {
+                    execs[k].advance(&mut self.replicas[k], te);
+                }
+                (_, Some(ta)) => {
+                    let req = arrivals.next().expect("peeked arrival exists");
+                    let statuses: Vec<ReplicaStatus<'_>> = self
+                        .replicas
+                        .iter()
+                        .zip(&execs)
+                        .enumerate()
+                        .map(|(idx, (cache, exec))| {
+                            ReplicaStatus::new(idx, cache, exec.outstanding_tokens())
+                        })
+                        .collect();
+                    let idx = self.router.route(req, &statuses);
+                    assert!(
+                        idx < n,
+                        "router {} picked replica {idx} of {n}",
+                        self.router.name()
+                    );
+                    execs[idx].enqueue(req, &mut self.replicas[idx], ta);
+                    assignments.push(idx);
+                }
+                (Some((k, te)), None) => execs[k].advance(&mut self.replicas[k], te),
+                (None, None) => break,
+            }
+        }
+        let replicas = self
+            .replicas
+            .iter()
+            .zip(&mut execs)
+            .zip(stats_before)
+            .enumerate()
+            .map(|(i, ((cache, exec), before))| {
+                let mut records = exec.take_records();
+                records.sort_by_key(|r| r.id);
+                let makespan_s = records.iter().fold(0.0f64, |m, r| m.max(r.completed));
+                EventReport {
+                    system: format!("{}[{i}]", cache.name()),
+                    trace: trace.name.clone(),
+                    records,
+                    cache_stats: cache.stats().delta_since(&before),
+                    busy_s: exec.busy_s(),
+                    iterations: exec.iterations(),
+                    makespan_s,
+                }
+            })
+            .collect();
+        EventClusterReport {
+            router: self.router.name().to_owned(),
+            trace: trace.name.clone(),
+            replicas,
+            assignments,
+        }
+    }
+}
+
+/// Builder for [`EventCluster`]; see [`EventCluster::builder`].
+#[derive(Debug)]
+pub struct EventClusterBuilder {
+    model: ModelConfig,
+    replicas: usize,
+    total_capacity: u64,
+    policy: EvictionPolicy,
+    checkpoint_mode: CheckpointMode,
+    service: ServiceMode,
+    batch: BatchConfig,
+    router: Option<Box<dyn Router>>,
+}
+
+impl EventClusterBuilder {
+    /// Sets the replica count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the cluster-wide capacity; each replica gets an equal
+    /// `total / N` slice.
+    #[must_use]
+    pub fn total_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.total_capacity = bytes;
+        self
+    }
+
+    /// Sets every replica's eviction policy.
+    #[must_use]
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets every replica's SSM checkpoint mode (default
+    /// [`CheckpointMode::Exact`]).
+    #[must_use]
+    pub fn checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint_mode = mode;
+        self
+    }
+
+    /// Sets the per-replica device model.
+    #[must_use]
+    pub fn gpu(mut self, gpu: GpuModel) -> Self {
+        self.service = ServiceMode::Modeled(gpu);
+        self
+    }
+
+    /// Puts every replica in the infinite-throughput (zero-load) limit.
+    #[must_use]
+    pub fn instantaneous(mut self) -> Self {
+        self.service = ServiceMode::Instantaneous;
+        self
+    }
+
+    /// Overrides the per-replica continuous-batching knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a knob is zero.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        batch.validate();
+        self.batch = batch;
+        self
+    }
+
+    /// Selects a built-in routing policy (default
+    /// [`RoutingPolicy::QueueAware`]).
+    #[must_use]
+    pub fn routing(mut self, policy: RoutingPolicy) -> Self {
+        self.router = Some(policy.build());
+        self
+    }
+
+    /// Installs a custom router.
+    #[must_use]
+    pub fn router(mut self, router: Box<dyn Router>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// Builds the cluster.
+    #[must_use]
+    pub fn build(self) -> EventCluster {
+        EventCluster {
+            replicas: crate::cluster::build_replicas(
+                &self.model,
+                self.replicas,
+                self.total_capacity,
+                &self.policy,
+                self.checkpoint_mode,
+            ),
+            router: self
+                .router
+                .unwrap_or_else(|| RoutingPolicy::QueueAware.build()),
+            service: self.service,
+            batch: self.batch,
+        }
+    }
+}
+
+/// Result of one [`EventCluster::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventClusterReport {
+    /// Router name the run used.
+    pub router: String,
+    /// Trace name the run used.
+    pub trace: String,
+    /// One [`EventReport`] per replica, covering this run's requests only.
+    pub replicas: Vec<EventReport>,
+    /// Replica index each request was routed to, in arrival order.
+    pub assignments: Vec<usize>,
+}
+
+impl EventClusterReport {
+    /// Cluster-wide cache statistics (per-replica counters summed; see
+    /// [`CacheStats::accumulate`] for the peak-usage caveat).
+    #[must_use]
+    pub fn aggregate_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for rep in &self.replicas {
+            total.accumulate(&rep.cache_stats);
+        }
+        total
+    }
+
+    /// Cluster-wide token hit rate.
+    #[must_use]
+    pub fn aggregate_token_hit_rate(&self) -> f64 {
+        self.aggregate_stats().token_hit_rate()
+    }
+
+    /// All per-request TTFTs across replicas, in global arrival order.
+    #[must_use]
+    pub fn ttfts_ms(&self) -> Vec<f64> {
+        let mut with_ids: Vec<(u64, f64)> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.records.iter().map(|rec| (rec.id, rec.ttft_ms)))
+            .collect();
+        with_ids.sort_by_key(|&(id, _)| id);
+        with_ids.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Cluster-wide TTFT distribution summary; `None` for an empty run.
+    #[must_use]
+    pub fn ttft_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::new(&self.ttfts_ms())
+    }
+
+    /// Input tokens routed to each replica during this run.
+    #[must_use]
+    pub fn replica_loads(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.cache_stats.input_tokens)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use marconi_workload::{DatasetKind, TraceGenerator};
+
+    fn sharegpt(sessions: usize, seed: u64) -> Trace {
+        TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(sessions)
+            .seed(seed)
+            .generate()
+    }
+
+    fn marconi_cache(capacity: u64, policy: EvictionPolicy) -> HybridPrefixCache {
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(capacity)
+            .policy(policy)
+            .build()
+    }
+
+    #[test]
+    fn zero_load_parity_with_instantaneous_engine() {
+        // THE parity contract: at infinite throughput and empty queues the
+        // event simulator must reproduce the instantaneous Engine
+        // byte-for-byte — identical CacheStats (including eviction counts
+        // under contention) and identical per-request hit tokens — for
+        // every eviction policy family.
+        let trace = sharegpt(24, 2);
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::FlopAware { alpha: 2.0 },
+            EvictionPolicy::default(), // Marconi auto-tuned
+        ] {
+            // 1 GB: far below the working set, so eviction decisions (and
+            // therefore recency timestamps) matter.
+            let capacity = 1 << 30;
+            let mut engine =
+                Engine::new(marconi_cache(capacity, policy.clone()), GpuModel::a100_x4());
+            let expected = engine.run(&trace);
+            let mut sim = EventSim::instantaneous(marconi_cache(capacity, policy.clone()));
+            let got = sim.run(&trace);
+            assert_eq!(
+                got.cache_stats, expected.cache_stats,
+                "{policy:?}: CacheStats must be byte-identical"
+            );
+            assert_eq!(got.records.len(), expected.records.len());
+            for (e, g) in expected.records.iter().zip(&got.records) {
+                assert_eq!(e.id, g.id, "{policy:?}: record order");
+                assert_eq!(e.hit_tokens, g.hit_tokens, "{policy:?}: req {}", e.id);
+                assert_eq!(e.raw_matched, g.raw_matched, "{policy:?}: req {}", e.id);
+                assert_eq!(e.flops_saved, g.flops_saved, "{policy:?}: req {}", e.id);
+                assert_eq!(e.flops_spent, g.flops_spent, "{policy:?}: req {}", e.id);
+                assert_eq!(g.queue_ms, 0.0, "zero load means empty queues");
+                assert_eq!(g.arrival, g.completed, "instantaneous completion");
+            }
+        }
+    }
+
+    #[test]
+    fn n1_instantaneous_event_cluster_matches_event_sim_and_engine() {
+        // The cluster-side parity anchor, mirroring the instantaneous
+        // cluster's: one event replica at infinite throughput is the
+        // single-device event sim, which is the engine.
+        let trace = sharegpt(12, 11);
+        let capacity = 2 << 30;
+        let mut engine = Engine::new(
+            marconi_cache(capacity, EvictionPolicy::Lru),
+            GpuModel::a100_x4(),
+        );
+        let expected = engine.run(&trace);
+        for routing in RoutingPolicy::ALL {
+            let mut cluster = EventCluster::builder(ModelConfig::hybrid_7b())
+                .replicas(1)
+                .total_capacity_bytes(capacity)
+                .policy(EvictionPolicy::Lru)
+                .instantaneous()
+                .routing(routing)
+                .build();
+            let report = cluster.run(&trace);
+            assert_eq!(
+                report.replicas[0].cache_stats, expected.cache_stats,
+                "{routing}: CacheStats must match the engine"
+            );
+            let hits: Vec<u64> = report.replicas[0]
+                .records
+                .iter()
+                .map(|r| r.hit_tokens)
+                .collect();
+            let expected_hits: Vec<u64> = expected.records.iter().map(|r| r.hit_tokens).collect();
+            assert_eq!(hits, expected_hits, "{routing}: per-request hit tokens");
+            assert!(report.assignments.iter().all(|&i| i == 0));
+        }
+    }
+
+    #[test]
+    fn event_runs_are_deterministic() {
+        // Modeled mode is as deterministic as instantaneous mode: two runs
+        // produce bit-identical reports (all-f64 fields included).
+        let trace = sharegpt(10, 5).time_scaled(20.0);
+        let run = || {
+            let mut sim = EventSim::new(
+                marconi_cache(4 << 30, EvictionPolicy::Lru),
+                GpuModel::a100_x4(),
+            );
+            sim.run(&trace)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_load_modeled_ttft_matches_the_analytic_model() {
+        // At negligible load (no queueing, whole prefill in one chunk) the
+        // event TTFT degenerates to the engine's analytic
+        // overhead + flops/throughput — the modeled service path is
+        // calibrated, not merely ordered.
+        let trace = sharegpt(4, 9).time_scaled(0.01); // ~100× sparser arrivals
+        let gpu = GpuModel::a100_x4();
+        let mut sim = EventSim::new(marconi_cache(1 << 40, EvictionPolicy::Lru), gpu.clone())
+            .batch(BatchConfig {
+                max_batch_requests: 16,
+                prefill_chunk_tokens: u64::MAX >> 1,
+            });
+        let report = sim.run(&trace);
+        let model = ModelConfig::hybrid_7b();
+        for r in &report.records {
+            assert_eq!(r.queue_ms, 0.0, "req {}: no queueing at zero load", r.id);
+            let analytic = gpu.ttft_ms(&model, r.input_len, r.hit_tokens);
+            assert!(
+                (r.ttft_ms - analytic).abs() < 1e-6 * analytic,
+                "req {}: event {} vs analytic {}",
+                r.id,
+                r.ttft_ms,
+                analytic
+            );
+        }
+        assert!(report.utilization() > 0.0 && report.utilization() < 0.2);
+    }
+
+    #[test]
+    fn saturation_inflates_tail_latency_and_marconi_bends_the_curve() {
+        // The acceptance assertion: above device throughput, queueing
+        // delay dominates — P95 TTFT under the event sim strictly exceeds
+        // the zero-load analytic P95 — and Marconi's prefix reuse removes
+        // enough prefill work that its P95 stays strictly below vanilla's
+        // on the same contended trace.
+        let trace = sharegpt(16, 7).time_scaled(40.0);
+        let gpu = GpuModel::a100_x4();
+        let model = ModelConfig::hybrid_7b();
+
+        // The trace must genuinely exceed capacity without caching.
+        let offered_flops: u128 = trace
+            .requests
+            .iter()
+            .map(|r| model.prefill_flops(r.input_len()).total())
+            .sum();
+        let offered_rate = offered_flops as f64 / trace.duration();
+        assert!(
+            offered_rate > gpu.effective_flops(),
+            "trace must saturate the device: offered {offered_rate:.3e} vs {:.3e}",
+            gpu.effective_flops()
+        );
+
+        let p95 = |report: &EventReport| report.ttft_percentile_ms(0.95).unwrap();
+
+        let mut marconi = EventSim::new(marconi_cache(1 << 40, EvictionPolicy::Lru), gpu.clone());
+        let marconi_report = marconi.run(&trace);
+        let mut vanilla =
+            EventSim::new(marconi_core::VanillaCache::new(model.clone()), gpu.clone());
+        let vanilla_report = vanilla.run(&trace);
+
+        // Zero-load analytic P95 on the identical cache configuration.
+        let mut engine = Engine::new(marconi_cache(1 << 40, EvictionPolicy::Lru), gpu);
+        let zero_load_p95 = engine.run(&trace).ttft_percentile_ms(0.95).unwrap();
+
+        assert!(
+            p95(&marconi_report) > zero_load_p95,
+            "saturation must inflate the tail: event {} vs zero-load {}",
+            p95(&marconi_report),
+            zero_load_p95
+        );
+        assert!(
+            p95(&marconi_report) < p95(&vanilla_report),
+            "prefix caching must bend the latency curve: marconi {} vs vanilla {}",
+            p95(&marconi_report),
+            p95(&vanilla_report)
+        );
+        // Queueing is the mechanism: delays are non-trivial under overload.
+        assert!(
+            marconi_report.queue_summary().unwrap().p95() > 0.0,
+            "saturated runs must queue"
+        );
+    }
+
+    #[test]
+    fn completion_time_insertion_changes_what_the_cache_sees() {
+        // The semantic point of the event layer: under load, a request
+        // arriving before an earlier identical-prefix request *completes*
+        // cannot hit on it — the instantaneous engine (insertion at
+        // arrival) overstates reuse.
+        use marconi_workload::Request;
+        let first_input: Vec<u32> = (0..4000).collect();
+        let output: Vec<u32> = (50_000..50_008).collect();
+        // A conversation resume: request 1 extends request 0's full
+        // sequence, so its prefix ends exactly on the SSM checkpoint
+        // admitted at request 0's last decoded token.
+        let mut resume = first_input.clone();
+        resume.extend_from_slice(&output);
+        resume.extend(60_000..60_040);
+        let mk = |id, arrival, input: &[u32]| Request {
+            id,
+            session_id: 0,
+            tenant_id: 0,
+            turn: id as u32,
+            arrival,
+            input: input.to_vec(),
+            output: output.clone(),
+        };
+        // Request 1 arrives 1 ms after request 0 — far sooner than
+        // request 0's ~100 ms service time.
+        let trace = Trace {
+            name: "overlap".into(),
+            requests: vec![mk(0, 0.0, &first_input), mk(1, 0.001, &resume)],
+        };
+        let mut engine = Engine::new(
+            marconi_cache(1 << 40, EvictionPolicy::Lru),
+            GpuModel::a100_x4(),
+        );
+        let eng = engine.run(&trace);
+        assert!(
+            eng.records[1].hit_tokens > 0,
+            "engine's oracle ordering grants the second request a hit"
+        );
+        let mut sim = EventSim::new(
+            marconi_cache(1 << 40, EvictionPolicy::Lru),
+            GpuModel::a100_x4(),
+        );
+        let evt = sim.run(&trace);
+        assert_eq!(
+            evt.records[1].hit_tokens, 0,
+            "under load the prefix is not yet cached when request 1 is admitted"
+        );
+    }
+
+    #[test]
+    fn batch_slots_bound_concurrency_and_free_mid_batch() {
+        // With one slot, requests serialize: each admission waits for the
+        // previous completion (slot freed mid-trace), so queue delays grow
+        // monotonically under simultaneous pressure.
+        let trace = sharegpt(6, 3).time_scaled(1000.0); // near-simultaneous arrivals
+        let mut sim = EventSim::new(
+            marconi_cache(1 << 40, EvictionPolicy::Lru),
+            GpuModel::a100_x4(),
+        )
+        .batch(BatchConfig {
+            max_batch_requests: 1,
+            prefill_chunk_tokens: 4096,
+        });
+        let report = sim.run(&trace);
+        // Serialized: no two requests overlap, so total busy time ≈
+        // makespan and utilization is ~1.
+        assert!(
+            report.utilization() > 0.95,
+            "serialized overload should pin the device: {}",
+            report.utilization()
+        );
+        let delays = report.queue_delays_ms();
+        assert!(delays.last().unwrap() > &delays[1], "queue builds up");
+    }
+
+    #[test]
+    fn goodput_and_slo_attainment_degrade_with_load() {
+        let base = sharegpt(12, 13);
+        let run = |mult: f64| {
+            let mut sim = EventSim::new(
+                marconi_cache(1 << 40, EvictionPolicy::Lru),
+                GpuModel::a100_x4(),
+            );
+            sim.run(&base.time_scaled(mult))
+        };
+        let light = run(0.1);
+        let heavy = run(50.0);
+        let slo_ms = 2.0 * light.ttft_percentile_ms(0.95).unwrap();
+        assert!(light.slo_attainment(slo_ms).unwrap() >= 0.95);
+        assert!(
+            heavy.slo_attainment(slo_ms).unwrap() < light.slo_attainment(slo_ms).unwrap(),
+            "overload must hurt SLO attainment"
+        );
+        assert!(heavy.utilization() > light.utilization());
+    }
+
+    #[test]
+    fn queue_aware_routing_beats_blind_prefix_affinity_under_hot_spots() {
+        // Two replicas, one tenant's prompt hot: pure prefix affinity
+        // funnels everything to one queue, queue-aware routing spills to
+        // the idle replica once the depth tie-breaker kicks in. At minimum
+        // the router must be deterministic and spread load no worse.
+        let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(12)
+            .tenants(2)
+            .seed(19)
+            .generate()
+            .time_scaled(30.0);
+        let run = |routing: RoutingPolicy| {
+            let mut c = EventCluster::builder(ModelConfig::hybrid_7b())
+                .replicas(2)
+                .total_capacity_bytes(8 << 30)
+                .policy(EvictionPolicy::Lru)
+                .routing(routing)
+                .build();
+            c.run(&trace)
+        };
+        let qa = run(RoutingPolicy::QueueAware);
+        let qa2 = run(RoutingPolicy::QueueAware);
+        assert_eq!(qa, qa2, "queue-aware routing must be deterministic");
+        let p95 = |r: &EventClusterReport| Percentiles::new(&r.ttfts_ms()).unwrap().quantile(0.95);
+        let pa = run(RoutingPolicy::PrefixAware);
+        assert!(
+            p95(&qa) <= p95(&pa) * 1.001,
+            "queue awareness must not worsen tail latency: qa {} vs pa {}",
+            p95(&qa),
+            p95(&pa)
+        );
+        assert_eq!(qa.assignments.len(), trace.len());
+        assert!(qa.ttft_summary().is_some());
+    }
+
+    #[test]
+    fn cache_state_persists_across_runs() {
+        let trace = sharegpt(4, 21);
+        let mut sim = EventSim::instantaneous(marconi_cache(1 << 40, EvictionPolicy::Lru));
+        let first = sim.run(&trace);
+        let second = sim.run(&trace);
+        assert_eq!(first.records.len(), second.records.len());
+        // `cache_stats` is cumulative (like `Engine`): the second run must
+        // add hits on the warm cache and never dilute the rate.
+        assert!(
+            second.cache_stats.hit_tokens > first.cache_stats.hit_tokens,
+            "an identical replay against the warm cache must keep hitting"
+        );
+        assert!(second.token_hit_rate() >= first.token_hit_rate());
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let trace = Trace {
+            name: "empty".into(),
+            requests: vec![],
+        };
+        let mut sim = EventSim::new(
+            marconi_cache(1 << 30, EvictionPolicy::Lru),
+            GpuModel::a100_x4(),
+        );
+        let report = sim.run(&trace);
+        assert!(report.records.is_empty());
+        assert_eq!(report.utilization(), 0.0);
+        assert_eq!(report.goodput_rps(100.0), 0.0);
+        assert!(report.ttft_summary().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch slot")]
+    fn zero_slot_batch_rejected() {
+        let _ = EventSim::new(
+            marconi_cache(1 << 30, EvictionPolicy::Lru),
+            GpuModel::a100_x4(),
+        )
+        .batch(BatchConfig {
+            max_batch_requests: 0,
+            prefill_chunk_tokens: 1,
+        });
+    }
+}

@@ -82,6 +82,30 @@ impl GpuModel {
         self.effective_flops
     }
 
+    /// Fixed per-request overhead in seconds (scheduling, tokenization,
+    /// kernel launch).
+    #[must_use]
+    pub fn overhead_s(&self) -> f64 {
+        self.overhead_s
+    }
+
+    /// Seconds to execute `flops` at sustained throughput (no overhead) —
+    /// the unit the continuous-batching executor charges per iteration.
+    #[must_use]
+    pub fn secs_for_flops(&self, flops: u128) -> f64 {
+        flops as f64 / self.effective_flops
+    }
+
+    /// Seconds for one decode step of a request whose context (input plus
+    /// already-decoded tokens) is `context_len` tokens: the incremental
+    /// FLOPs of token `context_len + 1`. The continuous-batching executor
+    /// charges exactly [`decode_token_flops`] per decoding request per
+    /// iteration, so this is the single-request decode latency it models.
+    #[must_use]
+    pub fn decode_step_s(&self, model: &ModelConfig, context_len: u64) -> f64 {
+        self.secs_for_flops(decode_token_flops(model, context_len))
+    }
+
     /// Time to first token in seconds for an `input_len`-token prefill of
     /// which `cached_prefix` tokens are served from cache.
     ///
@@ -99,6 +123,15 @@ impl GpuModel {
     pub fn ttft_ms(&self, model: &ModelConfig, input_len: u64, cached_prefix: u64) -> f64 {
         self.ttft_s(model, input_len, cached_prefix) * 1e3
     }
+}
+
+/// FLOPs of decoding one token at context length `context_len` — the
+/// incremental prefill cost of token `context_len + 1`. The one decode
+/// formula shared by [`GpuModel::decode_step_s`] and the
+/// continuous-batching executor's per-iteration accounting.
+#[must_use]
+pub fn decode_token_flops(model: &ModelConfig, context_len: u64) -> u128 {
+    model.prefill_flops(context_len + 1).total() - model.prefill_flops(context_len).total()
 }
 
 #[cfg(test)]
@@ -151,5 +184,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn invalid_throughput_panics() {
         let _ = GpuModel::new("bad", 0.0, 0.0);
+    }
+
+    #[test]
+    fn ttft_decomposes_into_overhead_plus_flop_time() {
+        let gpu = GpuModel::a100_x4();
+        let m = ModelConfig::hybrid_7b();
+        let flops = m.prefill_flops_with_prefix(2000, 500);
+        let composed = gpu.overhead_s() + gpu.secs_for_flops(flops);
+        assert!((gpu.ttft_s(&m, 2000, 500) - composed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_steps_sum_to_the_suffix_prefill_time() {
+        // Decoding tokens one at a time costs exactly what prefilling the
+        // same span would: the executor's token-level accounting conserves
+        // FLOPs.
+        let gpu = GpuModel::a100_x4();
+        let m = ModelConfig::hybrid_7b();
+        let stepped: f64 = (1000..1032).map(|ctx| gpu.decode_step_s(&m, ctx)).sum();
+        let bulk = gpu.secs_for_flops(m.prefill_flops_with_prefix(1032, 1000));
+        assert!((stepped - bulk).abs() < 1e-9 * bulk.max(1e-9));
     }
 }

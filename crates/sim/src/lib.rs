@@ -14,9 +14,31 @@
 //!
 //! Beyond the paper's single-replica setting, the [`cluster`] module shards
 //! the cache across N replicas behind a pluggable [`Router`] (round-robin,
-//! session-affinity, or prefix-aware placement) to study how much prefix
-//! reuse survives at cluster scale; see `ARCHITECTURE.md` for the layer's
-//! contract.
+//! session-affinity, prefix-aware, or queue-aware placement) to study how
+//! much prefix reuse survives at cluster scale; see `ARCHITECTURE.md` for
+//! the layer's contract.
+//!
+//! ## The event layer (`event`)
+//!
+//! The engine above replays instantaneously — arrivals only *order*
+//! requests. The [`event`] module adds a deterministic discrete-event
+//! simulator: [`EventSim`] drives arrivals through a per-device FIFO
+//! admission queue into a continuous-batching executor ([`BatchConfig`]:
+//! chunked prefill shared FIFO across batch slots, one decode token per
+//! decoding request per iteration, slots freed mid-batch), with iteration
+//! latencies from the same [`GpuModel`] and cache insertion at request
+//! *completion*. [`EventReport`] adds what the instantaneous reports
+//! cannot see: queueing delay, load-dependent TTFT (= queue + prefill),
+//! device utilization, and goodput under an SLO. [`EventCluster`] shards
+//! it behind the same routers, whose [`ReplicaStatus`] then carries live
+//! queue depth.
+//!
+//! **Determinism guarantees:** the event layer is a pure function of
+//! `(trace, cache config, BatchConfig, ServiceMode)` — no wall clock and
+//! no unseeded randomness anywhere in the subsystem; simultaneous events
+//! resolve executor-before-arrival, then by replica index, then FIFO. In
+//! the [`ServiceMode::Instantaneous`] limit it reproduces [`Engine`]
+//! **byte-for-byte** (the zero-load parity contract in `ARCHITECTURE.md`).
 //!
 //! # Examples
 //!
@@ -44,14 +66,20 @@
 pub mod cluster;
 mod comparison;
 mod engine;
+pub mod event;
+mod executor;
 mod gpu;
 mod report;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, ClusterReport, PrefixAware, ReplicaStatus, RoundRobin, Router,
-    RoutingPolicy, SessionAffinity,
+    Cluster, ClusterBuilder, ClusterReport, PrefixAware, QueueAware, ReplicaStatus, RoundRobin,
+    Router, RoutingPolicy, SessionAffinity,
 };
 pub use comparison::{Comparison, ComparisonResult, SystemKind};
 pub use engine::Engine;
-pub use gpu::GpuModel;
+pub use event::{
+    EventCluster, EventClusterBuilder, EventClusterReport, EventRecord, EventReport, EventSim,
+};
+pub use executor::{BatchConfig, ServiceMode};
+pub use gpu::{decode_token_flops, GpuModel};
 pub use report::{RequestRecord, SimReport};

@@ -1,7 +1,7 @@
 //! Per-request records and aggregate simulation reports.
 
 use marconi_core::CacheStats;
-use marconi_metrics::{BinnedMean, BoxStats, Cdf, Percentiles};
+use marconi_metrics::{BinnedMean, BoxStats, Cdf, LatencySummary, Percentiles};
 use serde::{Deserialize, Serialize};
 
 /// One request's outcome in a simulation run.
@@ -84,6 +84,15 @@ impl SimReport {
         Cdf::new(&self.ttfts_ms())
     }
 
+    /// TTFT distribution summary (p50/p95/p99/mean); `None` for an empty
+    /// run. The same view [`EventReport`](crate::EventReport) and
+    /// [`ClusterReport`](crate::ClusterReport) expose, so instantaneous
+    /// and event-driven runs compare side by side.
+    #[must_use]
+    pub fn ttft_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::new(&self.ttfts_ms())
+    }
+
     /// Box statistics of per-request hit rates.
     #[must_use]
     pub fn hit_rate_box(&self) -> Option<BoxStats> {
@@ -148,6 +157,15 @@ mod tests {
         let p95 = r.ttft_percentile_ms(0.95).unwrap();
         assert!(p95 > 400.0 && p95 <= 500.0);
         assert!(r.ttft_cdf().is_some());
+    }
+
+    #[test]
+    fn ttft_summary_matches_percentiles() {
+        let r = report();
+        let s = r.ttft_summary().unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.p95(), r.ttft_percentile_ms(0.95).unwrap());
+        assert_eq!(s.p50(), r.ttft_percentile_ms(0.5).unwrap());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   outputs, mostly < 2K-token sequences; SWE-Bench: very wide input
 //!   distribution from hundreds to tens of thousands of tokens);
 //! * arrival dynamics — Poisson session arrivals and exponential think
-//!   times between turns, the two knobs of the paper's Fig. 13;
+//!   times between turns, the two knobs of the paper's Fig. 13, with an
+//!   optional seeded burst/diurnal rate schedule ([`RateSchedule`]) and an
+//!   open-loop load-sweep helper ([`Trace::time_scaled`]) for the
+//!   event-driven serving experiments;
 //! * an optional multi-tenant mode ([`TraceGenerator::tenants`]) that
 //!   interleaves sessions across tenants with per-tenant prompt pools, the
 //!   workload under which cluster routing policies (`marconi-sim`)
@@ -54,7 +57,7 @@ mod generator;
 mod spec;
 mod trace;
 
-pub use arrival::ArrivalConfig;
+pub use arrival::{ArrivalConfig, RateSchedule};
 pub use dist::LenDist;
 pub use generator::TraceGenerator;
 pub use spec::{DatasetKind, SessionSpec};

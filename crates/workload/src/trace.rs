@@ -99,6 +99,49 @@ impl Trace {
         self.requests.last().map_or(0.0, |r| r.arrival)
     }
 
+    /// The trace as an arrival event source: requests in nondecreasing
+    /// arrival order, exactly as a discrete-event simulator consumes them
+    /// (`marconi-sim`'s event layer merges this stream with its executors'
+    /// iteration events).
+    pub fn arrivals(&self) -> std::slice::Iter<'_, Request> {
+        self.requests.iter()
+    }
+
+    /// Mean offered load in input tokens per second over the trace span
+    /// (0.0 for an instantaneous or empty trace).
+    #[must_use]
+    pub fn offered_token_rate(&self) -> f64 {
+        let span = self.duration();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_input_tokens() as f64 / span
+    }
+
+    /// Open-loop rate-sweep helper: the same requests with every arrival
+    /// compressed by `rate_multiplier` (> 1 offers more load per second,
+    /// < 1 less). Request *content* — ids, sessions, tokens — is untouched,
+    /// so latency differences across a sweep are purely load effects; this
+    /// is how the event-driven simulator's saturation studies vary offered
+    /// load at fixed hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_multiplier` is non-positive or non-finite.
+    #[must_use]
+    pub fn time_scaled(&self, rate_multiplier: f64) -> Trace {
+        assert!(
+            rate_multiplier > 0.0 && rate_multiplier.is_finite(),
+            "rate_multiplier must be positive"
+        );
+        let mut scaled = self.clone();
+        for r in &mut scaled.requests {
+            r.arrival /= rate_multiplier;
+        }
+        scaled.name = format!("{}-load{rate_multiplier:.2}x", self.name);
+        scaled
+    }
+
     /// Number of distinct sessions.
     #[must_use]
     pub fn session_count(&self) -> usize {
@@ -170,6 +213,30 @@ mod tests {
         assert_eq!(t.duration(), 2.0);
         assert_eq!(t.input_lengths(), vec![5.0, 7.0]);
         t.assert_well_formed();
+    }
+
+    #[test]
+    fn time_scaling_compresses_arrivals_only() {
+        let t = Trace {
+            name: "t".into(),
+            requests: vec![request(0, 0.0, 5, 1), request(1, 8.0, 7, 2)],
+        };
+        let fast = t.time_scaled(4.0);
+        assert_eq!(fast.requests[1].arrival, 2.0);
+        assert_eq!(fast.requests[1].input, t.requests[1].input);
+        assert_eq!(fast.offered_token_rate(), 4.0 * t.offered_token_rate());
+        assert!(fast.name.ends_with("-load4.00x"), "got {}", fast.name);
+        fast.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_multiplier")]
+    fn non_positive_time_scale_rejected() {
+        let t = Trace {
+            name: "t".into(),
+            requests: vec![],
+        };
+        let _ = t.time_scaled(0.0);
     }
 
     #[test]

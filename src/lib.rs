@@ -74,11 +74,14 @@ pub mod prelude {
         BlockCache, CacheStats, EvictionPolicy, HybridPrefixCache, LookupResult, PrefixCache,
         VanillaCache,
     };
-    pub use marconi_metrics::{BoxStats, Cdf, Percentiles, Summary};
+    pub use marconi_metrics::{BoxStats, Cdf, LatencySummary, Percentiles, Summary};
     pub use marconi_model::{FlopBreakdown, LayerKind, ModelConfig, StateFootprint};
     pub use marconi_radix::{RadixTree, Token};
     pub use marconi_sim::{
-        Cluster, ClusterReport, Comparison, Engine, GpuModel, RequestRecord, Router, SimReport,
+        BatchConfig, Cluster, ClusterReport, Comparison, Engine, EventCluster, EventReport,
+        EventSim, GpuModel, RequestRecord, Router, RoutingPolicy, SimReport,
     };
-    pub use marconi_workload::{ArrivalConfig, DatasetKind, Request, Trace, TraceGenerator};
+    pub use marconi_workload::{
+        ArrivalConfig, DatasetKind, RateSchedule, Request, Trace, TraceGenerator,
+    };
 }

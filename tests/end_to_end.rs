@@ -145,6 +145,36 @@ fn engine_metrics_are_internally_consistent() {
 }
 
 #[test]
+fn event_layer_reproduces_the_engine_at_zero_load_through_the_facade() {
+    // The zero-load parity contract, exercised end-to-end through the
+    // facade: instantaneous event replay ≡ engine, byte for byte.
+    let trace = small_trace(DatasetKind::ShareGpt, 10, 6);
+    let cache = || {
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(2 << 30)
+            .build()
+    };
+    let engine_report = Engine::new(cache(), GpuModel::a100_x4()).run(&trace);
+    let event_report = EventSim::instantaneous(cache()).run(&trace);
+    assert_eq!(event_report.cache_stats, engine_report.cache_stats);
+    for (e, g) in engine_report.records.iter().zip(&event_report.records) {
+        assert_eq!(e.hit_tokens, g.hit_tokens, "request {}", e.id);
+    }
+    // And under real service times, saturating the device must cost tail
+    // latency relative to the zero-load analytic TTFT.
+    let hot = trace.time_scaled(50.0);
+    let analytic = Engine::new(cache(), GpuModel::a100_x4())
+        .run(&hot)
+        .ttft_percentile_ms(0.95)
+        .unwrap();
+    let loaded = EventSim::new(cache(), GpuModel::a100_x4())
+        .run(&hot)
+        .ttft_percentile_ms(0.95)
+        .unwrap();
+    assert!(loaded > analytic, "event {loaded} vs analytic {analytic}");
+}
+
+#[test]
 fn prelude_exposes_the_advertised_api() {
     // Compile-time check that the facade re-exports hold together.
     let model: ModelConfig = ModelConfig::hybrid_7b();
@@ -162,4 +192,9 @@ fn prelude_exposes_the_advertised_api() {
     let mut s = Summary::new();
     s.record(1.0);
     assert_eq!(s.count(), 1);
+    assert!(LatencySummary::new(&[1.0]).is_some());
+    let batch = BatchConfig::default();
+    assert!(batch.max_batch_requests > 0);
+    let _: RoutingPolicy = RoutingPolicy::QueueAware;
+    let _: RateSchedule = RateSchedule::burst(60.0, 4.0, 0.25);
 }
