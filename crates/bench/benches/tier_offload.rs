@@ -1,0 +1,170 @@
+//! Criterion bench for the tiered device/host cache hot paths.
+//!
+//! Exercises the two paths the tiering refactor added on top of the PR 2
+//! eviction machinery:
+//!
+//! * `demotion_pipeline` — steady-state insertions under device pressure,
+//!   single-tier deletion vs. tiered demotion (the demotion path must stay
+//!   in the same O(candidates)-per-episode envelope: it reuses the victim
+//!   pool and only flips residency, never touching tree structure).
+//! * `reload_lookup` — lookups that hit demoted (host-resident) prefixes,
+//!   paying the host-share walk, vs. device-resident hits on the same
+//!   tree shape.
+//! * `offload_storm` — end to end: a tiered cache at steady state where
+//!   every insertion demotes, host pressure deletes, and every third
+//!   lookup reloads.
+//!
+//! Sizes default to 10k sequences so the CI smoke run stays fast; set
+//! `TIER_OFFLOAD_FULL=1` to sweep 10k–100k.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use marconi_core::{EvictionPolicy, HybridPrefixCache, PrefixCache};
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+
+fn sizes() -> Vec<usize> {
+    if std::env::var("TIER_OFFLOAD_FULL").is_ok() {
+        vec![10_000, 30_000, 100_000]
+    } else {
+        vec![10_000]
+    }
+}
+
+/// A pure-Transformer cache (per-node footprint is just edge KVs, so the
+/// live-node count tracks `n`) whose device tier fits ~n 20-token
+/// sequences.
+fn build_cache(n: usize, host_capacity: u64) -> HybridPrefixCache {
+    let model = ModelConfig::transformer_7b();
+    let capacity = (n as u64) * 20 * model.kv_bytes_per_token();
+    HybridPrefixCache::builder(model)
+        .capacity_bytes(capacity)
+        .host_capacity_bytes(host_capacity)
+        .policy(EvictionPolicy::FlopAware { alpha: 2.0 })
+        .build()
+}
+
+fn seq_for(i: u32) -> (Vec<Token>, Vec<Token>) {
+    let base = i.wrapping_mul(1_000);
+    let input: Vec<Token> = (base..base + 16).collect();
+    let output: Vec<Token> = (base + 500_000..base + 500_004).collect();
+    (input, output)
+}
+
+/// Fills the cache to steady state (usage pinned at device capacity).
+fn fill(cache: &mut HybridPrefixCache, next: &mut u32) {
+    let kv = cache.model().kv_bytes_per_token();
+    while cache.usage_bytes() + 21 * kv <= cache.capacity_bytes() {
+        *next = next.wrapping_add(1);
+        let (input, output) = seq_for(*next);
+        cache.insert_at(&input, &output, f64::from(*next));
+    }
+}
+
+fn bench_demotion_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demotion_pipeline");
+    group.sample_size(10);
+    for &n in &sizes() {
+        // Host budget = device budget, so the tiered variant reaches a
+        // bounded steady state (demotions overflow into host evictions)
+        // instead of growing the tree during measurement.
+        let device = (n as u64) * 20 * ModelConfig::transformer_7b().kv_bytes_per_token();
+        for (label, host) in [("delete_single_tier", 0u64), ("demote_tiered", device)] {
+            let mut cache = build_cache(n, host);
+            let mut next = 0u32;
+            fill(&mut cache, &mut next);
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| {
+                    next = next.wrapping_add(1);
+                    let (input, output) = seq_for(next);
+                    cache.insert_at(&input, &output, f64::from(next));
+                    black_box(cache.stats().demotions + cache.stats().evictions)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reload_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reload_lookup");
+    group.sample_size(10);
+    for &n in &sizes() {
+        // Tiered cache where roughly half the inserted sequences have been
+        // demoted: alternating lookups hit device- and host-resident
+        // prefixes on the same tree shape.
+        let mut cache = build_cache(n / 2, u64::MAX >> 1);
+        let mut next = 0u32;
+        fill(&mut cache, &mut next);
+        let cold_end = next;
+        // A second wave doubles the working set: the first wave demotes.
+        for _ in 0..cold_end {
+            next = next.wrapping_add(1);
+            let (input, output) = seq_for(next);
+            cache.insert_at(&input, &output, f64::from(next));
+        }
+        assert!(cache.stats().demotions > 0, "pressure must demote");
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::new("host_hit", n), |b| {
+            b.iter(|| {
+                // Wave-1 ids: demoted (host) prefixes.
+                i = (i + 1) % cold_end.max(1);
+                let (input, _) = seq_for(i + 1);
+                black_box(cache.longest_cached_prefix_len(&input))
+            })
+        });
+        let mut j = 0u32;
+        group.bench_function(BenchmarkId::new("device_hit", n), |b| {
+            b.iter(|| {
+                // Wave-2 ids: device-resident prefixes.
+                j = (j + 1) % cold_end.max(1);
+                let (input, _) = seq_for(cold_end + j + 1);
+                black_box(cache.longest_cached_prefix_len(&input))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_offload_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offload_storm");
+    group.sample_size(10);
+    for &n in &sizes() {
+        // Host tier fits only a quarter of the device tier: insertions
+        // demote, demotions overflow, host pressure deletes.
+        let model = ModelConfig::transformer_7b();
+        let host = (n as u64 / 4) * 20 * model.kv_bytes_per_token();
+        let mut cache = build_cache(n, host);
+        let mut next = 0u32;
+        fill(&mut cache, &mut next);
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::new("insert_demote_reload", n), |b| {
+            b.iter(|| {
+                next = next.wrapping_add(1);
+                let (input, output) = seq_for(next);
+                cache.insert_at(&input, &output, f64::from(next));
+                i += 1;
+                if i.is_multiple_of(3) {
+                    // Revisit an older sequence: often a host hit.
+                    let (old, _) = seq_for(next.wrapping_sub(64));
+                    black_box(cache.lookup_at(&old, f64::from(next)).host_tokens);
+                }
+                black_box(cache.host_usage_bytes())
+            })
+        });
+        println!(
+            "offload_storm n={n}: {} demotions, {} host evictions, host usage {} MiB",
+            cache.stats().demotions,
+            cache.stats().host_evictions,
+            cache.host_usage_bytes() >> 20
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_demotion_pipeline,
+    bench_reload_lookup,
+    bench_offload_storm
+);
+criterion_main!(benches);

@@ -277,8 +277,8 @@ impl PrefixCache for BlockCache {
         let result = LookupResult {
             tokens_matched: tokens,
             raw_matched: tokens,
-            node: None,
             flops_saved: self.model.flops_saved(tokens),
+            ..LookupResult::MISS
         };
         self.stats.lookups += 1;
         self.stats.input_tokens += input.len() as u64;

@@ -3,18 +3,24 @@
 use crate::policy::{pick_victim_index, Candidate, EvictionPolicy};
 use crate::result::{AdmissionReport, LookupResult};
 use crate::stats::CacheStats;
+use crate::tier::{ReloadPolicy, Tier, TieredPrefix};
 use crate::tuner::{TunerConfig, TunerState};
 use crate::PrefixCache;
 use marconi_model::ModelConfig;
-use marconi_radix::{NodeId, RadixTree, Token};
+use marconi_radix::{InsertOutcome, NodeId, PrefixMatch, RadixTree, Token};
 
 /// Per-node cache metadata: edge KVs are implicit (the edge's tokens); the
-/// node additionally records SSM-checkpoint presence, recency, and the
-/// counters GDSF-style policies need.
+/// node additionally records SSM-checkpoint presence, the memory tier the
+/// node's state lives on, recency, and the counters GDSF-style policies
+/// need.
 #[derive(Debug, Clone, Copy, Default)]
 struct NodeMeta {
     last_access: f64,
     has_ssm_state: bool,
+    /// Where this node's state (edge KVs + checkpoint) physically lives.
+    /// Demotion flips it to [`Tier::Host`]; re-insertion through the node
+    /// promotes it back. Always [`Tier::Device`] when `host_capacity = 0`.
+    tier: Tier,
     /// Accesses since admission (GDSF's `F`).
     frequency: u32,
     /// GDSF priority `H = L + F·C/S`, refreshed on access.
@@ -69,11 +75,15 @@ impl CheckpointMode {
     }
 }
 
-/// Bootstrap snapshot: the tree and its derived byte accounting.
+/// Bootstrap snapshot: the tree and its derived byte accounting (both
+/// tiers' counters, so a tiered cache's replay replicas start from the
+/// exact same residency state).
 #[derive(Debug, Clone)]
 struct Snapshot {
     tree: RadixTree<NodeMeta>,
     ssm_states: u64,
+    host_tokens: u64,
+    host_ssm_states: u64,
     clock: f64,
 }
 
@@ -108,8 +118,20 @@ pub struct HybridPrefixCache {
     name: String,
     model: ModelConfig,
     capacity: u64,
+    /// Host-DRAM tier budget in bytes. 0 disables tiering entirely: every
+    /// device-pressure victim is deleted, exactly like the single-tier
+    /// cache (the parity contract).
+    host_capacity: u64,
+    /// How host-resident hits are brought back to the device (consumed by
+    /// the serving layer; a behavioral knob mirrored by tuner replicas).
+    reload_policy: ReloadPolicy,
     tree: RadixTree<NodeMeta>,
     ssm_states: u64,
+    /// Tokens of edges whose node is host-resident (device tokens are the
+    /// tree total minus this).
+    host_tokens: u64,
+    /// SSM checkpoints on host-resident nodes.
+    host_ssm_states: u64,
     policy: EvictionPolicy,
     tuner: Option<Tuner>,
     effective_alpha: f64,
@@ -144,6 +166,8 @@ impl HybridPrefixCache {
         HybridPrefixCacheBuilder {
             model,
             capacity: 16 << 30,
+            host_capacity: 0,
+            reload_policy: ReloadPolicy::default(),
             policy: EvictionPolicy::default(),
             name: None,
             checkpoint_mode: CheckpointMode::Exact,
@@ -180,10 +204,42 @@ impl HybridPrefixCache {
         })
     }
 
-    /// Number of SSM checkpoints currently cached.
+    /// Number of SSM checkpoints currently cached (both tiers).
     #[must_use]
     pub fn ssm_state_count(&self) -> u64 {
         self.ssm_states
+    }
+
+    /// Configured host-tier (DRAM) budget in bytes; 0 means the cache is
+    /// single-tier and eviction deletes.
+    #[must_use]
+    pub fn host_capacity_bytes(&self) -> u64 {
+        self.host_capacity
+    }
+
+    /// Bytes of model states currently demoted to the host tier.
+    #[must_use]
+    pub fn host_usage_bytes(&self) -> u64 {
+        self.host_usage()
+    }
+
+    /// Length and tier split of the longest *reusable* cached prefix of
+    /// `input`, without mutating any cache state.
+    ///
+    /// The non-mutating-probe contract of
+    /// [`longest_cached_prefix_len`](PrefixCache::longest_cached_prefix_len)
+    /// applies unchanged, and `probe_tiers(input).tokens` always equals it;
+    /// the extra `host_tokens` field lets cluster routers weigh a
+    /// host-resident hit below an equally deep device-resident one.
+    #[must_use]
+    pub fn probe_tiers(&self, input: &[Token]) -> TieredPrefix {
+        let m = self.tree.match_prefix(input);
+        let tokens = self.reusable_len(&m);
+        let (host_tokens, _, _) = self.host_share(&m, tokens);
+        TieredPrefix {
+            tokens,
+            host_tokens,
+        }
     }
 
     /// Number of live radix-tree nodes (diagnostic).
@@ -212,9 +268,179 @@ impl HybridPrefixCache {
     // Internals.
     // ------------------------------------------------------------------
 
+    /// Device-resident bytes (the quantity the device capacity bounds).
+    /// With `host_capacity = 0` no node is ever host-resident, so this is
+    /// exactly the pre-tiering total.
     fn usage(&self) -> u64 {
-        self.tree.token_count() * self.model.kv_bytes_per_token()
-            + self.ssm_states * self.model.ssm_checkpoint_bytes()
+        (self.tree.token_count() - self.host_tokens) * self.model.kv_bytes_per_token()
+            + (self.ssm_states - self.host_ssm_states) * self.model.ssm_checkpoint_bytes()
+    }
+
+    /// Host-resident bytes (the quantity the host capacity bounds).
+    fn host_usage(&self) -> u64 {
+        self.host_tokens * self.model.kv_bytes_per_token()
+            + self.host_ssm_states * self.model.ssm_checkpoint_bytes()
+    }
+
+    /// Bytes a node's state occupies on its tier: its edge KVs plus its
+    /// checkpoint. (Unlike [`freed_bytes`](Self::freed_bytes) this counts
+    /// the edge KVs of intermediate nodes too — demotion moves the whole
+    /// node's state, whereas deletion hands intermediate edges to the
+    /// child.)
+    fn node_bytes(&self, id: NodeId) -> u64 {
+        let ssm = if self.tree.data(id).has_ssm_state {
+            self.model.ssm_checkpoint_bytes()
+        } else {
+            0
+        };
+        self.tree.edge_len(id) * self.model.kv_bytes_per_token() + ssm
+    }
+
+    /// Moves a device-resident node's state to the host tier; returns the
+    /// bytes moved. Tree structure (and therefore every memoized score) is
+    /// untouched — only residency accounting changes.
+    fn demote(&mut self, id: NodeId) -> u64 {
+        let meta = self.tree.data(id);
+        debug_assert_eq!(meta.tier, Tier::Device, "double demotion of {id}");
+        let bytes = self.node_bytes(id);
+        self.host_tokens += self.tree.edge_len(id);
+        if meta.has_ssm_state {
+            self.host_ssm_states += 1;
+        }
+        self.tree.data_mut(id).tier = Tier::Host;
+        bytes
+    }
+
+    /// Promotes every host-resident node on `seq`'s fully-matched path back
+    /// to the device tier. Called after admission: prefilling (or
+    /// reloading) the sequence materialized those states on the device, so
+    /// the path is device-resident again and the following pressure episode
+    /// re-decides what to demote. No-op on a host-empty cache — in
+    /// particular, byte-identical behavior when `host_capacity = 0`.
+    fn promote_resident_path(&mut self, seq: &[Token]) {
+        if self.host_tokens == 0 {
+            return;
+        }
+        let m = self.tree.match_prefix(seq);
+        for id in m.path {
+            if self.tree.data(id).tier == Tier::Host {
+                self.host_tokens -= self.tree.edge_len(id);
+                if self.tree.data(id).has_ssm_state {
+                    self.host_ssm_states -= 1;
+                }
+                self.tree.data_mut(id).tier = Tier::Device;
+            }
+        }
+    }
+
+    /// Repairs tier attribution after an insertion split an edge: the new
+    /// intermediate node holds the *head* tokens of the split edge, so it
+    /// must inherit the old child's tier or host-token accounting drifts
+    /// (the tree itself default-initializes new payloads to
+    /// [`Tier::Device`]).
+    fn inherit_split_tier(&mut self, outcome: &InsertOutcome) {
+        if self.host_tokens == 0 {
+            return;
+        }
+        let Some(mid) = outcome.split_node else {
+            return;
+        };
+        let old_child = self
+            .tree
+            .children(mid)
+            .find(|&c| Some(c) != outcome.new_leaf);
+        if let Some(c) = old_child {
+            if self.tree.data(c).tier == Tier::Host {
+                // Tokens moved between two host-resident edges: the
+                // counters are already correct, only the flag was missing.
+                self.tree.data_mut(mid).tier = Tier::Host;
+            }
+        }
+    }
+
+    /// Reusable prefix length for a match, shared by `lookup_at`,
+    /// `longest_cached_prefix_len`, and `probe_tiers` so the three can
+    /// never disagree. All-or-nothing for SSM models (deepest checkpointed
+    /// node on the path); the raw match for pure Transformers.
+    fn reusable_len(&self, m: &PrefixMatch) -> u64 {
+        if self.model.has_ssm() {
+            m.path
+                .iter()
+                .rev()
+                .copied()
+                .find(|&id| self.tree.data(id).has_ssm_state)
+                .map_or(0, |id| self.tree.depth(id))
+        } else {
+            m.matched_len
+        }
+    }
+
+    /// Host-resident share of a hit of `tokens_matched` tokens along `m`:
+    /// `(host tokens, bytes to transfer, FLOPs to recompute)`.
+    ///
+    /// Walks the matched path once; each host-tier node contributes its
+    /// edge KV bytes and its span's incremental prefill FLOPs, and the hit
+    /// node's SSM checkpoint contributes its bytes when host-resident. The
+    /// recompute arm is idealized roll-forward accounting: a span `[a, b)`
+    /// costs `prefill_flops(b) − prefill_flops(a)`, exact for attention KVs
+    /// and an optimistic bound for interior SSM spans (demotion targets
+    /// ≤ 1-child chains, so host spans are suffixes of the matched path in
+    /// practice).
+    fn host_share(&self, m: &PrefixMatch, tokens_matched: u64) -> (u64, u64, u128) {
+        if self.host_tokens == 0 || tokens_matched == 0 {
+            return (0, 0, 0);
+        }
+        let kv = self.model.kv_bytes_per_token();
+        let mut h_tokens = 0u64;
+        let mut h_bytes = 0u64;
+        let mut h_flops = 0u128;
+        for &id in &m.path {
+            let depth = self.tree.depth(id);
+            if depth > tokens_matched {
+                break;
+            }
+            let meta = self.tree.data(id);
+            if meta.tier == Tier::Host {
+                let edge = self.tree.edge_len(id);
+                h_tokens += edge;
+                h_bytes += edge * kv;
+                h_flops += self.model.prefill_flops(depth).total()
+                    - self.model.prefill_flops(depth - edge).total();
+                if meta.has_ssm_state && depth == tokens_matched && self.model.has_ssm() {
+                    h_bytes += self.model.ssm_checkpoint_bytes();
+                }
+            }
+        }
+        // A pure-Transformer match may end inside an edge: the partial
+        // tokens live in the containing child.
+        if let Some(child) = m.mid_edge_child {
+            let start = self.tree.depth(child) - self.tree.edge_len(child);
+            if tokens_matched > start && self.tree.data(child).tier == Tier::Host {
+                let part = tokens_matched - start;
+                h_tokens += part;
+                h_bytes += part * kv;
+                h_flops += self.model.prefill_flops(tokens_matched).total()
+                    - self.model.prefill_flops(start).total();
+            }
+        }
+        (h_tokens, h_bytes, h_flops)
+    }
+
+    /// Debug/test-only: the incremental host counters must equal a
+    /// from-scratch scan of per-node tiers.
+    #[cfg(any(debug_assertions, test))]
+    fn assert_tier_accounting(&self) {
+        let mut tokens = 0u64;
+        let mut ssm = 0u64;
+        for id in self.tree.node_ids() {
+            let meta = self.tree.data(id);
+            if meta.tier == Tier::Host {
+                tokens += self.tree.edge_len(id);
+                ssm += u64::from(meta.has_ssm_state);
+            }
+        }
+        assert_eq!(tokens, self.host_tokens, "host_tokens drift");
+        assert_eq!(ssm, self.host_ssm_states, "host_ssm_states drift");
     }
 
     /// Bytes that evicting `id` would free: a leaf releases its edge KVs
@@ -322,104 +548,279 @@ impl HybridPrefixCache {
             .map(|(i, _)| i)
     }
 
-    /// Evicts lowest-utility candidates until usage fits the capacity.
+    /// Resolves memory pressure on both tiers.
     ///
-    /// Complexity contract: one *pressure episode* (this whole call) costs
+    /// Phase 1 (*device pressure*): while device usage exceeds the device
+    /// capacity, pick the lowest-utility device-resident candidate with the
+    /// existing victim machinery. With a host tier (`host_capacity > 0`)
+    /// the victim is **demoted** — its whole state moves to host DRAM, the
+    /// tree is untouched; without one (or for zero-byte structural nodes)
+    /// it is deleted exactly as before, so `host_capacity = 0` is
+    /// byte-identical to the single-tier cache.
+    ///
+    /// Phase 2 (*host pressure*): while host usage exceeds the host budget,
+    /// the same victim machinery runs over the host-resident candidates and
+    /// **deletes** them (host is the last tier). Deleting a host-resident
+    /// intermediate node hands its edge to the absorbing child, re-homing
+    /// those KVs on the child's tier.
+    ///
+    /// The phases repeat until both tiers fit or neither can make progress
+    /// (a merge into a device child can push the device tier back over).
+    ///
+    /// Complexity contract (PR 2, per tier): one pressure episode costs
     /// O(candidates) to build the victim pool — straight off the tree's
     /// incremental candidate index, never an arena scan — plus O(pool) of
-    /// cheap memoized score reads per victim. The pool is repaired in place
-    /// as victims leave: the victim swap-removes in O(1), and the only node
-    /// whose *candidacy* can change is the victim's parent (a leaf victim
-    /// may drop it to ≤ 1 child). Nodes whose *scores* change (a merge
-    /// child's grown edge, a parent turned leaf) re-derive lazily through
-    /// the structure-version memo.
-    ///
-    /// Selection is deterministically identical to re-collecting and
-    /// re-scoring every candidate per victim (the pre-refactor behavior):
-    /// membership repairs reproduce the scan set exactly, scores come from
-    /// the same formulas, and both pickers minimize a strict total order,
-    /// making pool ordering irrelevant. Debug builds re-verify all three
-    /// claims on every iteration.
+    /// cheap memoized score reads per victim, with in-place pool repair.
+    /// Selection at `host_capacity = 0` is deterministically identical to
+    /// re-collecting and re-scoring every candidate per victim (the
+    /// pre-refactor behavior); debug builds re-verify pool membership, memo
+    /// freshness, and tier accounting on every iteration.
     fn evict_until_fits(&mut self, report: &mut AdmissionReport) {
         #[cfg(test)]
         if self.use_scan_eviction {
+            debug_assert_eq!(self.host_capacity, 0, "the scan reference predates tiering");
             return self.evict_until_fits_scan(report);
         }
+        #[cfg(debug_assertions)]
+        self.assert_tier_accounting();
+        loop {
+            let work_before = self.stats.evictions + self.stats.demotions;
+            self.evict_device_pressure(report);
+            self.evict_host_pressure(report);
+            let fits = self.usage() <= self.capacity && self.host_usage() <= self.host_capacity;
+            if fits || self.stats.evictions + self.stats.demotions == work_before {
+                break;
+            }
+        }
+    }
+
+    /// Collects the victim pool for one tier: eviction candidates resident
+    /// on `tier` (plus the leaf-only ablation filter).
+    fn tier_pool(&self, tier: Tier) -> Vec<NodeId> {
+        let leaf_only = self.leaf_only_eviction;
+        self.tree
+            .eviction_candidates()
+            .filter(|&id| self.tree.data(id).tier == tier)
+            .filter(|&id| !leaf_only || self.tree.is_leaf(id))
+            .collect()
+    }
+
+    /// Phase 1: demote (or, single-tier, delete) device-resident victims
+    /// until device usage fits.
+    ///
+    /// Demotion of the ≤ 1-child candidates can strand device bytes:
+    /// a branch node whose children were all *demoted* (not deleted) keeps
+    /// its 2+ children forever, never enters the candidate pool, and its
+    /// edge KVs pin the device tier. Deletion never had this problem
+    /// (removing leaves cascaded candidacy up). Demotion, however — unlike
+    /// deletion — is structurally safe for *any* node, so when the
+    /// candidate pool drains with the device tier still over its (hard,
+    /// physical) capacity, a fallback pass demotes the remaining
+    /// device-resident nodes by the same score until it fits.
+    fn evict_device_pressure(&mut self, report: &mut AdmissionReport) {
         if self.usage() <= self.capacity || self.tree.is_empty() {
             return;
         }
-        let leaf_only = self.leaf_only_eviction;
-        let mut pool: Vec<NodeId> = self
-            .tree
-            .eviction_candidates()
-            .filter(|&id| !leaf_only || self.tree.is_leaf(id))
-            .collect();
+        let mut pool = self.tier_pool(Tier::Device);
         let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(pool.len());
         while self.usage() > self.capacity && !self.tree.is_empty() {
             #[cfg(debug_assertions)]
-            self.assert_pool_matches_scan(&pool);
-            let picked = if matches!(self.policy, EvictionPolicy::Gdsf) {
-                let idx = self.pick_gdsf_victim_index(&pool);
-                if let Some(i) = idx {
-                    let h = self.tree.data(pool[i]).gdsf_priority;
-                    if h.is_finite() {
-                        self.gdsf_clock = self.gdsf_clock.max(h);
-                    }
-                }
-                idx
-            } else {
-                scored.clear();
-                for &id in &pool {
-                    let (_, eff) = self.node_costs(id);
-                    scored.push(Candidate {
-                        id,
-                        last_access: self.tree.data(id).last_access,
-                        flop_efficiency: eff,
-                    });
-                }
-                pick_victim_index(&scored, self.effective_alpha)
-            };
-            let Some(i) = picked else {
+            self.assert_pool_matches_scan(&pool, Tier::Device);
+            let Some(i) = self.pick_from_pool(&pool, &mut scored) else {
                 break;
             };
             let victim = pool.swap_remove(i);
-            let (freed, _) = self.node_costs(victim);
-            let parent = self.tree.parent(victim).expect("victims are non-root");
-            let parent_children_before = self.tree.child_count(parent);
-            let removed = self
+            // Tiered mode: demote everything that actually moves bytes;
+            // zero-byte structural nodes (no checkpoint, zero-width KVs)
+            // still merge away so the loop always progresses.
+            if self.host_capacity > 0 && self.node_bytes(victim) > 0 {
+                self.demote_victim(victim, report);
+                continue;
+            }
+            self.delete_victim(victim, &mut pool, report, Tier::Device);
+        }
+        // Fallback: the candidate pool drained but non-candidate (2+
+        // child) device nodes still hold bytes. Only reachable with a host
+        // tier (single-tier deletion always cascades down to fit), so the
+        // O(arena) scan never touches the parity path.
+        if self.host_capacity > 0 && self.usage() > self.capacity {
+            let mut rest: Vec<NodeId> = self
                 .tree
-                .remove(victim)
-                .expect("eviction candidates are removable");
-            // Repair the pool: a leaf victim's parent may have just become
-            // eligible (≤ 1 child — or, under the leaf-only ablation, a
-            // leaf). A merge victim changes no candidacies: its child keeps
-            // its own children and simply absorbs the edge.
-            if removed.merged_into.is_none() && parent != self.tree.root() {
-                let newly_eligible = if leaf_only {
-                    parent_children_before == 1
-                } else {
-                    parent_children_before == 2
+                .node_ids()
+                .filter(|&id| self.tree.data(id).tier == Tier::Device && self.node_bytes(id) > 0)
+                .collect();
+            while self.usage() > self.capacity {
+                let Some(i) = self.pick_from_pool(&rest, &mut scored) else {
+                    break;
                 };
-                if newly_eligible {
-                    pool.push(parent);
+                let victim = rest.swap_remove(i);
+                self.demote_victim(victim, report);
+            }
+            debug_assert!(
+                self.usage() <= self.capacity,
+                "every device byte is demotable, so the fallback must fit"
+            );
+        }
+    }
+
+    /// Phase 2: delete host-resident victims until host usage fits the
+    /// host budget. Host is the last tier, so pressure here means deletion
+    /// — same candidate set, same scoring, same pool repair as the device
+    /// phase. Host-resident nodes that grew extra children since demotion
+    /// are not candidates (deleting a shared prefix is structurally
+    /// impossible); when only those remain the pool drains and the host
+    /// tier stays (softly) over budget until their descendants go.
+    fn evict_host_pressure(&mut self, report: &mut AdmissionReport) {
+        if self.host_usage() <= self.host_capacity || self.tree.is_empty() {
+            return;
+        }
+        let mut pool = self.tier_pool(Tier::Host);
+        let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(pool.len());
+        while self.host_usage() > self.host_capacity && !pool.is_empty() {
+            #[cfg(debug_assertions)]
+            self.assert_pool_matches_scan(&pool, Tier::Host);
+            let Some(i) = self.pick_from_pool(&pool, &mut scored) else {
+                break;
+            };
+            let victim = pool.swap_remove(i);
+            self.delete_victim(victim, &mut pool, report, Tier::Host);
+        }
+    }
+
+    /// Demotes `victim` and records the move in stats and the admission
+    /// report.
+    fn demote_victim(&mut self, victim: NodeId, report: &mut AdmissionReport) {
+        let moved = self.demote(victim);
+        self.stats.demotions += 1;
+        self.stats.bytes_demoted += moved;
+        report.entries_demoted += 1;
+        report.bytes_demoted += moved;
+    }
+
+    /// Deletes `victim` from `tier`: removes it from the tree, repairs the
+    /// live `pool` (a leaf victim's parent may become a same-tier
+    /// candidate; a merge victim changes no candidacies — its child keeps
+    /// its own children and simply absorbs the edge), updates the
+    /// cross-tier accounting, and books the eviction. The one deletion
+    /// body both pressure phases share, so their victim handling can never
+    /// drift.
+    fn delete_victim(
+        &mut self,
+        victim: NodeId,
+        pool: &mut Vec<NodeId>,
+        report: &mut AdmissionReport,
+        tier: Tier,
+    ) {
+        let (freed, _) = self.node_costs(victim);
+        let victim_edge = self.tree.edge_len(victim);
+        let parent = self.tree.parent(victim).expect("victims are non-root");
+        let parent_children_before = self.tree.child_count(parent);
+        let removed = self
+            .tree
+            .remove(victim)
+            .expect("eviction candidates are removable");
+        if removed.merged_into.is_none() && parent != self.tree.root() {
+            let newly_eligible = if self.leaf_only_eviction {
+                parent_children_before == 1
+            } else {
+                parent_children_before == 2
+            };
+            if newly_eligible && self.tree.data(parent).tier == tier {
+                pool.push(parent);
+            }
+        }
+        self.apply_removed_accounting(victim_edge, &removed, tier);
+        if removed.data.has_ssm_state {
+            self.ssm_states -= 1;
+        }
+        #[cfg(test)]
+        self.eviction_log.push(victim);
+        self.stats.evictions += 1;
+        self.stats.bytes_evicted += freed;
+        if tier == Tier::Host {
+            self.stats.host_evictions += 1;
+            self.stats.bytes_host_evicted += freed;
+        }
+        report.entries_evicted += 1;
+        report.bytes_evicted += freed;
+    }
+
+    /// Shared victim picker over a tier-filtered pool: GDSF priority under
+    /// `EvictionPolicy::Gdsf` (advancing the inflation clock), the
+    /// `S(n) = recency + α·flop_efficiency` order otherwise.
+    fn pick_from_pool(
+        &mut self,
+        pool: &[NodeId],
+        scored: &mut Vec<Candidate<NodeId>>,
+    ) -> Option<usize> {
+        if matches!(self.policy, EvictionPolicy::Gdsf) {
+            let idx = self.pick_gdsf_victim_index(pool);
+            if let Some(i) = idx {
+                let h = self.tree.data(pool[i]).gdsf_priority;
+                if h.is_finite() {
+                    self.gdsf_clock = self.gdsf_clock.max(h);
                 }
             }
-            if removed.data.has_ssm_state {
-                self.ssm_states -= 1;
+            idx
+        } else {
+            scored.clear();
+            for &id in pool {
+                let (_, eff) = self.node_costs(id);
+                scored.push(Candidate {
+                    id,
+                    last_access: self.tree.data(id).last_access,
+                    flop_efficiency: eff,
+                });
             }
-            #[cfg(test)]
-            self.eviction_log.push(victim);
-            self.stats.evictions += 1;
-            self.stats.bytes_evicted += freed;
-            report.entries_evicted += 1;
-            report.bytes_evicted += freed;
+            pick_victim_index(scored, self.effective_alpha)
+        }
+    }
+
+    /// Updates the host counters for a `victim_edge`-token node removed
+    /// from `tier`. A leaf's edge leaves the tree; a merged intermediate's
+    /// edge is absorbed by the child and re-homed on the *child's* tier
+    /// (the cross-tier flow that can push the device tier back over
+    /// capacity and re-trigger phase 1).
+    fn apply_removed_accounting(
+        &mut self,
+        victim_edge: u64,
+        removed: &marconi_radix::Removed<NodeMeta>,
+        tier: Tier,
+    ) {
+        match tier {
+            Tier::Device => {
+                // A device leaf's tokens were device-resident; only a merge
+                // into a host-resident child moves tokens across tiers.
+                if let Some(child) = removed.merged_into {
+                    if self.tree.data(child).tier == Tier::Host {
+                        self.host_tokens += victim_edge;
+                    }
+                }
+            }
+            Tier::Host => {
+                if removed.data.has_ssm_state {
+                    self.host_ssm_states -= 1;
+                }
+                match removed.merged_into {
+                    // Host leaf deleted outright.
+                    None => self.host_tokens -= victim_edge,
+                    Some(child) => {
+                        if self.tree.data(child).tier == Tier::Device {
+                            // The absorbed edge re-homes on the device
+                            // child.
+                            self.host_tokens -= victim_edge;
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// Debug-only: the incremental pool must equal the from-scratch scan of
-    /// live ≤ 1-child nodes (the pre-refactor candidate set).
+    /// live ≤ 1-child nodes on `tier` (at `host_capacity = 0` the device
+    /// pool is exactly the pre-refactor candidate set).
     #[cfg(debug_assertions)]
-    fn assert_pool_matches_scan(&self, pool: &[NodeId]) {
+    fn assert_pool_matches_scan(&self, pool: &[NodeId], tier: Tier) {
         let mut got: Vec<NodeId> = pool.to_vec();
         got.sort_unstable();
         got.windows(2)
@@ -428,6 +829,7 @@ impl HybridPrefixCache {
             .tree
             .node_ids()
             .filter(|&id| self.tree.child_count(id) <= 1)
+            .filter(|&id| self.tree.data(id).tier == tier)
             .filter(|&id| !self.leaf_only_eviction || self.tree.is_leaf(id))
             .collect();
         want.sort_unstable();
@@ -498,6 +900,12 @@ impl HybridPrefixCache {
             // The checkpoint changes what evicting this node frees: drop
             // the memoized scores.
             meta.cost_memo = None;
+            if meta.tier == Tier::Host {
+                // Checkpointing a still-host-resident node (promotion runs
+                // after all checkpoints land): keep the tier counters in
+                // step.
+                self.host_ssm_states += 1;
+            }
             self.ssm_states += 1;
             1
         }
@@ -526,15 +934,22 @@ impl HybridPrefixCache {
                 requests_seen,
             } => {
                 let requests_seen = requests_seen + 1;
-                if self.stats.evictions > 0 {
-                    // First eviction: snapshot and start the bootstrap
-                    // window (recording begins with the *next* request).
+                if self.stats.evictions + self.stats.demotions > 0 {
+                    // First pressure event — a deletion, or (tiered) a
+                    // demotion: snapshot and start the bootstrap window
+                    // (recording begins with the *next* request). A tiered
+                    // cache with an ample host budget may never delete,
+                    // but α starts mattering at the first demotion: it
+                    // decides which nodes stay device-resident vs pay a
+                    // PCIe reload.
                     let target = config.window_len(requests_seen);
                     Tuner::Bootstrapping {
                         config,
                         snapshot: Box::new(Snapshot {
                             tree: self.tree.clone(),
                             ssm_states: self.ssm_states,
+                            host_tokens: self.host_tokens,
+                            host_ssm_states: self.host_ssm_states,
                             clock: self.clock,
                         }),
                         recorded: Vec::new(),
@@ -580,18 +995,23 @@ impl HybridPrefixCache {
     /// Builds a fixed-α replica seeded from a snapshot, for replay.
     ///
     /// The replica mirrors every behavioral knob of the live cache —
-    /// checkpoint mode, ancestor refresh, leaf-only eviction — differing
-    /// only in its (fixed) α. Anything less and the tuner grades each α
-    /// against replay dynamics the live cache will never exhibit: e.g. a
-    /// `Chunked` cache's branch checkpoints land on chunk boundaries, so an
-    /// `Exact`-mode replica would systematically overestimate reuse.
+    /// checkpoint mode, ancestor refresh, leaf-only eviction, and the tier
+    /// knobs (host capacity, reload policy) — differing only in its
+    /// (fixed) α. Anything less and the tuner grades each α against replay
+    /// dynamics the live cache will never exhibit: e.g. a tiered cache's
+    /// demoted entries keep hitting, so a single-tier replica would
+    /// systematically underestimate reuse.
     fn replica(&self, snapshot: &Snapshot, alpha: f64) -> Self {
         HybridPrefixCache {
             name: "replica".to_owned(),
             model: self.model.clone(),
             capacity: self.capacity,
+            host_capacity: self.host_capacity,
+            reload_policy: self.reload_policy,
             tree: snapshot.tree.clone(),
             ssm_states: snapshot.ssm_states,
+            host_tokens: snapshot.host_tokens,
+            host_ssm_states: snapshot.host_ssm_states,
             policy: EvictionPolicy::FlopAware { alpha },
             tuner: None,
             effective_alpha: alpha,
@@ -663,22 +1083,13 @@ impl PrefixCache for HybridPrefixCache {
         // never mutates, no timestamps are stamped, no stats move, and no
         // speculative insertion fires — the whole point of the probe.
         let m = self.tree.match_prefix(input);
-        if self.model.has_ssm() {
-            m.path
-                .iter()
-                .rev()
-                .copied()
-                .find(|&id| self.tree.data(id).has_ssm_state)
-                .map_or(0, |id| self.tree.depth(id))
-        } else {
-            m.matched_len
-        }
+        self.reusable_len(&m)
     }
 
     fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
         self.clock = self.clock.max(now);
         let m = self.tree.match_prefix(input);
-        let result = if self.model.has_ssm() {
+        let mut result = if self.model.has_ssm() {
             // All-or-nothing: reuse stops at the deepest checkpointed node.
             let hit = m
                 .path
@@ -694,6 +1105,7 @@ impl PrefixCache for HybridPrefixCache {
                         raw_matched: m.matched_len,
                         node: Some(node),
                         flops_saved: self.model.flops_saved(depth),
+                        ..LookupResult::MISS
                     }
                 }
                 None => LookupResult {
@@ -717,8 +1129,16 @@ impl PrefixCache for HybridPrefixCache {
                     m.deepest()
                 },
                 flops_saved: self.model.flops_saved(m.matched_len),
+                ..LookupResult::MISS
             }
         };
+        // Tier split of the hit: which part of the reused prefix must cross
+        // PCIe (or be recomputed) before it is usable on the device.
+        let (host_tokens, host_bytes, host_reload_flops) =
+            self.host_share(&m, result.tokens_matched);
+        result.host_tokens = host_tokens;
+        result.host_bytes = host_bytes;
+        result.host_reload_flops = host_reload_flops;
         // §4.3(2): only the accessed node's timestamp is updated (unless
         // the ancestor-refresh ablation is enabled).
         if let Some(node) = result.node {
@@ -738,9 +1158,13 @@ impl PrefixCache for HybridPrefixCache {
         self.stats.lookups += 1;
         self.stats.input_tokens += input.len() as u64;
         self.stats.hit_tokens += result.tokens_matched;
+        self.stats.host_hit_tokens += result.host_tokens;
         self.stats.flops_saved += result.flops_saved;
         if result.is_hit() {
             self.stats.hits += 1;
+            if result.needs_reload() {
+                self.stats.host_hits += 1;
+            }
         }
         result
     }
@@ -762,6 +1186,7 @@ impl PrefixCache for HybridPrefixCache {
                 let target = self.checkpoint_mode.checkpoint_depth(branch_depth);
                 if target > 0 {
                     let outcome = self.tree.insert(&input[..target as usize]);
+                    self.inherit_split_tier(&outcome);
                     self.stamp_new_nodes(&outcome, now);
                     let node = outcome.end_node;
                     debug_assert_eq!(self.tree.depth(node), target);
@@ -777,11 +1202,19 @@ impl PrefixCache for HybridPrefixCache {
         let full: Vec<Token> = input.iter().chain(output.iter()).copied().collect();
         if !full.is_empty() {
             let outcome = self.tree.insert(&full);
+            self.inherit_split_tier(&outcome);
             self.stamp_new_nodes(&outcome, now);
             if self.model.has_ssm() {
                 admitted += self.checkpoint(outcome.end_node, now);
             }
         }
+
+        // Serving this request (re)materialized its whole path's states on
+        // the device — whether by prefill, reload, or recompute — so any
+        // host-resident node along it promotes back to the device tier
+        // before pressure is re-resolved below. (No-op while the host tier
+        // is empty, so `host_capacity = 0` behavior is untouched.)
+        self.promote_resident_path(&full);
 
         let kv_added = (self.tree.token_count() - tokens_before) * self.model.kv_bytes_per_token();
         report.ssm_states_admitted = admitted;
@@ -806,6 +1239,10 @@ impl PrefixCache for HybridPrefixCache {
     fn capacity_bytes(&self) -> u64 {
         self.capacity
     }
+
+    fn reload_policy(&self) -> ReloadPolicy {
+        self.reload_policy
+    }
 }
 
 /// Builder for [`HybridPrefixCache`]; see
@@ -814,6 +1251,8 @@ impl PrefixCache for HybridPrefixCache {
 pub struct HybridPrefixCacheBuilder {
     model: ModelConfig,
     capacity: u64,
+    host_capacity: u64,
+    reload_policy: ReloadPolicy,
     policy: EvictionPolicy,
     name: Option<String>,
     checkpoint_mode: CheckpointMode,
@@ -822,10 +1261,31 @@ pub struct HybridPrefixCacheBuilder {
 }
 
 impl HybridPrefixCacheBuilder {
-    /// Sets the cache capacity in bytes.
+    /// Sets the device-tier cache capacity in bytes.
     #[must_use]
     pub fn capacity_bytes(mut self, bytes: u64) -> Self {
         self.capacity = bytes;
+        self
+    }
+
+    /// Sets the host-DRAM tier budget in bytes (default 0 = single-tier).
+    ///
+    /// With a nonzero budget, device-pressure victims are *demoted* to the
+    /// host tier instead of deleted, and host pressure deletes with the
+    /// same victim machinery. A `host_capacity` of 0 keeps the cache
+    /// byte-identical to the pre-tiering single-tier behavior.
+    #[must_use]
+    pub fn host_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.host_capacity = bytes;
+        self
+    }
+
+    /// Sets how host-resident hits are brought back to the device (default
+    /// [`ReloadPolicy::ComputeOrLoad`]). Consumed by the serving layer's
+    /// timing model; mirrored by tuner replicas like every behavioral knob.
+    #[must_use]
+    pub fn reload_policy(mut self, policy: ReloadPolicy) -> Self {
+        self.reload_policy = policy;
         self
     }
 
@@ -894,8 +1354,12 @@ impl HybridPrefixCacheBuilder {
             name,
             model: self.model,
             capacity: self.capacity,
+            host_capacity: self.host_capacity,
+            reload_policy: self.reload_policy,
             tree: RadixTree::new(),
             ssm_states: 0,
+            host_tokens: 0,
+            host_ssm_states: 0,
             policy: self.policy,
             tuner,
             effective_alpha,
@@ -1376,6 +1840,8 @@ mod tests {
         let snapshot = Snapshot {
             tree: parent.tree.clone(),
             ssm_states: parent.ssm_states,
+            host_tokens: parent.host_tokens,
+            host_ssm_states: parent.host_ssm_states,
             clock: parent.clock,
         };
         let replica = parent.replica(&snapshot, 1.5);
@@ -1398,6 +1864,8 @@ mod tests {
         let snapshot = Snapshot {
             tree: parent.tree.clone(),
             ssm_states: parent.ssm_states,
+            host_tokens: parent.host_tokens,
+            host_ssm_states: parent.host_ssm_states,
             clock: parent.clock,
         };
         let mut replica = parent.replica(&snapshot, 0.5);
@@ -1568,7 +2036,10 @@ mod tests {
 
     /// Replays a seeded trace through two identically-configured caches —
     /// one using the pre-refactor full-scan selection, one the incremental
-    /// pool — and demands byte-identical victim sequences and stats.
+    /// (now tier-aware) pipeline at `host_capacity = 0` — and demands
+    /// byte-identical victim sequences and stats. This is the single-tier
+    /// parity contract: a zero host budget must reproduce the pre-tiering
+    /// cache byte-for-byte.
     fn assert_eviction_parity(policy: EvictionPolicy, capacity: u64, trace_seed: u64) {
         use marconi_workload::{DatasetKind, TraceGenerator};
         let trace = TraceGenerator::new(DatasetKind::Lmsys)
@@ -1578,6 +2049,7 @@ mod tests {
         let build = |scan: bool| {
             let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
                 .capacity_bytes(capacity)
+                .host_capacity_bytes(0)
                 .policy(policy.clone())
                 .build();
             c.use_scan_eviction = scan;
@@ -1605,6 +2077,12 @@ mod tests {
         );
         assert_eq!(reference.usage(), incremental.usage());
         assert_eq!(reference.effective_alpha, incremental.effective_alpha);
+        // Single-tier runs must never touch the host tier in any way.
+        assert_eq!(incremental.host_usage_bytes(), 0);
+        assert_eq!(incremental.stats.demotions, 0);
+        assert_eq!(incremental.stats.host_hits, 0);
+        assert_eq!(incremental.stats.host_hit_tokens, 0);
+        assert_eq!(incremental.stats.host_evictions, 0);
     }
 
     #[test]
@@ -1654,5 +2132,421 @@ mod tests {
         let peak_after_one = c.stats().peak_usage_bytes;
         c.insert_sequence(&seq(50_000..50_128), &seq(60_000..60_032));
         assert!(c.stats().peak_usage_bytes >= peak_after_one);
+    }
+
+    // ------------------------------------------------------------------
+    // The tiered device/host hierarchy (this PR's refactor): demotion
+    // instead of deletion under device pressure, host hits that require a
+    // transfer, promotion on re-insertion, and host-pressure deletion.
+    // ------------------------------------------------------------------
+
+    /// Capacity that fits exactly two 128-token single-checkpoint
+    /// sequences, like the LRU tests above.
+    fn two_seq_capacity(m: &ModelConfig) -> u64 {
+        2 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes()) + 1
+    }
+
+    fn tiered(capacity: u64, host_capacity: u64) -> HybridPrefixCache {
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(capacity)
+            .host_capacity_bytes(host_capacity)
+            .policy(EvictionPolicy::Lru)
+            .build()
+    }
+
+    #[test]
+    fn device_pressure_demotes_instead_of_deleting() {
+        let m = ModelConfig::hybrid_7b();
+        let mut c = tiered(two_seq_capacity(&m), 1 << 40);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A (oldest)
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+        assert_eq!(c.host_usage_bytes(), 0);
+        // C applies pressure: A demotes to host instead of vanishing.
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532));
+        assert!(c.stats().demotions > 0, "pressure must demote");
+        assert_eq!(c.stats().evictions, 0, "nothing may be deleted");
+        let expected = 128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes();
+        assert_eq!(c.host_usage_bytes(), expected, "A's bytes moved to host");
+        assert!(c.usage_bytes() <= c.capacity_bytes());
+        c.assert_tier_accounting();
+    }
+
+    #[test]
+    fn host_hits_report_transfer_requirements() {
+        let m = ModelConfig::hybrid_7b();
+        let mut c = tiered(two_seq_capacity(&m), 1 << 40);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532)); // C demotes A
+
+        let mut turn_a = seq(0..96);
+        turn_a.extend(seq(500..532));
+        let r = c.lookup(&turn_a);
+        assert_eq!(r.tokens_matched, 128, "the demoted prefix still hits");
+        assert_eq!(r.host_tokens, 128, "…but entirely from the host tier");
+        assert_eq!(r.device_tokens(), 0);
+        assert_eq!(
+            r.host_bytes,
+            128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes(),
+            "transfer = edge KVs + the hit node's checkpoint"
+        );
+        assert_eq!(
+            r.host_reload_flops,
+            m.prefill_flops(128).total(),
+            "recompute arm = the span's prefill FLOPs"
+        );
+        assert_eq!(c.stats().host_hits, 1);
+        assert_eq!(c.stats().host_hit_tokens, 128);
+    }
+
+    #[test]
+    fn insertion_promotes_the_served_path_back_to_device() {
+        let m = ModelConfig::hybrid_7b();
+        let mut c = tiered(two_seq_capacity(&m), 1 << 40);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532)); // C demotes A
+
+        // A's next turn is served (host hit) and re-admitted: its path must
+        // be device-resident again, with pressure demoting a *colder*
+        // entry instead.
+        let mut turn_a = seq(0..96);
+        turn_a.extend(seq(500..532));
+        let mut next = turn_a.clone();
+        next.extend(seq(30_000..30_016));
+        c.lookup(&turn_a);
+        c.insert_sequence(&next, &seq(40_000..40_008));
+        let r = c.lookup(&{
+            let mut v = next.clone();
+            v.extend(seq(40_000..40_008));
+            v
+        });
+        assert!(r.tokens_matched > 0);
+        assert_eq!(r.host_tokens, 0, "the promoted path serves from device");
+        assert!(c.usage_bytes() <= c.capacity_bytes());
+        c.assert_tier_accounting();
+    }
+
+    #[test]
+    fn host_pressure_deletes_with_the_same_victim_machinery() {
+        let m = ModelConfig::hybrid_7b();
+        // Host fits exactly one demoted 128-token sequence.
+        let host_cap = 128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes();
+        let mut c = tiered(two_seq_capacity(&m), host_cap);
+        for i in 0..6u32 {
+            c.insert_sequence(
+                &seq(i * 10_000..i * 10_000 + 96),
+                &seq(i * 10_000 + 500..i * 10_000 + 532),
+            );
+        }
+        assert!(c.stats().demotions >= 2, "repeated pressure demotes");
+        assert!(
+            c.stats().host_evictions > 0,
+            "host overflow must delete from the host tier"
+        );
+        assert_eq!(c.stats().host_evictions, c.stats().evictions);
+        assert!(c.host_usage_bytes() <= host_cap);
+        assert!(c.usage_bytes() <= c.capacity_bytes());
+        c.assert_tier_accounting();
+    }
+
+    #[test]
+    fn probe_tiers_matches_lookup_and_stays_non_mutating() {
+        let m = ModelConfig::hybrid_7b();
+        let mut c = tiered(two_seq_capacity(&m), 1 << 40);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A → demoted below
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532));
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532));
+
+        let mut turn_a = seq(0..96);
+        turn_a.extend(seq(500..532));
+        let stats_before = *c.stats();
+        let host_before = c.host_usage_bytes();
+        let p = c.probe_tiers(&turn_a);
+        assert_eq!(*c.stats(), stats_before, "probe must not move stats");
+        assert_eq!(c.host_usage_bytes(), host_before);
+        assert_eq!(p.tokens, c.longest_cached_prefix_len(&turn_a));
+        let r = c.lookup(&turn_a);
+        assert_eq!(p.tokens, r.tokens_matched);
+        assert_eq!(p.host_tokens, r.host_tokens);
+        assert_eq!(p.device_tokens(), r.device_tokens());
+    }
+
+    #[test]
+    fn transformer_mid_edge_host_hits_split_by_tier() {
+        // Pure Transformer: a partial match ending inside a demoted edge
+        // reports exactly the partial tokens as host-resident.
+        let m = ModelConfig::transformer_7b();
+        let capacity = 2 * 160 * m.kv_bytes_per_token() + 1;
+        let mut c = HybridPrefixCache::builder(m.clone())
+            .capacity_bytes(capacity)
+            .host_capacity_bytes(1 << 40)
+            .policy(EvictionPolicy::Lru)
+            .build();
+        c.insert_sequence(&seq(0..128), &seq(1000..1032)); // A (demoted below)
+        c.insert_sequence(&seq(50_000..50_128), &seq(60_000..60_032));
+        c.insert_sequence(&seq(70_000..70_128), &seq(80_000..80_032));
+        assert!(c.stats().demotions > 0);
+
+        let r = c.lookup(&seq(0..64));
+        assert_eq!(r.tokens_matched, 64);
+        assert_eq!(r.host_tokens, 64, "mid-edge partial from a host edge");
+        assert_eq!(r.host_bytes, 64 * m.kv_bytes_per_token());
+        assert_eq!(r.host_reload_flops, m.prefill_flops(64).total());
+    }
+
+    #[test]
+    fn tiering_strictly_improves_hit_rate_on_contended_traces() {
+        // The acceptance assertion: at a fixed (contended) device capacity,
+        // adding a host tier strictly increases token hit rate — evicted-
+        // would-be entries keep serving from host — for every policy
+        // family.
+        use marconi_workload::{DatasetKind, TraceGenerator};
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 9000 * m.kv_bytes_per_token();
+        let trace = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(12)
+            .seed(7)
+            .generate();
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::FlopAware { alpha: 2.0 },
+            EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }),
+        ] {
+            let run = |host: u64| {
+                let mut c = HybridPrefixCache::builder(m.clone())
+                    .capacity_bytes(capacity)
+                    .host_capacity_bytes(host)
+                    .policy(policy.clone())
+                    .build();
+                for r in &trace.requests {
+                    c.lookup_at(&r.input, r.arrival);
+                    c.insert_at(&r.input, &r.output, r.arrival);
+                }
+                c.assert_tier_accounting();
+                assert!(c.usage_bytes() <= capacity);
+                *c.stats()
+            };
+            let single = run(0);
+            let tiered = run(4 << 30);
+            assert!(
+                single.evictions > 0,
+                "{policy}: the trace must be contended"
+            );
+            assert!(tiered.demotions > 0, "{policy}: pressure must demote");
+            assert!(tiered.host_hit_tokens > 0, "{policy}: host must serve");
+            assert!(
+                tiered.hit_tokens > single.hit_tokens,
+                "{policy}: tiering must strictly improve reuse \
+                 ({} vs {} hit tokens)",
+                tiered.hit_tokens,
+                single.hit_tokens
+            );
+            assert_eq!(tiered.input_tokens, single.input_tokens);
+        }
+    }
+
+    #[test]
+    fn replica_mirrors_tier_knobs() {
+        // PR 2's tuner-fidelity invariant extended to the tier dimension:
+        // a tiered cache's replay replicas must be tiered the same way, or
+        // the α grid-search tunes against a single-tier system that
+        // doesn't exist.
+        let parent = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 30)
+            .host_capacity_bytes(3 << 30)
+            .reload_policy(ReloadPolicy::AlwaysReload)
+            .build();
+        let snapshot = Snapshot {
+            tree: parent.tree.clone(),
+            ssm_states: parent.ssm_states,
+            host_tokens: parent.host_tokens,
+            host_ssm_states: parent.host_ssm_states,
+            clock: parent.clock,
+        };
+        let replica = parent.replica(&snapshot, 1.0);
+        assert_eq!(replica.host_capacity, parent.host_capacity);
+        assert_eq!(replica.reload_policy, parent.reload_policy);
+        assert_eq!(replica.reload_policy(), ReloadPolicy::AlwaysReload);
+    }
+
+    #[test]
+    fn tiered_auto_tuner_replays_against_a_tiered_replica() {
+        // End to end: drive a tiered AutoTuned cache through its whole
+        // tuner lifecycle under contention; the replay replicas inherit
+        // the host tier (the run would diverge or panic on accounting
+        // drift otherwise) and the tuned cache stays within both budgets.
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 2 * (160 * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes());
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .host_capacity_bytes(capacity)
+            .policy(EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }))
+            .build();
+        let mut i = 0u32;
+        while !matches!(c.tuner_state(), Some(TunerState::Tuned { .. })) {
+            let input = seq(i * 10_000..i * 10_000 + 128 + (i % 7) * 64);
+            let output = seq(i * 10_000 + 5000..i * 10_000 + 5032);
+            c.lookup_at(&input, f64::from(i));
+            c.insert_at(&input, &output, f64::from(i));
+            i += 1;
+            assert!(i < 500, "tuner failed to converge");
+        }
+        assert!(c.stats().demotions > 0, "the host tier absorbed pressure");
+        assert!(c.usage_bytes() <= c.capacity_bytes());
+        assert!(c.host_usage_bytes() <= c.host_capacity_bytes());
+        c.assert_tier_accounting();
+    }
+
+    #[test]
+    fn tuner_bootstraps_on_demotion_pressure_without_any_deletion() {
+        // Regression: the bootstrap trigger predates tiering and fired on
+        // the first *eviction*; with an ample host budget device pressure
+        // only ever demotes, and the tuner would wait forever, silently
+        // serving the untuned initial α. The first demotion must start the
+        // bootstrap window too.
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 2 * (160 * m.kv_bytes_per_token() + 2 * m.ssm_checkpoint_bytes());
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .host_capacity_bytes(1 << 42) // never fills: zero deletions
+            .policy(EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }))
+            .build();
+        let mut i = 0u32;
+        while !matches!(c.tuner_state(), Some(TunerState::Tuned { .. })) {
+            let input = seq(i * 10_000..i * 10_000 + 128 + (i % 7) * 64);
+            let output = seq(i * 10_000 + 5000..i * 10_000 + 5032);
+            c.lookup_at(&input, f64::from(i));
+            c.insert_at(&input, &output, f64::from(i));
+            i += 1;
+            assert!(
+                i < 500,
+                "tuner failed to converge under demotion-only pressure"
+            );
+        }
+        assert_eq!(c.stats().evictions, 0, "nothing was ever deleted");
+        assert!(c.stats().demotions > 0, "demotions drove the bootstrap");
+    }
+
+    #[test]
+    fn split_through_a_host_edge_keeps_accounting_exact() {
+        // A new sequence diverging inside a demoted edge splits it; the new
+        // intermediate node must inherit the host tier (its tokens came off
+        // a host edge) and the inserted path promotes, all without counter
+        // drift. The debug asserts in every later pressure episode would
+        // catch drift; we also check directly.
+        let m = ModelConfig::hybrid_7b();
+        let mut c = tiered(two_seq_capacity(&m), 1 << 40);
+        c.insert_sequence(&seq(0..96), &seq(500..532)); // A
+        c.insert_sequence(&seq(10_000..10_096), &seq(10_500..10_532)); // B
+        c.insert_sequence(&seq(20_000..20_096), &seq(20_500..20_532)); // A → host
+        assert!(c.stats().demotions > 0);
+        // Diverge at token 48 inside A's demoted 128-token edge.
+        let mut div = seq(0..48);
+        div.extend(seq(90_000..90_048));
+        c.insert_sequence(&div, &seq(95_000..95_008));
+        c.assert_tier_accounting();
+        // The shared 48-token head was promoted with the inserted path; the
+        // 80-token tail of A's old edge stays wherever it was.
+        let r = c.lookup(&{
+            let mut v = div.clone();
+            v.extend(seq(95_000..95_008));
+            v
+        });
+        assert!(r.tokens_matched > 0);
+        assert_eq!(r.host_tokens, 0, "freshly inserted path is on device");
+    }
+
+    #[test]
+    fn branch_heavy_demotion_cannot_strand_device_bytes() {
+        // Regression: demotion (unlike deletion) never mutates the tree,
+        // so a branch node whose children were all demoted keeps 2+
+        // children forever and never enters the candidate pool — its edge
+        // KVs would pin the device tier over its hard capacity. The
+        // fallback demotion pass must keep device usage within budget
+        // anyway. Shape: many tenant prompts, each with two divergent
+        // continuations (every prompt becomes a non-candidate branch
+        // node).
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 3 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes());
+        let mut c = HybridPrefixCache::builder(m)
+            .capacity_bytes(capacity)
+            .host_capacity_bytes(1 << 42)
+            .policy(EvictionPolicy::Lru)
+            .build();
+        for t in 0..40u32 {
+            let prompt = seq(t * 100_000..t * 100_000 + 96);
+            for branch in 0..2u32 {
+                let mut input = prompt.clone();
+                input
+                    .extend(seq(t * 100_000 + 50_000 + branch * 1000
+                        ..t * 100_000 + 50_000 + branch * 1000 + 32));
+                c.insert_sequence(
+                    &input,
+                    &seq(t * 100_000 + 90_000 + branch * 100
+                        ..t * 100_000 + 90_000 + branch * 100 + 8),
+                );
+                assert!(
+                    c.usage_bytes() <= c.capacity_bytes(),
+                    "tenant {t}/{branch}: device tier must never exceed its hard capacity \
+                     ({} > {})",
+                    c.usage_bytes(),
+                    c.capacity_bytes()
+                );
+            }
+        }
+        c.assert_tier_accounting();
+        assert!(c.stats().demotions > 0);
+        // The stranded prefixes still serve — from host.
+        let mut resume = seq(0..96);
+        resume.extend(seq(50_000..50_032));
+        resume.extend(seq(90_000..90_008));
+        let r = c.lookup(&resume);
+        assert!(r.is_hit(), "demoted branch-heavy content keeps hitting");
+        assert!(r.host_tokens > 0);
+    }
+
+    #[test]
+    fn zero_host_capacity_never_reports_tier_activity() {
+        // Belt and braces for the parity contract: a contended single-tier
+        // run must keep every tier-related counter and lookup field at
+        // exactly zero.
+        use marconi_workload::{DatasetKind, TraceGenerator};
+        let m = ModelConfig::hybrid_7b();
+        let trace = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(8)
+            .seed(3)
+            .generate();
+        let mut c = HybridPrefixCache::builder(m.clone())
+            .capacity_bytes(6000 * m.kv_bytes_per_token())
+            .policy(EvictionPolicy::Lru)
+            .build();
+        for r in &trace.requests {
+            let hit = c.lookup_at(&r.input, r.arrival);
+            assert_eq!(hit.host_tokens, 0);
+            assert_eq!(hit.host_bytes, 0);
+            assert_eq!(hit.host_reload_flops, 0);
+            let rep = c.insert_at(&r.input, &r.output, r.arrival);
+            assert_eq!(rep.entries_demoted, 0);
+            assert_eq!(rep.bytes_demoted, 0);
+        }
+        assert!(c.stats().evictions > 0, "the trace must be contended");
+        assert_eq!(c.stats().demotions, 0);
+        assert_eq!(c.stats().host_hits, 0);
+        assert_eq!(c.stats().host_hit_tokens, 0);
+        assert_eq!(c.stats().host_evictions, 0);
+        assert_eq!(c.host_usage_bytes(), 0);
     }
 }

@@ -63,6 +63,7 @@ pub mod oracle;
 mod policy;
 mod result;
 mod stats;
+mod tier;
 mod tuner;
 mod vanilla;
 
@@ -71,6 +72,7 @@ pub use hybrid::{CheckpointMode, HybridPrefixCache, HybridPrefixCacheBuilder};
 pub use policy::EvictionPolicy;
 pub use result::{AdmissionReport, LookupResult};
 pub use stats::CacheStats;
+pub use tier::{ReloadPolicy, Tier, TieredPrefix};
 pub use tuner::{TunerConfig, TunerState};
 pub use vanilla::VanillaCache;
 
@@ -119,11 +121,21 @@ pub trait PrefixCache {
     /// Cumulative statistics since construction.
     fn stats(&self) -> &CacheStats;
 
-    /// Bytes of model states currently cached.
+    /// Bytes of model states currently resident on the device tier.
     fn usage_bytes(&self) -> u64;
 
-    /// Configured capacity in bytes.
+    /// Configured device-tier capacity in bytes.
     fn capacity_bytes(&self) -> u64;
+
+    /// How this cache wants host-resident hits brought back to the device;
+    /// the serving layer's `GpuModel` applies it to a hit's
+    /// [`host_bytes`](LookupResult::host_bytes) /
+    /// [`host_reload_flops`](LookupResult::host_reload_flops). Irrelevant
+    /// (and defaulted) for single-tier caches, which never report host
+    /// bytes.
+    fn reload_policy(&self) -> ReloadPolicy {
+        ReloadPolicy::default()
+    }
 }
 
 impl PrefixCache for Box<dyn PrefixCache> {
@@ -157,5 +169,9 @@ impl PrefixCache for Box<dyn PrefixCache> {
 
     fn capacity_bytes(&self) -> u64 {
         self.as_ref().capacity_bytes()
+    }
+
+    fn reload_policy(&self) -> ReloadPolicy {
+        self.as_ref().reload_policy()
     }
 }

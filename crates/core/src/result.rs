@@ -21,6 +21,19 @@ pub struct LookupResult {
     /// FLOPs of prefill compute this hit saves (paper's accounting: the
     /// full prefill cost of the matched prefix).
     pub flops_saved: u128,
+    /// Tokens of the matched prefix whose state is host-resident (demoted
+    /// to host DRAM). Zero for a single-tier cache; the device-tier share
+    /// is `tokens_matched - host_tokens`.
+    pub host_tokens: u64,
+    /// Bytes that must cross PCIe to serve the host-resident share of the
+    /// hit: the host-tier edge KVs on the matched path plus the hit node's
+    /// SSM checkpoint when that checkpoint is host-resident.
+    pub host_bytes: u64,
+    /// Prefill FLOPs it would cost to *recompute* the host-resident token
+    /// spans instead of transferring them — the other arm of the
+    /// compute-or-load decision. (Idealized roll-forward accounting: each
+    /// span is charged its incremental prefill FLOPs at its position.)
+    pub host_reload_flops: u128,
 }
 
 impl LookupResult {
@@ -30,6 +43,9 @@ impl LookupResult {
         raw_matched: 0,
         node: None,
         flops_saved: 0,
+        host_tokens: 0,
+        host_bytes: 0,
+        host_reload_flops: 0,
     };
 
     /// `true` if any prefix was reused.
@@ -48,6 +64,19 @@ impl LookupResult {
         }
         self.tokens_matched as f64 / input_len as f64
     }
+
+    /// `true` if serving this hit touches host-resident state (a transfer
+    /// or recompute is needed before the prefix is usable on the device).
+    #[must_use]
+    pub fn needs_reload(&self) -> bool {
+        self.host_tokens > 0
+    }
+
+    /// Tokens of the matched prefix resident on the device tier.
+    #[must_use]
+    pub fn device_tokens(&self) -> u64 {
+        self.tokens_matched - self.host_tokens
+    }
 }
 
 /// Outcome of admitting a finished request into the cache.
@@ -65,6 +94,11 @@ pub struct AdmissionReport {
     pub bytes_evicted: u64,
     /// Entries (nodes or blocks) evicted by this admission.
     pub entries_evicted: u64,
+    /// Entries demoted device → host by this admission's pressure episode
+    /// (tiered caches only).
+    pub entries_demoted: u64,
+    /// Bytes moved device → host by those demotions.
+    pub bytes_demoted: u64,
 }
 
 #[cfg(test)]
@@ -82,11 +116,26 @@ mod tests {
         let r = LookupResult {
             tokens_matched: 5,
             raw_matched: 5,
-            node: None,
             flops_saved: 1,
+            ..LookupResult::MISS
         };
         assert_eq!(r.hit_rate(0), 0.0);
         assert_eq!(r.hit_rate(10), 0.5);
         assert!(r.is_hit());
+    }
+
+    #[test]
+    fn tier_split_of_a_hit() {
+        let r = LookupResult {
+            tokens_matched: 100,
+            raw_matched: 100,
+            host_tokens: 40,
+            host_bytes: 1024,
+            host_reload_flops: 1 << 30,
+            ..LookupResult::MISS
+        };
+        assert!(r.needs_reload());
+        assert_eq!(r.device_tokens(), 60);
+        assert!(!LookupResult::MISS.needs_reload());
     }
 }

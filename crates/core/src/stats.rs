@@ -14,21 +14,40 @@ pub struct CacheStats {
     pub lookups: u64,
     /// Lookups that reused a non-empty prefix.
     pub hits: u64,
+    /// Hits whose reused prefix touched host-resident (demoted) state and
+    /// therefore required a transfer or recompute. Always 0 for a
+    /// single-tier (`host_capacity = 0`) cache.
+    pub host_hits: u64,
     /// Total input tokens across all lookups.
     pub input_tokens: u64,
-    /// Total tokens served from cache (prefill skipped).
+    /// Total tokens served from cache (prefill skipped). Includes
+    /// [`host_hit_tokens`](CacheStats::host_hit_tokens); the device-tier
+    /// share is the difference.
     pub hit_tokens: u64,
+    /// Tokens of hits whose state was host-resident at lookup time.
+    pub host_hit_tokens: u64,
     /// Total prefill FLOPs saved by hits.
     pub flops_saved: u128,
     /// Sequences admitted.
     pub insertions: u64,
     /// SSM checkpoints admitted in total.
     pub ssm_states_admitted: u64,
-    /// Entries (nodes/blocks) evicted.
+    /// Entries (nodes/blocks) deleted outright — from the device tier when
+    /// no host tier exists, or from the host tier under host pressure.
     pub evictions: u64,
-    /// Bytes released by evictions.
+    /// Bytes released by deletions.
     pub bytes_evicted: u64,
-    /// High-water mark of cache usage.
+    /// Entries demoted from device HBM to host DRAM instead of deleted
+    /// (device-pressure episodes of a tiered cache).
+    pub demotions: u64,
+    /// Bytes moved device → host by demotions.
+    pub bytes_demoted: u64,
+    /// The subset of [`evictions`](CacheStats::evictions) deleted from the
+    /// host tier (host-pressure episodes).
+    pub host_evictions: u64,
+    /// Bytes deleted from the host tier.
+    pub bytes_host_evicted: u64,
+    /// High-water mark of device-tier cache usage.
     pub peak_usage_bytes: u64,
 }
 
@@ -58,13 +77,19 @@ impl CacheStats {
     pub fn accumulate(&mut self, other: &CacheStats) {
         self.lookups += other.lookups;
         self.hits += other.hits;
+        self.host_hits += other.host_hits;
         self.input_tokens += other.input_tokens;
         self.hit_tokens += other.hit_tokens;
+        self.host_hit_tokens += other.host_hit_tokens;
         self.flops_saved += other.flops_saved;
         self.insertions += other.insertions;
         self.ssm_states_admitted += other.ssm_states_admitted;
         self.evictions += other.evictions;
         self.bytes_evicted += other.bytes_evicted;
+        self.demotions += other.demotions;
+        self.bytes_demoted += other.bytes_demoted;
+        self.host_evictions += other.host_evictions;
+        self.bytes_host_evicted += other.bytes_host_evicted;
         self.peak_usage_bytes += other.peak_usage_bytes;
     }
 
@@ -75,15 +100,37 @@ impl CacheStats {
         CacheStats {
             lookups: self.lookups - earlier.lookups,
             hits: self.hits - earlier.hits,
+            host_hits: self.host_hits - earlier.host_hits,
             input_tokens: self.input_tokens - earlier.input_tokens,
             hit_tokens: self.hit_tokens - earlier.hit_tokens,
+            host_hit_tokens: self.host_hit_tokens - earlier.host_hit_tokens,
             flops_saved: self.flops_saved - earlier.flops_saved,
             insertions: self.insertions - earlier.insertions,
             ssm_states_admitted: self.ssm_states_admitted - earlier.ssm_states_admitted,
             evictions: self.evictions - earlier.evictions,
             bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
+            demotions: self.demotions - earlier.demotions,
+            bytes_demoted: self.bytes_demoted - earlier.bytes_demoted,
+            host_evictions: self.host_evictions - earlier.host_evictions,
+            bytes_host_evicted: self.bytes_host_evicted - earlier.bytes_host_evicted,
             peak_usage_bytes: self.peak_usage_bytes,
         }
+    }
+
+    /// Tokens of hits served straight from device HBM (no transfer).
+    #[must_use]
+    pub fn device_hit_tokens(&self) -> u64 {
+        self.hit_tokens - self.host_hit_tokens
+    }
+
+    /// Fraction of hit tokens that were host-resident, in `[0, 1]`
+    /// (0.0 when there were no hit tokens).
+    #[must_use]
+    pub fn host_hit_fraction(&self) -> f64 {
+        if self.hit_tokens == 0 {
+            return 0.0;
+        }
+        self.host_hit_tokens as f64 / self.hit_tokens as f64
     }
 }
 
@@ -165,6 +212,41 @@ mod tests {
         assert_eq!(total.input_tokens, 150);
         assert_eq!(total.hit_tokens, 50);
         assert_eq!(total.peak_usage_bytes, 12);
+    }
+
+    #[test]
+    fn tier_split_helpers() {
+        let s = CacheStats {
+            hit_tokens: 100,
+            host_hit_tokens: 25,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.device_hit_tokens(), 75);
+        assert!((s.host_hit_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().host_hit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_delta_cover_tier_counters() {
+        let a = CacheStats {
+            host_hits: 2,
+            host_hit_tokens: 40,
+            demotions: 3,
+            bytes_demoted: 300,
+            host_evictions: 1,
+            bytes_host_evicted: 90,
+            ..CacheStats::default()
+        };
+        let mut total = CacheStats::default();
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(total.demotions, 6);
+        assert_eq!(total.bytes_host_evicted, 180);
+        let d = total.delta_since(&a);
+        assert_eq!(d.host_hits, 2);
+        assert_eq!(d.host_hit_tokens, 40);
+        assert_eq!(d.bytes_demoted, 300);
+        assert_eq!(d.host_evictions, 1);
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! TTFT), empirical CDFs (Fig. 9, Fig. 10b), five-number box statistics
 //! with P5/P95 whiskers (Fig. 7), binned means (Fig. 10a), running
 //! summaries, load-imbalance statistics for the sharded-cluster
-//! experiments ([`LoadImbalance`]), and the latency distribution view
+//! experiments ([`LoadImbalance`]), the latency distribution view
 //! every serving report shares ([`LatencySummary`], with SLO attainment
-//! via [`Percentiles::fraction_le`]).
+//! via [`Percentiles::fraction_le`]), and the device/host tier breakdown
+//! of the tiered cache's hits ([`TierSplit`]).
 //!
 //! # Examples
 //!
@@ -29,6 +30,7 @@ mod imbalance;
 mod latency;
 mod percentile;
 mod summary;
+mod tier;
 
 pub use binned::BinnedMean;
 pub use boxstats::BoxStats;
@@ -37,3 +39,4 @@ pub use imbalance::LoadImbalance;
 pub use latency::LatencySummary;
 pub use percentile::Percentiles;
 pub use summary::Summary;
+pub use tier::TierSplit;

@@ -1,0 +1,113 @@
+//! Memory-hierarchy bandwidth parameters.
+//!
+//! The tiered cache's reload path is bandwidth-bound, not compute-bound:
+//! a host-resident hit streams its bytes back over PCIe (or is recomputed
+//! on the device). These constants parameterize that arm of the
+//! compute-or-load decision, the same way the FLOP formulas in
+//! [`ModelConfig`](crate::ModelConfig) parameterize the compute arm.
+
+use serde::{Deserialize, Serialize};
+
+/// Sustained A100-40GB HBM2e bandwidth per GPU in bytes/s (~1.56 TB/s).
+pub const A100_HBM_BYTES_PER_S: f64 = 1.555e12;
+
+/// Sustained host↔device PCIe 4.0 ×16 bandwidth per GPU in bytes/s
+/// (~25 GB/s of the 32 GB/s line rate).
+pub const A100_PCIE_BYTES_PER_S: f64 = 25e9;
+
+/// Sustained memory bandwidths of a serving host, as seen by the cache:
+/// HBM bounds on-device state movement, PCIe bounds host-tier reloads.
+///
+/// Multi-GPU hosts shard cached state across devices, so both figures
+/// scale with the GPU count (each device reloads its own shard in
+/// parallel).
+///
+/// # Examples
+///
+/// ```
+/// use marconi_model::MemoryBandwidths;
+///
+/// let bw = MemoryBandwidths::a100(4);
+/// // Reloading 1 GiB of demoted KV state over 4 PCIe links:
+/// let secs = (1u64 << 30) as f64 / bw.pcie_bytes_per_s;
+/// assert!(secs < 0.011, "~10.7 ms, {secs}");
+/// // HBM is ~60x faster than PCIe — why demotion is worth modeling.
+/// assert!(bw.hbm_bytes_per_s / bw.pcie_bytes_per_s > 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBandwidths {
+    /// Aggregate device HBM bandwidth in bytes/s.
+    pub hbm_bytes_per_s: f64,
+    /// Aggregate host↔device PCIe bandwidth in bytes/s.
+    pub pcie_bytes_per_s: f64,
+}
+
+impl MemoryBandwidths {
+    /// Creates a custom bandwidth pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bandwidth is not positive and finite.
+    #[must_use]
+    pub fn new(hbm_bytes_per_s: f64, pcie_bytes_per_s: f64) -> Self {
+        assert!(
+            hbm_bytes_per_s > 0.0 && hbm_bytes_per_s.is_finite(),
+            "hbm bandwidth must be positive"
+        );
+        assert!(
+            pcie_bytes_per_s > 0.0 && pcie_bytes_per_s.is_finite(),
+            "pcie bandwidth must be positive"
+        );
+        MemoryBandwidths {
+            hbm_bytes_per_s,
+            pcie_bytes_per_s,
+        }
+    }
+
+    /// Bandwidths of an `n_gpus`-way A100-40GB host (HBM2e + PCIe 4.0 ×16
+    /// per GPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpus` is zero.
+    #[must_use]
+    pub fn a100(n_gpus: u32) -> Self {
+        assert!(n_gpus > 0, "at least one GPU");
+        MemoryBandwidths::new(
+            f64::from(n_gpus) * A100_HBM_BYTES_PER_S,
+            f64::from(n_gpus) * A100_PCIE_BYTES_PER_S,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_scales_with_gpu_count() {
+        let one = MemoryBandwidths::a100(1);
+        let four = MemoryBandwidths::a100(4);
+        assert!((four.hbm_bytes_per_s - 4.0 * one.hbm_bytes_per_s).abs() < 1.0);
+        assert!((four.pcie_bytes_per_s - 4.0 * one.pcie_bytes_per_s).abs() < 1.0);
+    }
+
+    #[test]
+    fn constants_are_in_realistic_ranges() {
+        // HBM2e: ~1.5-2 TB/s per A100; PCIe 4.0 x16: 20-32 GB/s sustained.
+        assert!((1e12..2.5e12).contains(&A100_HBM_BYTES_PER_S));
+        assert!((15e9..35e9).contains(&A100_PCIE_BYTES_PER_S));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = MemoryBandwidths::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = MemoryBandwidths::a100(0);
+    }
+}

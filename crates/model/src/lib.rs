@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bandwidth;
 mod config;
 mod efficiency;
 mod flops;
@@ -47,6 +48,7 @@ mod layer;
 mod memory;
 mod presets;
 
+pub use bandwidth::{MemoryBandwidths, A100_HBM_BYTES_PER_S, A100_PCIE_BYTES_PER_S};
 pub use config::{ConfigError, ModelConfig, ModelConfigBuilder};
 pub use efficiency::FlopEfficiency;
 pub use flops::FlopBreakdown;

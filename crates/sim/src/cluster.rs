@@ -25,7 +25,10 @@
 
 use crate::gpu::GpuModel;
 use crate::report::{RequestRecord, SimReport};
-use marconi_core::{CacheStats, CheckpointMode, EvictionPolicy, HybridPrefixCache, PrefixCache};
+use marconi_core::{
+    CacheStats, CheckpointMode, EvictionPolicy, HybridPrefixCache, PrefixCache, ReloadPolicy,
+    TieredPrefix,
+};
 use marconi_metrics::LoadImbalance;
 use marconi_model::ModelConfig;
 use marconi_workload::{Request, Token, Trace};
@@ -77,6 +80,15 @@ impl<'a> ReplicaStatus<'a> {
         self.cache.longest_cached_prefix_len(input)
     }
 
+    /// Tier-split probe: the longest reusable cached prefix *and* how much
+    /// of it is host-resident (would need a PCIe transfer or recompute).
+    /// Same non-mutating guarantee as [`probe`](ReplicaStatus::probe);
+    /// `probe_tiers(input).tokens == probe(input)` always.
+    #[must_use]
+    pub fn probe_tiers(&self, input: &[Token]) -> TieredPrefix {
+        self.cache.probe_tiers(input)
+    }
+
     /// Input tokens routed to this replica so far (the load measure).
     ///
     /// Every routed request performs exactly one lookup on its winning
@@ -88,16 +100,29 @@ impl<'a> ReplicaStatus<'a> {
         self.cache.stats().input_tokens
     }
 
-    /// Bytes of model states currently cached on this replica.
+    /// Bytes of model states currently resident on this replica's device
+    /// tier.
     #[must_use]
     pub fn usage_bytes(&self) -> u64 {
         self.cache.usage_bytes()
     }
 
-    /// This replica's capacity slice in bytes.
+    /// This replica's device-capacity slice in bytes.
     #[must_use]
     pub fn capacity_bytes(&self) -> u64 {
         self.cache.capacity_bytes()
+    }
+
+    /// Bytes of model states demoted to this replica's host tier.
+    #[must_use]
+    pub fn host_usage_bytes(&self) -> u64 {
+        self.cache.host_usage_bytes()
+    }
+
+    /// This replica's host-budget slice in bytes (0 = single-tier).
+    #[must_use]
+    pub fn host_capacity_bytes(&self) -> u64 {
+        self.cache.host_capacity_bytes()
     }
 }
 
@@ -164,8 +189,9 @@ impl Router for SessionAffinity {
 
 /// Prefix-aware routing: probe every replica for the longest reusable
 /// cached prefix of the request's input and route to the deepest match;
-/// ties break toward the least-loaded replica (fewest routed tokens), then
-/// toward the lowest index.
+/// among equally deep matches, prefer the one with more of the prefix
+/// device-resident (a host hit pays a reload before it serves), then the
+/// least-loaded replica (fewest routed tokens), then the lowest index.
 ///
 /// This recovers both reuse channels sharding endangers: a session's later
 /// turns follow its cached history, and a tenant's new sessions follow the
@@ -184,9 +210,15 @@ impl Router for PrefixAware {
         // comparator).
         replicas
             .iter()
-            .map(|r| (r.probe(&req.input), r))
+            .map(|r| (r.probe_tiers(&req.input), r))
             .max_by(|(pa, a), (pb, b)| {
-                pa.cmp(pb)
+                pa.tokens
+                    .cmp(&pb.tokens)
+                    // Deeper wins outright; on a depth tie the hit with
+                    // fewer host-resident tokens is worth more. With no
+                    // host tier anywhere this term always ties, preserving
+                    // the pre-tiering assignments exactly.
+                    .then(pb.host_tokens.cmp(&pa.host_tokens))
                     .then(b.routed_tokens().cmp(&a.routed_tokens()))
                     .then(b.index.cmp(&a.index))
             })
@@ -196,9 +228,10 @@ impl Router for PrefixAware {
 }
 
 /// Queue-aware routing: probe every replica for the longest reusable
-/// cached prefix (like [`PrefixAware`]) but break ties toward the replica
-/// with the fewest *outstanding queued tokens*, then fewest routed
-/// tokens, then the lowest index.
+/// cached prefix (like [`PrefixAware`], including the device-over-host
+/// preference on depth ties) but then break ties toward the replica with
+/// the fewest *outstanding queued tokens*, then fewest routed tokens,
+/// then the lowest index.
 ///
 /// Under the instantaneous [`Cluster`] every queue reads 0 and this
 /// degenerates to exactly [`PrefixAware`]; under the event-driven
@@ -217,9 +250,11 @@ impl Router for QueueAware {
     fn route(&mut self, req: &Request, replicas: &[ReplicaStatus<'_>]) -> usize {
         replicas
             .iter()
-            .map(|r| (r.probe(&req.input), r))
+            .map(|r| (r.probe_tiers(&req.input), r))
             .max_by(|(pa, a), (pb, b)| {
-                pa.cmp(pb)
+                pa.tokens
+                    .cmp(&pb.tokens)
+                    .then(pb.host_tokens.cmp(&pa.host_tokens))
                     .then(b.queued_tokens.cmp(&a.queued_tokens))
                     // Queues tie (e.g. an idle fleet, or the instantaneous
                     // cluster where depth is always 0): spread by
@@ -322,6 +357,8 @@ impl Cluster {
             model,
             replicas: 1,
             total_capacity: 16 << 30,
+            total_host_capacity: 0,
+            reload_policy: ReloadPolicy::default(),
             policy: EvictionPolicy::default(),
             checkpoint_mode: CheckpointMode::Exact,
             gpu: GpuModel::a100_x4(),
@@ -383,9 +420,15 @@ impl Cluster {
             let replica = &mut self.replicas[idx];
             let hit = replica.lookup_at(&req.input, req.arrival);
             let model = replica.model().clone();
+            let (reload_s, reload) = self.gpu.reload_secs(
+                replica.reload_policy(),
+                hit.host_bytes,
+                hit.host_reload_flops,
+            );
             let ttft_ms = self
                 .gpu
-                .ttft_ms(&model, req.input_len(), hit.tokens_matched);
+                .ttft_ms(&model, req.input_len(), hit.tokens_matched)
+                + reload_s * 1e3;
             let flops_spent = model.prefill_flops_with_prefix(req.input_len(), hit.tokens_matched);
             replica.insert_at(&req.input, &req.output, req.arrival);
             records[idx].push(RequestRecord {
@@ -394,8 +437,11 @@ impl Cluster {
                 arrival: req.arrival,
                 input_len: req.input_len(),
                 hit_tokens: hit.tokens_matched,
+                host_hit_tokens: hit.host_tokens,
                 raw_matched: hit.raw_matched,
                 ttft_ms,
+                reload_ms: reload_s * 1e3,
+                reload,
                 flops_spent,
                 flops_saved: hit.flops_saved,
             });
@@ -429,6 +475,8 @@ pub struct ClusterBuilder {
     model: ModelConfig,
     replicas: usize,
     total_capacity: u64,
+    total_host_capacity: u64,
+    reload_policy: ReloadPolicy,
     policy: EvictionPolicy,
     checkpoint_mode: CheckpointMode,
     gpu: GpuModel,
@@ -448,12 +496,28 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the cluster-wide capacity; each replica gets an equal
+    /// Sets the cluster-wide device capacity; each replica gets an equal
     /// `total / N` slice, so scaling N at fixed total capacity isolates the
     /// *placement* effect from a memory-size effect.
     #[must_use]
     pub fn total_capacity_bytes(mut self, bytes: u64) -> Self {
         self.total_capacity = bytes;
+        self
+    }
+
+    /// Sets the cluster-wide host-DRAM budget, sliced `total / N` like the
+    /// device capacity (default 0 = single-tier replicas).
+    #[must_use]
+    pub fn total_host_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.total_host_capacity = bytes;
+        self
+    }
+
+    /// Sets every replica's reload policy for host-resident hits (default
+    /// [`ReloadPolicy::ComputeOrLoad`]).
+    #[must_use]
+    pub fn reload_policy(mut self, policy: ReloadPolicy) -> Self {
+        self.reload_policy = policy;
         self
     }
 
@@ -502,8 +566,10 @@ impl ClusterBuilder {
                 &self.model,
                 self.replicas,
                 self.total_capacity,
+                self.total_host_capacity,
                 &self.policy,
                 self.checkpoint_mode,
+                self.reload_policy,
             ),
             router: self
                 .router
@@ -514,8 +580,9 @@ impl ClusterBuilder {
 }
 
 /// The one place replica caches are configured: every replica gets an
-/// equal `total / n` capacity slice and the same policy/checkpoint knobs.
-/// Shared by [`ClusterBuilder`] and
+/// equal `total / n` slice of both the device capacity and the host
+/// budget, and the same policy/checkpoint/reload knobs. Shared by
+/// [`ClusterBuilder`] and
 /// [`EventClusterBuilder`](crate::EventClusterBuilder) so the
 /// instantaneous and event-driven clusters can never drift in how they
 /// construct replicas (the tuner-replica-fidelity lesson of PR 2: any new
@@ -524,16 +591,21 @@ pub(crate) fn build_replicas(
     model: &ModelConfig,
     n: usize,
     total_capacity: u64,
+    total_host_capacity: u64,
     policy: &EvictionPolicy,
     checkpoint_mode: CheckpointMode,
+    reload_policy: ReloadPolicy,
 ) -> Vec<HybridPrefixCache> {
     let per_replica = total_capacity / n as u64;
+    let host_per_replica = total_host_capacity / n as u64;
     (0..n)
         .map(|_| {
             HybridPrefixCache::builder(model.clone())
                 .capacity_bytes(per_replica)
+                .host_capacity_bytes(host_per_replica)
                 .policy(policy.clone())
                 .checkpoint_mode(checkpoint_mode)
+                .reload_policy(reload_policy)
                 .build()
         })
         .collect()
@@ -818,6 +890,96 @@ mod tests {
         let c = cluster(4, RoutingPolicy::RoundRobin, 16 << 30);
         for i in 0..4 {
             assert_eq!(c.replica_cache(i).capacity_bytes(), 4 << 30);
+        }
+    }
+
+    #[test]
+    fn host_capacity_and_reload_policy_reach_every_replica() {
+        // The build_replicas fidelity rule extended to the tier knobs: a
+        // cluster-wide host budget slices like the device capacity, and
+        // the reload policy reaches each cache.
+        let c = Cluster::builder(ModelConfig::hybrid_7b())
+            .replicas(4)
+            .total_capacity_bytes(16 << 30)
+            .total_host_capacity_bytes(64 << 30)
+            .reload_policy(marconi_core::ReloadPolicy::AlwaysReload)
+            .routing(RoutingPolicy::PrefixAware)
+            .build();
+        for i in 0..4 {
+            assert_eq!(c.replica_cache(i).host_capacity_bytes(), 16 << 30);
+            assert_eq!(
+                c.replica_cache(i).reload_policy(),
+                marconi_core::ReloadPolicy::AlwaysReload
+            );
+        }
+    }
+
+    #[test]
+    fn routers_weigh_host_hits_below_device_hits() {
+        // Two replicas hold the same prefix equally deep, but on replica 0
+        // it has been demoted to host. Prefix- and queue-aware routing must
+        // send the request to the device-resident copy — and with no host
+        // tier anywhere, the extra tie-break term must not change anything
+        // (pinned separately by `queue_aware_degenerates_to_prefix_aware`).
+        let m = ModelConfig::hybrid_7b();
+        let prompt: Vec<Token> = (0..96).collect();
+        let output: Vec<Token> = (200_000..200_032).collect();
+        let warm = |host: bool| {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(if host {
+                    // Too small for two sequences: the follow-up insert
+                    // demotes the prompt's sequence.
+                    128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes() + 1
+                } else {
+                    4 << 30
+                })
+                .host_capacity_bytes(1 << 40)
+                .policy(EvictionPolicy::Lru)
+                .build();
+            c.insert_at(&prompt, &output, 0.0);
+            if host {
+                c.insert_at(
+                    &(300_000..300_096).collect::<Vec<Token>>(),
+                    &(400_000..400_032).collect::<Vec<Token>>(),
+                    1.0,
+                );
+            }
+            c
+        };
+        let demoted = warm(true);
+        let device = warm(false);
+        let mut resume = prompt.clone();
+        resume.extend_from_slice(&output);
+        // Same depth on both replicas; only the tier differs.
+        assert_eq!(
+            demoted.longest_cached_prefix_len(&resume),
+            device.longest_cached_prefix_len(&resume)
+        );
+        assert!(demoted.probe_tiers(&resume).host_tokens > 0);
+        assert_eq!(device.probe_tiers(&resume).host_tokens, 0);
+        let req = Request {
+            id: 9,
+            session_id: 0,
+            tenant_id: 0,
+            turn: 1,
+            arrival: 2.0,
+            input: resume,
+            output: (500_000..500_008).collect(),
+        };
+        for mut router in [
+            RoutingPolicy::PrefixAware.build(),
+            RoutingPolicy::QueueAware.build(),
+        ] {
+            let statuses = [
+                ReplicaStatus::new(0, &demoted, 0),
+                ReplicaStatus::new(1, &device, 0),
+            ];
+            assert_eq!(
+                router.route(&req, &statuses),
+                1,
+                "{}: the device-resident copy must win the tie",
+                router.name()
+            );
         }
     }
 

@@ -66,14 +66,27 @@ impl<C: PrefixCache> Engine<C> {
     }
 
     /// Replays `trace` and produces the per-request report.
+    ///
+    /// A hit whose prefix is partly host-resident additionally charges the
+    /// reload latency — the minimum of the PCIe transfer and the recompute
+    /// under the cache's [`ReloadPolicy`](marconi_core::ReloadPolicy) — on
+    /// top of the uncached-suffix prefill, and the per-request record
+    /// carries which arm was taken. Single-tier caches never report host
+    /// bytes, so their TTFTs are unchanged.
     pub fn run(&mut self, trace: &Trace) -> SimReport {
         let mut records = Vec::with_capacity(trace.len());
         for req in &trace.requests {
             let hit = self.cache.lookup_at(&req.input, req.arrival);
             let model = self.cache.model().clone();
+            let (reload_s, reload) = self.gpu.reload_secs(
+                self.cache.reload_policy(),
+                hit.host_bytes,
+                hit.host_reload_flops,
+            );
             let ttft_ms = self
                 .gpu
-                .ttft_ms(&model, req.input_len(), hit.tokens_matched);
+                .ttft_ms(&model, req.input_len(), hit.tokens_matched)
+                + reload_s * 1e3;
             let flops_spent = model.prefill_flops_with_prefix(req.input_len(), hit.tokens_matched);
             self.cache.insert_at(&req.input, &req.output, req.arrival);
             records.push(RequestRecord {
@@ -82,8 +95,11 @@ impl<C: PrefixCache> Engine<C> {
                 arrival: req.arrival,
                 input_len: req.input_len(),
                 hit_tokens: hit.tokens_matched,
+                host_hit_tokens: hit.host_tokens,
                 raw_matched: hit.raw_matched,
                 ttft_ms,
+                reload_ms: reload_s * 1e3,
+                reload,
                 flops_spent,
                 flops_saved: hit.flops_saved,
             });
@@ -161,6 +177,47 @@ mod tests {
             assert!(rec.hit_tokens <= rec.input_len);
             assert!(rec.ttft_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn tiered_runs_charge_reload_latency_per_request() {
+        use marconi_core::{EvictionPolicy, ReloadPolicy};
+        let t = trace();
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 6000 * m.kv_bytes_per_token();
+        let run = |policy: ReloadPolicy| {
+            let cache = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .host_capacity_bytes(8 << 30)
+                .policy(EvictionPolicy::Lru)
+                .reload_policy(policy)
+                .build();
+            Engine::new(cache, GpuModel::a100_x4()).run(&t)
+        };
+        let col = run(ReloadPolicy::ComputeOrLoad);
+        let recompute = run(ReloadPolicy::AlwaysRecompute);
+        let host_hits: Vec<_> = col
+            .records
+            .iter()
+            .filter(|r| r.host_hit_tokens > 0)
+            .collect();
+        assert!(!host_hits.is_empty(), "trace must produce host hits");
+        for r in &host_hits {
+            assert!(r.reload_ms > 0.0, "req {}: host hits charge reload", r.id);
+            assert_ne!(r.reload, crate::gpu::ReloadDecision::None);
+        }
+        assert!(
+            col.records.iter().any(|r| r.host_hit_tokens == 0),
+            "device hits exist too"
+        );
+        // The instantaneous engine admits identically under both reload
+        // policies, so TTFTs compare record for record: the compute-or-load
+        // rule can only lower them.
+        for (a, b) in col.records.iter().zip(&recompute.records) {
+            assert_eq!(a.hit_tokens, b.hit_tokens);
+            assert!(a.ttft_ms <= b.ttft_ms + 1e-9, "req {}", a.id);
+        }
+        assert!(col.hit_tier_split().host > 0);
     }
 
     #[test]

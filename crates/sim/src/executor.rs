@@ -16,7 +16,7 @@
 //! device model, ties resolve in FIFO admission order.
 
 use crate::event::EventRecord;
-use crate::gpu::GpuModel;
+use crate::gpu::{GpuModel, ReloadDecision};
 use marconi_core::PrefixCache;
 use marconi_workload::Request;
 use serde::{Deserialize, Serialize};
@@ -80,8 +80,13 @@ struct Running<'a> {
     req: &'a Request,
     admitted: f64,
     hit_tokens: u64,
+    host_hit_tokens: u64,
     raw_matched: u64,
     flops_saved: u128,
+    /// Latency charged at admission for the host-resident share of the
+    /// hit (compute-or-load), and the arm that produced it.
+    reload_s: f64,
+    reload: ReloadDecision,
     /// Prefill frontier in tokens (starts at the cached prefix).
     prefill_pos: u64,
     /// Set when the prefill frontier reaches the input length — the TTFT
@@ -215,10 +220,13 @@ impl<'a> Executor<'a> {
                 completed: now,
                 input_len: r.req.input_len(),
                 hit_tokens: r.hit_tokens,
+                host_hit_tokens: r.host_hit_tokens,
                 raw_matched: r.raw_matched,
                 queue_ms: (r.admitted - r.req.arrival) * 1e3,
                 ttft_ms: (ttft_at - r.req.arrival) * 1e3,
                 e2e_ms: (now - r.req.arrival) * 1e3,
+                reload_ms: r.reload_s * 1e3,
+                reload: r.reload,
                 flops_spent: cache
                     .model()
                     .prefill_flops_with_prefix(r.req.input_len(), r.hit_tokens),
@@ -231,24 +239,50 @@ impl<'a> Executor<'a> {
     }
 
     /// Starts one iteration at `now`: admits from the FIFO while slots are
-    /// free (the admission lookup pins each request's cached prefix), then
-    /// schedules the chunked-prefill budget FIFO plus one decode token per
-    /// decoding request, and charges the device model for the total.
+    /// free (the admission lookup pins each request's cached prefix and
+    /// takes the compute-or-load decision for any host-resident share),
+    /// then schedules the chunked-prefill budget FIFO plus one decode
+    /// token per decoding request, and charges the device model for the
+    /// total — including the admitted requests' reload charges.
     fn start_iteration<C: PrefixCache>(&mut self, cache: &mut C, now: f64) {
         debug_assert!(self.busy_until.is_none());
         let mut admitted_now = 0u32;
+        let mut reload_now = 0.0f64;
         while self.running.len() < self.batch.max_batch_requests {
             let Some(req) = self.queue.pop_front() else {
                 break;
             };
             self.queued_input_tokens -= req.input_len();
             let hit = cache.lookup_at(&req.input, now);
+            let (reload_s, reload) = match &self.service {
+                ServiceMode::Modeled(gpu) => {
+                    gpu.reload_secs(cache.reload_policy(), hit.host_bytes, hit.host_reload_flops)
+                }
+                // Infinite throughput also means infinite bandwidth: host
+                // hits reload in zero time, but the recorded arm still
+                // honors the cache's policy (an AlwaysRecompute cache
+                // never transfers).
+                ServiceMode::Instantaneous => (
+                    0.0,
+                    if !hit.needs_reload() {
+                        ReloadDecision::None
+                    } else if cache.reload_policy() == marconi_core::ReloadPolicy::AlwaysRecompute {
+                        ReloadDecision::Recomputed
+                    } else {
+                        ReloadDecision::Loaded
+                    },
+                ),
+            };
+            reload_now += reload_s;
             self.running.push(Running {
                 req,
                 admitted: now,
                 hit_tokens: hit.tokens_matched,
+                host_hit_tokens: hit.host_tokens,
                 raw_matched: hit.raw_matched,
                 flops_saved: hit.flops_saved,
+                reload_s,
+                reload,
                 prefill_pos: hit.tokens_matched,
                 prefill_done_at: None,
                 decoded: 0,
@@ -283,7 +317,7 @@ impl<'a> Executor<'a> {
         let duration = match &self.service {
             ServiceMode::Instantaneous => 0.0,
             ServiceMode::Modeled(gpu) => {
-                gpu.secs_for_flops(flops) + f64::from(admitted_now) * gpu.overhead_s()
+                gpu.secs_for_flops(flops) + f64::from(admitted_now) * gpu.overhead_s() + reload_now
             }
         };
         self.busy_s += duration;

@@ -1,7 +1,20 @@
 //! Analytic GPU timing model.
 
-use marconi_model::ModelConfig;
+use marconi_core::ReloadPolicy;
+use marconi_model::{MemoryBandwidths, ModelConfig};
 use serde::{Deserialize, Serialize};
+
+/// Which arm of the compute-or-load decision served a host-tier hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReloadDecision {
+    /// The hit had no host-resident share (or there was no hit).
+    #[default]
+    None,
+    /// The host bytes were transferred over PCIe.
+    Loaded,
+    /// The host spans were recomputed on the device.
+    Recomputed,
+}
 
 /// Roofline-style device model: prefill is compute-bound, so latency is
 /// FLOPs over sustained throughput, plus a fixed per-request overhead
@@ -31,10 +44,14 @@ pub struct GpuModel {
     effective_flops: f64,
     /// Fixed per-request overhead in seconds.
     overhead_s: f64,
+    /// Memory-hierarchy bandwidths: HBM (on-device) and PCIe (host-tier
+    /// reloads).
+    bandwidths: MemoryBandwidths,
 }
 
 impl GpuModel {
-    /// Creates a custom device model.
+    /// Creates a custom device model with single-A100 default bandwidths
+    /// (override with [`with_bandwidths`](GpuModel::with_bandwidths)).
     ///
     /// # Panics
     ///
@@ -54,20 +71,30 @@ impl GpuModel {
             name: name.into(),
             effective_flops,
             overhead_s,
+            bandwidths: MemoryBandwidths::a100(1),
         }
     }
 
+    /// Overrides the memory-hierarchy bandwidths.
+    #[must_use]
+    pub fn with_bandwidths(mut self, bandwidths: MemoryBandwidths) -> Self {
+        self.bandwidths = bandwidths;
+        self
+    }
+
     /// Four A100-40GB at ~40% model FLOPs utilization — the paper's TTFT
-    /// testbed for Jamba-1.5-Mini.
+    /// testbed for Jamba-1.5-Mini. HBM2e + PCIe 4.0 ×16 per GPU.
     #[must_use]
     pub fn a100_x4() -> Self {
         GpuModel::new("4xA100-40GB", 4.0 * 312e12 * 0.4, 0.015)
+            .with_bandwidths(MemoryBandwidths::a100(4))
     }
 
     /// Eight A100-40GB (the paper's p4d.24xlarge host).
     #[must_use]
     pub fn a100_x8() -> Self {
         GpuModel::new("8xA100-40GB", 8.0 * 312e12 * 0.4, 0.015)
+            .with_bandwidths(MemoryBandwidths::a100(8))
     }
 
     /// Device name.
@@ -87,6 +114,107 @@ impl GpuModel {
     #[must_use]
     pub fn overhead_s(&self) -> f64 {
         self.overhead_s
+    }
+
+    /// The host's memory-hierarchy bandwidths.
+    #[must_use]
+    pub fn bandwidths(&self) -> MemoryBandwidths {
+        self.bandwidths
+    }
+
+    /// Seconds to move `bytes` of demoted cache state from host DRAM back
+    /// to device HBM over PCIe — the "load" arm of the compute-or-load
+    /// decision.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marconi_sim::GpuModel;
+    ///
+    /// let gpu = GpuModel::a100_x4();
+    /// // A 26 MB SSM checkpoint crosses 4 PCIe links in ~0.26 ms...
+    /// let t = gpu.transfer_secs(26 << 20);
+    /// assert!((0.0002..0.0004).contains(&t), "{t}");
+    /// // ...and 1 GiB of demoted KVs in ~10.7 ms.
+    /// assert!(gpu.transfer_secs(1 << 30) < 0.011);
+    /// ```
+    #[must_use]
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidths.pcie_bytes_per_s
+    }
+
+    /// Latency charged for the host-resident share of a hit, together with
+    /// the arm that produced it: the PCIe transfer of `host_bytes`, the
+    /// recompute of `host_reload_flops`, or — under
+    /// [`ReloadPolicy::ComputeOrLoad`] — whichever is faster. `(0.0,
+    /// None)` when the hit has no host share.
+    #[must_use]
+    pub fn reload_secs(
+        &self,
+        policy: ReloadPolicy,
+        host_bytes: u64,
+        host_reload_flops: u128,
+    ) -> (f64, ReloadDecision) {
+        if host_bytes == 0 && host_reload_flops == 0 {
+            return (0.0, ReloadDecision::None);
+        }
+        let load = self.transfer_secs(host_bytes);
+        let recompute = self.secs_for_flops(host_reload_flops);
+        match policy {
+            ReloadPolicy::AlwaysReload => (load, ReloadDecision::Loaded),
+            ReloadPolicy::AlwaysRecompute => (recompute, ReloadDecision::Recomputed),
+            ReloadPolicy::ComputeOrLoad => {
+                if load <= recompute {
+                    (load, ReloadDecision::Loaded)
+                } else {
+                    (recompute, ReloadDecision::Recomputed)
+                }
+            }
+        }
+    }
+
+    /// TTFT of an `input_len`-token request whose cached prefix of
+    /// `hit`-tokens must partly be reloaded from the host tier: the
+    /// analytic [`ttft_s`](GpuModel::ttft_s) of the uncached suffix plus
+    /// the [`reload_secs`](GpuModel::reload_secs) charge.
+    ///
+    /// # Examples
+    ///
+    /// A fully host-resident 8000-token hit is still far cheaper to load
+    /// over PCIe than to prefill from scratch — the tiered cache's raison
+    /// d'être — while compute-or-load never does worse than either arm:
+    ///
+    /// ```
+    /// use marconi_core::{LookupResult, ReloadPolicy};
+    /// use marconi_model::ModelConfig;
+    /// use marconi_sim::GpuModel;
+    ///
+    /// let gpu = GpuModel::a100_x4();
+    /// let m = ModelConfig::hybrid_7b();
+    /// let hit = LookupResult {
+    ///     tokens_matched: 8000,
+    ///     raw_matched: 8000,
+    ///     host_tokens: 8000,
+    ///     host_bytes: 8000 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes(),
+    ///     host_reload_flops: m.prefill_flops(8000).total(),
+    ///     ..LookupResult::MISS
+    /// };
+    /// let cold = gpu.ttft_s(&m, 8192, 0);
+    /// let reload = gpu.reload_ttft_s(&m, 8192, &hit, ReloadPolicy::ComputeOrLoad);
+    /// let recompute = gpu.reload_ttft_s(&m, 8192, &hit, ReloadPolicy::AlwaysRecompute);
+    /// assert!(reload < cold, "reloading beats a cold prefill");
+    /// assert!(reload <= recompute, "compute-or-load never loses");
+    /// ```
+    #[must_use]
+    pub fn reload_ttft_s(
+        &self,
+        model: &ModelConfig,
+        input_len: u64,
+        hit: &marconi_core::LookupResult,
+        policy: ReloadPolicy,
+    ) -> f64 {
+        let (reload, _) = self.reload_secs(policy, hit.host_bytes, hit.host_reload_flops);
+        self.ttft_s(model, input_len, hit.tokens_matched) + reload
     }
 
     /// Seconds to execute `flops` at sustained throughput (no overhead) —
@@ -193,6 +321,56 @@ mod tests {
         let flops = m.prefill_flops_with_prefix(2000, 500);
         let composed = gpu.overhead_s() + gpu.secs_for_flops(flops);
         assert!((gpu.ttft_s(&m, 2000, 500) - composed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_or_load_takes_the_minimum_arm() {
+        let gpu = GpuModel::a100_x4();
+        // Cheap transfer, expensive recompute: load wins.
+        let (t, d) = gpu.reload_secs(ReloadPolicy::ComputeOrLoad, 1 << 20, 1 << 50);
+        assert_eq!(d, ReloadDecision::Loaded);
+        assert!((t - gpu.transfer_secs(1 << 20)).abs() < 1e-15);
+        // Expensive transfer, cheap recompute: compute wins.
+        let (t, d) = gpu.reload_secs(ReloadPolicy::ComputeOrLoad, 1 << 33, 1 << 20);
+        assert_eq!(d, ReloadDecision::Recomputed);
+        assert!((t - gpu.secs_for_flops(1 << 20)).abs() < 1e-15);
+        // Forced arms.
+        let (_, d) = gpu.reload_secs(ReloadPolicy::AlwaysReload, 1 << 33, 1 << 20);
+        assert_eq!(d, ReloadDecision::Loaded);
+        let (_, d) = gpu.reload_secs(ReloadPolicy::AlwaysRecompute, 1 << 20, 1 << 50);
+        assert_eq!(d, ReloadDecision::Recomputed);
+        // No host share: free.
+        assert_eq!(
+            gpu.reload_secs(ReloadPolicy::ComputeOrLoad, 0, 0),
+            (0.0, ReloadDecision::None)
+        );
+    }
+
+    #[test]
+    fn bandwidths_scale_between_presets() {
+        let x4 = GpuModel::a100_x4();
+        let x8 = GpuModel::a100_x8();
+        assert!(x8.bandwidths().pcie_bytes_per_s > x4.bandwidths().pcie_bytes_per_s);
+        // Same bytes, twice the links: half the transfer time.
+        let bytes = 1 << 28;
+        assert!((x4.transfer_secs(bytes) / x8.transfer_secs(bytes) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_reload_beats_recompute_for_long_hybrid_prefixes() {
+        // The crossover motivating compute-or-load: hybrid prefill FLOPs
+        // grow superlinearly in bytes-of-state, so long prefixes are
+        // cheaper to load, short ones can be cheaper to recompute.
+        let gpu = GpuModel::a100_x4();
+        let m = ModelConfig::hybrid_7b();
+        let len = 8000u64;
+        let bytes = len * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes();
+        let load = gpu.transfer_secs(bytes);
+        let recompute = gpu.secs_for_flops(m.prefill_flops(len).total());
+        assert!(
+            load < recompute,
+            "8000-token reload {load} s vs recompute {recompute} s"
+        );
     }
 
     #[test]

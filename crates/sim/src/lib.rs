@@ -81,5 +81,5 @@ pub use event::{
     EventCluster, EventClusterBuilder, EventClusterReport, EventRecord, EventReport, EventSim,
 };
 pub use executor::{BatchConfig, ServiceMode};
-pub use gpu::{decode_token_flops, GpuModel};
+pub use gpu::{decode_token_flops, GpuModel, ReloadDecision};
 pub use report::{RequestRecord, SimReport};

@@ -1,7 +1,8 @@
 //! Per-request records and aggregate simulation reports.
 
+use crate::gpu::ReloadDecision;
 use marconi_core::CacheStats;
-use marconi_metrics::{BinnedMean, BoxStats, Cdf, LatencySummary, Percentiles};
+use marconi_metrics::{BinnedMean, BoxStats, Cdf, LatencySummary, Percentiles, TierSplit};
 use serde::{Deserialize, Serialize};
 
 /// One request's outcome in a simulation run.
@@ -17,10 +18,18 @@ pub struct RequestRecord {
     pub input_len: u64,
     /// Tokens served from cache.
     pub hit_tokens: u64,
+    /// The subset of [`hit_tokens`](RequestRecord::hit_tokens) that was
+    /// host-resident and had to be reloaded or recomputed.
+    pub host_hit_tokens: u64,
     /// Raw longest match ignoring SSM checkpoint constraints (diagnostic).
     pub raw_matched: u64,
-    /// Time to first token, in milliseconds.
+    /// Time to first token, in milliseconds (includes any reload charge).
     pub ttft_ms: f64,
+    /// Latency charged for the host-resident share of the hit, in
+    /// milliseconds (0 for device-only hits).
+    pub reload_ms: f64,
+    /// Which compute-or-load arm served the host share.
+    pub reload: ReloadDecision,
     /// Prefill FLOPs actually spent.
     pub flops_spent: u128,
     /// Prefill FLOPs skipped thanks to the cache.
@@ -93,6 +102,15 @@ impl SimReport {
         LatencySummary::new(&self.ttfts_ms())
     }
 
+    /// Hit tokens split by the memory tier that served them.
+    #[must_use]
+    pub fn hit_tier_split(&self) -> TierSplit {
+        TierSplit {
+            device: self.cache_stats.device_hit_tokens(),
+            host: self.cache_stats.host_hit_tokens,
+        }
+    }
+
     /// Box statistics of per-request hit rates.
     #[must_use]
     pub fn hit_rate_box(&self) -> Option<BoxStats> {
@@ -122,8 +140,11 @@ mod tests {
             arrival: id as f64,
             input_len: input,
             hit_tokens: hit,
+            host_hit_tokens: 0,
             raw_matched: hit,
             ttft_ms: ttft,
+            reload_ms: 0.0,
+            reload: ReloadDecision::None,
             flops_spent: 10,
             flops_saved: 5,
         }
@@ -176,6 +197,16 @@ mod tests {
         assert_eq!(means[0].1, Some(0.25));
         // Bin 1 holds the 200-token request (rate 1.0).
         assert_eq!(means[1].1, Some(1.0));
+    }
+
+    #[test]
+    fn tier_split_reads_cache_stats() {
+        let mut r = report();
+        r.cache_stats.host_hit_tokens = 100;
+        let split = r.hit_tier_split();
+        assert_eq!(split.device, 150);
+        assert_eq!(split.host, 100);
+        assert_eq!(split.total(), 250);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! The tiered device/host cache: capacity sweep + compute-or-load
+//! crossover.
+//!
+//! Part 1 replays one contended seeded trace at fixed device capacity
+//! while sweeping the host-DRAM budget from 0 (single-tier Marconi —
+//! eviction deletes) upward: every byte of host budget turns
+//! would-be-deleted entries into demoted ones that keep serving hits, so
+//! token hit rate climbs while P95 TTFT falls — until the host tier holds
+//! the whole overflow working set and the sweep saturates.
+//!
+//! Part 2 shows the per-hit decision the serving layer takes for a
+//! host-resident prefix: load its bytes over PCIe or recompute its FLOPs
+//! on the device. SSM checkpoints are large and constant-sized, so short
+//! hybrid prefixes recompute; past the crossover the transfer wins and
+//! grows only linearly while recompute keeps its superlinear attention
+//! term.
+//!
+//! Run with: `cargo run --release --example tiered_offload`
+
+use marconi::prelude::*;
+use marconi_core::EvictionPolicy;
+
+fn cache(model: &ModelConfig, device: u64, host: u64, reload: ReloadPolicy) -> HybridPrefixCache {
+    HybridPrefixCache::builder(model.clone())
+        .capacity_bytes(device)
+        .host_capacity_bytes(host)
+        .policy(EvictionPolicy::FlopAware { alpha: 2.0 })
+        .reload_policy(reload)
+        .build()
+}
+
+fn main() {
+    let model = ModelConfig::hybrid_7b();
+    let gpu = GpuModel::a100_x4();
+    let trace = TraceGenerator::new(DatasetKind::Lmsys)
+        .sessions(24)
+        .seed(7)
+        .generate()
+        .time_scaled(2.0);
+    let device_cap = 6000 * model.kv_bytes_per_token();
+    println!(
+        "trace: {} — {} requests; device tier fixed at {} MiB on {} \
+         (PCIe {:.0} GB/s)\n",
+        trace.name,
+        trace.len(),
+        device_cap >> 20,
+        gpu.name(),
+        gpu.bandwidths().pcie_bytes_per_s / 1e9,
+    );
+
+    println!("== host-capacity sweep (compute-or-load reloads) ==");
+    println!(
+        "{:>10} | {:>8} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "host", "hit%", "host-hit%", "demotions", "p50 ttft", "p95 ttft", "reload"
+    );
+    for host_gib in [0u64, 1, 2, 4, 8, 16] {
+        let mut sim = EventSim::new(
+            cache(
+                &model,
+                device_cap,
+                host_gib << 30,
+                ReloadPolicy::ComputeOrLoad,
+            ),
+            gpu.clone(),
+        );
+        let report = sim.run(&trace);
+        let s = report.ttft_summary().expect("non-empty run");
+        let split = report.hit_tier_split();
+        println!(
+            "{:>7} GiB | {:>7.1}% {:>9.1}% {:>10} {:>7.0}ms {:>7.0}ms {:>7.0}ms",
+            host_gib,
+            report.token_hit_rate() * 100.0,
+            split.host_fraction() * 100.0,
+            report.cache_stats.demotions,
+            s.p50(),
+            s.p95(),
+            report.total_reload_ms(),
+        );
+    }
+
+    println!("\n== reload policies at 8 GiB host (why 'why not both?') ==");
+    for policy in [
+        ReloadPolicy::AlwaysRecompute,
+        ReloadPolicy::AlwaysReload,
+        ReloadPolicy::ComputeOrLoad,
+    ] {
+        let mut sim = EventSim::new(cache(&model, device_cap, 8 << 30, policy), gpu.clone());
+        let report = sim.run(&trace);
+        let s = report.ttft_summary().expect("non-empty run");
+        println!(
+            "{:>18}: p50 {:>4.0} ms, p95 {:>4.0} ms, reload total {:>6.0} ms",
+            policy.to_string(),
+            s.p50(),
+            s.p95(),
+            report.total_reload_ms(),
+        );
+    }
+
+    println!("\n== compute-or-load crossover (checkpointed host span of N tokens) ==");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>10}",
+        "span", "load (PCIe)", "recompute", "winner"
+    );
+    for len in [2u64, 4, 8, 16, 32, 256, 2048, 16384] {
+        let bytes = len * model.kv_bytes_per_token() + model.ssm_checkpoint_bytes();
+        let load_ms = gpu.transfer_secs(bytes) * 1e3;
+        let recompute_ms = gpu.secs_for_flops(model.prefill_flops(len).total()) * 1e3;
+        println!(
+            "{:>8} | {:>10.3}ms {:>10.3}ms {:>10}",
+            len,
+            load_ms,
+            recompute_ms,
+            if load_ms <= recompute_ms {
+                "load"
+            } else {
+                "recompute"
+            }
+        );
+    }
+    println!(
+        "\nOnly tiny checkpointed spans recompute — below ~10 tokens the \
+         constant-size SSM checkpoint dominates the transfer but costs \
+         almost nothing to re-derive. Past the crossover, loading wins and \
+         scales linearly while recompute keeps prefill's superlinear \
+         attention term — which is exactly why always-recompute collapses \
+         in the table above. docs/tiering.md records a measured sweep."
+    );
+}

@@ -72,14 +72,16 @@ pub use marconi_workload as workload;
 pub mod prelude {
     pub use marconi_core::{
         BlockCache, CacheStats, EvictionPolicy, HybridPrefixCache, LookupResult, PrefixCache,
-        VanillaCache,
+        ReloadPolicy, Tier, TieredPrefix, VanillaCache,
     };
-    pub use marconi_metrics::{BoxStats, Cdf, LatencySummary, Percentiles, Summary};
-    pub use marconi_model::{FlopBreakdown, LayerKind, ModelConfig, StateFootprint};
+    pub use marconi_metrics::{BoxStats, Cdf, LatencySummary, Percentiles, Summary, TierSplit};
+    pub use marconi_model::{
+        FlopBreakdown, LayerKind, MemoryBandwidths, ModelConfig, StateFootprint,
+    };
     pub use marconi_radix::{RadixTree, Token};
     pub use marconi_sim::{
         BatchConfig, Cluster, ClusterReport, Comparison, Engine, EventCluster, EventReport,
-        EventSim, GpuModel, RequestRecord, Router, RoutingPolicy, SimReport,
+        EventSim, GpuModel, ReloadDecision, RequestRecord, Router, RoutingPolicy, SimReport,
     };
     pub use marconi_workload::{
         ArrivalConfig, DatasetKind, RateSchedule, Request, Trace, TraceGenerator,
