@@ -5,7 +5,7 @@ use crate::result::{AdmissionReport, LookupResult};
 use crate::stats::CacheStats;
 use crate::tier::{ReloadPolicy, Tier, TieredPrefix};
 use crate::tuner::{TunerConfig, TunerState};
-use crate::PrefixCache;
+use crate::{PinTicket, PrefixCache};
 use marconi_model::ModelConfig;
 use marconi_radix::{InsertOutcome, NodeId, PrefixMatch, RadixTree, Token};
 
@@ -144,6 +144,12 @@ pub struct HybridPrefixCache {
     /// §4.3(1) ablation: restrict eviction candidates to leaves, like
     /// pre-Marconi systems, leaving single-child nodes' SSM states pinned.
     leaf_only_eviction: bool,
+    /// Honor in-flight pins ([`PrefixCache::pin_prefix`]): pinned nodes
+    /// are excluded from eviction *and* demotion in both tiers. Off, the
+    /// cache ignores pin requests entirely (tickets come back empty), for
+    /// A/B-ing the headline mid-decode-reclaim bug. A behavioral knob
+    /// mirrored by tuner replicas.
+    pin_in_flight: bool,
     /// GDSF inflation clock `L` (monotone, set to each victim's priority).
     gdsf_clock: f64,
     /// Victim ids in eviction order; recorded so parity tests can compare
@@ -173,6 +179,7 @@ impl HybridPrefixCache {
             checkpoint_mode: CheckpointMode::Exact,
             refresh_ancestors: false,
             leaf_only_eviction: false,
+            pin_in_flight: true,
         }
     }
 
@@ -221,6 +228,20 @@ impl HybridPrefixCache {
     #[must_use]
     pub fn host_usage_bytes(&self) -> u64 {
         self.host_usage()
+    }
+
+    /// `true` if the cache honors in-flight pins (the default); see
+    /// [`HybridPrefixCacheBuilder::in_flight_pinning`].
+    #[must_use]
+    pub fn pins_in_flight(&self) -> bool {
+        self.pin_in_flight
+    }
+
+    /// Number of nodes currently protected by in-flight pins (diagnostic;
+    /// counts every node on pinned paths, not tickets).
+    #[must_use]
+    pub fn pinned_node_count(&self) -> usize {
+        self.tree.pinned_count()
     }
 
     /// Length and tier split of the longest *reusable* cached prefix of
@@ -595,13 +616,21 @@ impl HybridPrefixCache {
     }
 
     /// Collects the victim pool for one tier: eviction candidates resident
-    /// on `tier` (plus the leaf-only ablation filter).
+    /// on `tier` (plus the leaf-only ablation filter), excluding nodes
+    /// protected by in-flight pins.
+    ///
+    /// Pinned nodes are *filtered out* here rather than removed from the
+    /// candidate index: removal would swap-reorder the index permanently,
+    /// so even a transient pin would perturb the pin-free victim order.
+    /// Filtering leaves the index untouched — with zero pins the pool (and
+    /// its order) is byte-identical to the pre-pinning build.
     fn tier_pool(&self, tier: Tier) -> Vec<NodeId> {
         let leaf_only = self.leaf_only_eviction;
         self.tree
             .eviction_candidates()
             .filter(|&id| self.tree.data(id).tier == tier)
             .filter(|&id| !leaf_only || self.tree.is_leaf(id))
+            .filter(|&id| !self.tree.is_pinned(id))
             .collect()
     }
 
@@ -648,6 +677,7 @@ impl HybridPrefixCache {
                 .tree
                 .node_ids()
                 .filter(|&id| self.tree.data(id).tier == Tier::Device && self.node_bytes(id) > 0)
+                .filter(|&id| !self.tree.is_pinned(id))
                 .collect();
             while self.usage() > self.capacity {
                 let Some(i) = self.pick_from_pool(&rest, &mut scored) else {
@@ -656,9 +686,19 @@ impl HybridPrefixCache {
                 let victim = rest.swap_remove(i);
                 self.demote_victim(victim, report);
             }
+            // In-flight pins are the one legitimate way the fallback can
+            // come up short: pinned bytes are unreclaimable until their
+            // requests complete, so the device tier spills over its budget
+            // rather than corrupting an in-flight path (graceful
+            // admit-while-over-budget, not a livelock — the caller's
+            // no-progress check terminates the episode).
             debug_assert!(
-                self.usage() <= self.capacity,
-                "every device byte is demotable, so the fallback must fit"
+                self.usage() <= self.capacity
+                    || self
+                        .tree
+                        .pinned_ids()
+                        .any(|id| self.tree.data(id).tier == Tier::Device),
+                "every unpinned device byte is demotable, so the fallback must fit"
             );
         }
     }
@@ -725,7 +765,8 @@ impl HybridPrefixCache {
             } else {
                 parent_children_before == 2
             };
-            if newly_eligible && self.tree.data(parent).tier == tier {
+            if newly_eligible && self.tree.data(parent).tier == tier && !self.tree.is_pinned(parent)
+            {
                 pool.push(parent);
             }
         }
@@ -831,6 +872,7 @@ impl HybridPrefixCache {
             .filter(|&id| self.tree.child_count(id) <= 1)
             .filter(|&id| self.tree.data(id).tier == tier)
             .filter(|&id| !self.leaf_only_eviction || self.tree.is_leaf(id))
+            .filter(|&id| !self.tree.is_pinned(id))
             .collect();
         want.sort_unstable();
         assert_eq!(got, want, "incremental victim pool diverged from scan");
@@ -995,20 +1037,26 @@ impl HybridPrefixCache {
     /// Builds a fixed-α replica seeded from a snapshot, for replay.
     ///
     /// The replica mirrors every behavioral knob of the live cache —
-    /// checkpoint mode, ancestor refresh, leaf-only eviction, and the tier
-    /// knobs (host capacity, reload policy) — differing only in its
-    /// (fixed) α. Anything less and the tuner grades each α against replay
+    /// checkpoint mode, ancestor refresh, leaf-only eviction, in-flight
+    /// pinning, and the tier knobs (host capacity, reload policy) —
+    /// differing only in its (fixed) α. Anything less and the tuner grades each α against replay
     /// dynamics the live cache will never exhibit: e.g. a tiered cache's
     /// demoted entries keep hitting, so a single-tier replica would
     /// systematically underestimate reuse.
     fn replica(&self, snapshot: &Snapshot, alpha: f64) -> Self {
+        // The snapshot may have been taken while requests were in flight;
+        // replay models no request lifetimes, so the replica starts with
+        // every pin released (the live cache's pins drain by completion
+        // anyway — a replica keeping them would protect paths forever).
+        let mut tree = snapshot.tree.clone();
+        tree.clear_pins();
         HybridPrefixCache {
             name: "replica".to_owned(),
             model: self.model.clone(),
             capacity: self.capacity,
             host_capacity: self.host_capacity,
             reload_policy: self.reload_policy,
-            tree: snapshot.tree.clone(),
+            tree,
             ssm_states: snapshot.ssm_states,
             host_tokens: snapshot.host_tokens,
             host_ssm_states: snapshot.host_ssm_states,
@@ -1020,6 +1068,7 @@ impl HybridPrefixCache {
             checkpoint_mode: self.checkpoint_mode,
             refresh_ancestors: self.refresh_ancestors,
             leaf_only_eviction: self.leaf_only_eviction,
+            pin_in_flight: self.pin_in_flight,
             gdsf_clock: 0.0,
             #[cfg(test)]
             eviction_log: Vec::new(),
@@ -1243,6 +1292,44 @@ impl PrefixCache for HybridPrefixCache {
     fn reload_policy(&self) -> ReloadPolicy {
         self.reload_policy
     }
+
+    fn pin_prefix(&mut self, input: &[Token]) -> PinTicket {
+        if !self.pin_in_flight {
+            return PinTicket::default();
+        }
+        // Mirror of `lookup_at`'s hit-node selection over the same match,
+        // so the pinned node is exactly the node whose KVs (and, through
+        // the subtree-inclusive pin walk, whose ancestors' KVs) the
+        // in-flight request reads while decoding. No recency, stats, or
+        // GDSF state moves: pinning composes with the non-mutating-probe
+        // discipline even though it needs `&mut` for the refcounts.
+        let m = self.tree.match_prefix(input);
+        let node = if self.model.has_ssm() {
+            m.path
+                .iter()
+                .rev()
+                .copied()
+                .find(|&id| self.tree.data(id).has_ssm_state)
+        } else if m.ends_mid_edge {
+            m.mid_edge_child
+        } else {
+            m.deepest()
+        };
+        if let Some(id) = node {
+            self.tree.pin(id);
+        }
+        PinTicket { node, shard: 0 }
+    }
+
+    fn unpin(&mut self, ticket: PinTicket) {
+        if let Some(id) = ticket.node {
+            self.tree.unpin(id);
+        }
+    }
+
+    fn pinned_bytes(&self) -> u64 {
+        self.tree.pinned_ids().map(|id| self.node_bytes(id)).sum()
+    }
 }
 
 /// Builder for [`HybridPrefixCache`]; see
@@ -1258,6 +1345,7 @@ pub struct HybridPrefixCacheBuilder {
     checkpoint_mode: CheckpointMode,
     refresh_ancestors: bool,
     leaf_only_eviction: bool,
+    pin_in_flight: bool,
 }
 
 impl HybridPrefixCacheBuilder {
@@ -1328,6 +1416,18 @@ impl HybridPrefixCacheBuilder {
         self
     }
 
+    /// Honor in-flight pins ([`PrefixCache::pin_prefix`]): pinned paths
+    /// are excluded from eviction and demotion in both tiers until their
+    /// requests complete, at the cost of the device tier spilling over its
+    /// byte budget when everything reclaimable is pinned. Default on;
+    /// turning it off reproduces the pre-pinning behavior where pressure
+    /// can reclaim a path an in-flight request is still decoding against.
+    #[must_use]
+    pub fn in_flight_pinning(mut self, enabled: bool) -> Self {
+        self.pin_in_flight = enabled;
+        self
+    }
+
     /// Builds the cache.
     pub fn build(self) -> HybridPrefixCache {
         let (tuner, effective_alpha) = match &self.policy {
@@ -1368,6 +1468,7 @@ impl HybridPrefixCacheBuilder {
             checkpoint_mode: self.checkpoint_mode,
             refresh_ancestors: self.refresh_ancestors,
             leaf_only_eviction: self.leaf_only_eviction,
+            pin_in_flight: self.pin_in_flight,
             gdsf_clock: 0.0,
             #[cfg(test)]
             eviction_log: Vec::new(),
@@ -2548,5 +2649,306 @@ mod tests {
         assert_eq!(c.stats().host_hit_tokens, 0);
         assert_eq!(c.stats().host_evictions, 0);
         assert_eq!(c.host_usage_bytes(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // In-flight pinning (this PR's bugfix): a request's admission-time hit
+    // path must survive eviction pressure until the request completes.
+    // ------------------------------------------------------------------
+
+    /// Pinning parity: with the knob on but zero *overlapping* lifetimes
+    /// (each request pins at lookup and unpins before its own insertion,
+    /// like a serial executor), the victim sequence and stats must be
+    /// byte-identical to a knob-off run — pins that never coincide with
+    /// pressure must be invisible.
+    #[test]
+    fn non_overlapping_pins_preserve_byte_parity() {
+        use marconi_workload::{DatasetKind, TraceGenerator};
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 9000 * m.kv_bytes_per_token();
+        let policies: Vec<(EvictionPolicy, u64)> = vec![
+            (EvictionPolicy::Lru, 7),
+            (EvictionPolicy::FlopAware { alpha: 2.0 }, 11),
+            (EvictionPolicy::Gdsf, 13),
+            (
+                EvictionPolicy::AutoTuned(TunerConfig {
+                    bootstrap_multiplier: 5.0,
+                    alpha_grid: vec![0.0, 1.0, 4.0],
+                    parallel: false,
+                }),
+                17,
+            ),
+        ];
+        for (policy, seed) in policies {
+            let trace = TraceGenerator::new(DatasetKind::Lmsys)
+                .sessions(12)
+                .seed(seed)
+                .generate();
+            let build = |pin: bool| {
+                HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                    .capacity_bytes(capacity)
+                    .policy(policy.clone())
+                    .in_flight_pinning(pin)
+                    .build()
+            };
+            let mut reference = build(false);
+            let mut pinned = build(true);
+            for r in &trace.requests {
+                reference.lookup_at(&r.input, r.arrival);
+                reference.insert_at(&r.input, &r.output, r.arrival);
+
+                pinned.lookup_at(&r.input, r.arrival);
+                let ticket = pinned.pin_prefix(&r.input);
+                // The request completes before the next one arrives:
+                // release the pin, then admit — zero overlap.
+                pinned.unpin(ticket);
+                pinned.insert_at(&r.input, &r.output, r.arrival);
+            }
+            assert!(
+                reference.stats.evictions > 0,
+                "parity trace must exercise eviction ({policy})"
+            );
+            assert_eq!(
+                reference.eviction_log, pinned.eviction_log,
+                "victim sequence diverged under {policy}"
+            );
+            assert_eq!(
+                reference.stats, pinned.stats,
+                "stats diverged under {policy}"
+            );
+            assert_eq!(reference.usage(), pinned.usage());
+            assert_eq!(reference.effective_alpha, pinned.effective_alpha);
+            assert_eq!(pinned.pinned_node_count(), 0, "all tickets were redeemed");
+        }
+    }
+
+    /// The headline bug, at the cache level: without pinning, LRU pressure
+    /// reclaims the path an in-flight request's admission lookup hit; with
+    /// pinning the victim choice diverges *only* there — pressure takes
+    /// the next-best victim and the in-flight path survives.
+    #[test]
+    fn mid_flight_pin_protects_the_in_flight_hit_path() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 3 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes()) + 1;
+        let a_in = seq(0..96);
+        let a_out = seq(500..532);
+        let b_in = seq(10_000..10_096);
+        let b_out = seq(10_500..10_532);
+        let mut resume_a: Vec<Token> = a_in.clone();
+        resume_a.extend_from_slice(&a_out);
+        resume_a.extend(seq(2000..2020));
+        let mut resume_b: Vec<Token> = b_in.clone();
+        resume_b.extend_from_slice(&b_out);
+
+        let run = |pin: bool| {
+            let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                .capacity_bytes(capacity)
+                .policy(EvictionPolicy::Lru)
+                .in_flight_pinning(pin)
+                .build();
+            c.insert_at(&a_in, &a_out, 0.0);
+            c.insert_at(&b_in, &b_out, 1.0);
+            // Request R resumes session A and starts decoding: lookup hits
+            // 128 tokens, the pin marks them in use.
+            let hit = c.lookup_at(&resume_a, 2.0);
+            assert_eq!(hit.tokens_matched, 128);
+            let ticket = c.pin_prefix(&resume_a);
+            // Session B is touched afterwards, so A's path is now the LRU
+            // victim — exactly the shape where unpinned eviction corrupts R.
+            c.lookup_at(&resume_b, 3.0);
+            // Two unrelated completions apply pressure while R decodes.
+            c.insert_at(&seq(20_000..20_096), &seq(20_500..20_532), 4.0);
+            c.insert_at(&seq(30_000..30_096), &seq(30_500..30_532), 5.0);
+            let still_cached = c.longest_cached_prefix_len(&resume_a);
+            // R completes: release the pin, then admit its sequence.
+            c.unpin(ticket);
+            c.insert_at(&resume_a, &seq(600..616), 6.0);
+            assert_eq!(c.pinned_node_count(), 0);
+            c.assert_tier_accounting();
+            still_cached
+        };
+
+        assert_eq!(
+            run(false),
+            0,
+            "unpinned: pressure reclaims the in-flight hit path mid-decode"
+        );
+        assert_eq!(run(true), 128, "pinned: the in-flight path survives");
+    }
+
+    /// Satellite: all-pinned pressure must degrade gracefully. When every
+    /// reclaimable byte is pinned and admission pushes 10× over budget,
+    /// insertion spills (admits over capacity after dropping what it can)
+    /// instead of livelocking; unpinning makes the bytes reclaimable again.
+    #[test]
+    fn all_pinned_pressure_spills_gracefully_instead_of_looping() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = two_seq_capacity(&m);
+        let mut c = HybridPrefixCache::builder(m.clone())
+            .capacity_bytes(capacity)
+            .policy(EvictionPolicy::Lru)
+            .build();
+        let a_in = seq(0..96);
+        let a_out = seq(500..532);
+        let b_in = seq(10_000..10_096);
+        let b_out = seq(10_500..10_532);
+        c.insert_at(&a_in, &a_out, 0.0);
+        c.insert_at(&b_in, &b_out, 1.0);
+        let mut resume_a: Vec<Token> = a_in.clone();
+        resume_a.extend_from_slice(&a_out);
+        let mut resume_b: Vec<Token> = b_in.clone();
+        resume_b.extend_from_slice(&b_out);
+        let ta = c.pin_prefix(&resume_a);
+        let tb = c.pin_prefix(&resume_b);
+        assert!(
+            c.tree.eviction_candidates().all(|id| c.tree.is_pinned(id)),
+            "the shape under test: every eviction candidate is pinned"
+        );
+
+        // 10× the byte budget, branching off A's pinned edge so admission
+        // also checkpoints a branch SSM state *inside* the pinned chain.
+        // Three times over: each must terminate, not loop.
+        for round in 0..3u32 {
+            let mut giant: Vec<Token> = a_in[..64].to_vec();
+            giant.extend(seq(40_000 + round * 10_000..40_000 + round * 10_000 + 2600));
+            c.insert_at(
+                &giant,
+                &seq(700 + round..702 + round),
+                2.0 + f64::from(round),
+            );
+            c.assert_tier_accounting();
+        }
+        assert!(
+            c.usage_bytes() > c.capacity_bytes(),
+            "pinned bytes spill over budget rather than being reclaimed"
+        );
+        assert!(c.pinned_bytes() > 0);
+        // The pinned paths are untouched through all of it.
+        assert_eq!(c.longest_cached_prefix_len(&resume_a), 128);
+        assert_eq!(c.longest_cached_prefix_len(&resume_b), 128);
+
+        // Completion unpins; the next pressure episode reclaims normally.
+        c.unpin(ta);
+        c.unpin(tb);
+        assert_eq!(c.pinned_bytes(), 0);
+        c.insert_at(&seq(90_000..90_096), &seq(90_500..90_532), 10.0);
+        assert!(
+            c.usage_bytes() <= c.capacity_bytes(),
+            "with pins released, pressure fits the budget again"
+        );
+    }
+
+    #[test]
+    fn pinned_bytes_are_refcounted_per_path() {
+        let m = ModelConfig::hybrid_7b();
+        let mut c = marconi(1 << 40);
+        let input = seq(0..96);
+        let output = seq(500..532);
+        c.insert_sequence(&input, &output);
+        let mut resume: Vec<Token> = input.clone();
+        resume.extend_from_slice(&output);
+
+        assert_eq!(c.pinned_bytes(), 0);
+        let t1 = c.pin_prefix(&resume);
+        let expected = 128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes();
+        assert_eq!(c.pinned_bytes(), expected);
+        // A second request over the same prefix shares the pin; bytes are
+        // counted once.
+        let t2 = c.pin_prefix(&resume);
+        assert_eq!(c.pinned_bytes(), expected);
+        c.unpin(t1);
+        assert_eq!(c.pinned_bytes(), expected, "still held by the second pin");
+        c.unpin(t2);
+        assert_eq!(c.pinned_bytes(), 0);
+        // A miss yields an empty ticket; redeeming it is a no-op.
+        let empty = c.pin_prefix(&seq(70_000..70_010));
+        assert!(empty.is_empty());
+        c.unpin(empty);
+        assert_eq!(c.pinned_bytes(), 0);
+    }
+
+    #[test]
+    fn replica_mirrors_the_pinning_knob_and_clears_live_pins() {
+        // Replay replicas model completed-request traces — no request is
+        // in flight during a grid-search replay, so a replica must mirror
+        // the knob but drop the parent's live pins.
+        let mut parent = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 30)
+            .build();
+        let input = seq(0..96);
+        let output = seq(500..532);
+        parent.insert_sequence(&input, &output);
+        let mut resume: Vec<Token> = input.clone();
+        resume.extend_from_slice(&output);
+        let _ticket = parent.pin_prefix(&resume);
+        assert!(parent.pinned_node_count() > 0);
+
+        let snapshot = Snapshot {
+            tree: parent.tree.clone(),
+            ssm_states: parent.ssm_states,
+            host_tokens: parent.host_tokens,
+            host_ssm_states: parent.host_ssm_states,
+            clock: parent.clock,
+        };
+        let replica = parent.replica(&snapshot, 1.0);
+        assert!(replica.pin_in_flight, "knob mirrored");
+        assert_eq!(replica.pinned_node_count(), 0, "live pins not inherited");
+        assert_eq!(replica.pinned_bytes(), 0);
+
+        let unpinning = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 30)
+            .in_flight_pinning(false)
+            .build();
+        let snapshot = Snapshot {
+            tree: unpinning.tree.clone(),
+            ssm_states: unpinning.ssm_states,
+            host_tokens: unpinning.host_tokens,
+            host_ssm_states: unpinning.host_ssm_states,
+            clock: unpinning.clock,
+        };
+        let replica = unpinning.replica(&snapshot, 1.0);
+        assert!(!replica.pin_in_flight, "knob-off mirrored too");
+        // And a knob-off cache never pins in the first place.
+        let mut off = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 30)
+            .in_flight_pinning(false)
+            .build();
+        off.insert_sequence(&input, &output);
+        let t = off.pin_prefix(&resume);
+        assert!(t.is_empty());
+        assert_eq!(off.pinned_node_count(), 0);
+    }
+
+    /// Pins protect against *demotion* too: a tiered cache under device
+    /// pressure demotes unpinned victims and leaves the pinned path on
+    /// device (a demoted in-flight path would stall decode on a reload).
+    #[test]
+    fn pins_block_demotion_in_the_tiered_cache() {
+        let m = ModelConfig::hybrid_7b();
+        let capacity = two_seq_capacity(&m);
+        let run = |pin: bool| {
+            let mut c = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .host_capacity_bytes(1 << 40)
+                .policy(EvictionPolicy::Lru)
+                .in_flight_pinning(pin)
+                .build();
+            c.insert_at(&seq(0..96), &seq(500..532), 0.0); // A
+            c.insert_at(&seq(10_000..10_096), &seq(10_500..10_532), 1.0); // B
+            let mut resume_a: Vec<Token> = seq(0..96);
+            resume_a.extend_from_slice(&seq(500..532));
+            c.lookup_at(&resume_a, 2.0);
+            let ticket = c.pin_prefix(&resume_a);
+            let mut resume_b: Vec<Token> = seq(10_000..10_096);
+            resume_b.extend_from_slice(&seq(10_500..10_532));
+            c.lookup_at(&resume_b, 3.0); // B younger than A's pin
+            c.insert_at(&seq(20_000..20_096), &seq(20_500..20_532), 4.0);
+            let on_device = c.probe_tiers(&resume_a).device_tokens();
+            c.unpin(ticket);
+            c.assert_tier_accounting();
+            on_device
+        };
+        assert_eq!(run(false), 0, "unpinned: device pressure demotes A to host");
+        assert_eq!(run(true), 128, "pinned: A's path stays device-resident");
     }
 }

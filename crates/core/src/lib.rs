@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod block;
+mod concurrent;
 mod hybrid;
 pub mod oracle;
 mod policy;
@@ -68,6 +69,7 @@ mod tuner;
 mod vanilla;
 
 pub use block::{BlockCache, BlockReuseReport};
+pub use concurrent::{ShardedCache, ShardedCacheHandle};
 pub use hybrid::{CheckpointMode, HybridPrefixCache, HybridPrefixCacheBuilder};
 pub use policy::EvictionPolicy;
 pub use result::{AdmissionReport, LookupResult};
@@ -77,7 +79,39 @@ pub use tuner::{TunerConfig, TunerState};
 pub use vanilla::VanillaCache;
 
 use marconi_model::ModelConfig;
-use marconi_radix::Token;
+use marconi_radix::{NodeId, Token};
+
+/// Opaque receipt for an in-flight prefix pin, issued by
+/// [`PrefixCache::pin_prefix`] and redeemed by [`PrefixCache::unpin`].
+///
+/// While the ticket is outstanding, the cached path the request's
+/// admission-time lookup hit is *protected*: the cache will neither evict
+/// nor demote any node on it, because the request is still reading those
+/// KVs while it decodes. Dropping a ticket without redeeming it leaks the
+/// pin (the path stays protected forever), so serving layers must pair
+/// every `pin_prefix` with exactly one `unpin` at request completion.
+///
+/// Tickets are deliberately neither `Clone` nor `Copy` — one pin, one
+/// release.
+#[derive(Debug, Default)]
+pub struct PinTicket {
+    /// The pinned hit node, if the lookup hit and pinning is enabled.
+    /// Pinned nodes are never removed and keep their id across edge
+    /// splits, so the id stays valid for the lifetime of the ticket.
+    pub(crate) node: Option<NodeId>,
+    /// Which shard of a [`ShardedCache`] issued the ticket (0 for plain
+    /// caches), so `unpin` routes the release back to the right tree.
+    pub(crate) shard: usize,
+}
+
+impl PinTicket {
+    /// `true` if the ticket protects nothing (lookup missed, or the cache
+    /// does not pin). Redeeming an empty ticket is a no-op.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node.is_none()
+    }
+}
 
 /// Common interface over all prefix-cache implementations, so the simulator
 /// and benches can drive Marconi and every baseline uniformly.
@@ -136,6 +170,34 @@ pub trait PrefixCache {
     fn reload_policy(&self) -> ReloadPolicy {
         ReloadPolicy::default()
     }
+
+    /// Pins the cached path a request's admission-time lookup hit, so the
+    /// eviction/demotion machinery cannot reclaim it while the request is
+    /// in flight (insertion happens at *completion*, so without the pin
+    /// nothing stops pressure from reclaiming KVs the request is still
+    /// reading — a use-after-free in a real engine).
+    ///
+    /// Call immediately after [`lookup_at`](PrefixCache::lookup_at) with
+    /// the same `input`; redeem the ticket with
+    /// [`unpin`](PrefixCache::unpin) at completion, *before* the
+    /// completing sequence is inserted. The default implementation pins
+    /// nothing — baselines without an eviction path have nothing to
+    /// protect.
+    fn pin_prefix(&mut self, _input: &[Token]) -> PinTicket {
+        PinTicket::default()
+    }
+
+    /// Releases an in-flight pin issued by
+    /// [`pin_prefix`](PrefixCache::pin_prefix). Redeeming an empty ticket
+    /// is a no-op.
+    fn unpin(&mut self, _ticket: PinTicket) {}
+
+    /// Bytes currently protected by in-flight pins — unreclaimable by
+    /// pressure until the owning requests complete. 0 for caches that do
+    /// not pin.
+    fn pinned_bytes(&self) -> u64 {
+        0
+    }
 }
 
 impl PrefixCache for Box<dyn PrefixCache> {
@@ -173,5 +235,17 @@ impl PrefixCache for Box<dyn PrefixCache> {
 
     fn reload_policy(&self) -> ReloadPolicy {
         self.as_ref().reload_policy()
+    }
+
+    fn pin_prefix(&mut self, input: &[Token]) -> PinTicket {
+        self.as_mut().pin_prefix(input)
+    }
+
+    fn unpin(&mut self, ticket: PinTicket) {
+        self.as_mut().unpin(ticket)
+    }
+
+    fn pinned_bytes(&self) -> u64 {
+        self.as_ref().pinned_bytes()
     }
 }

@@ -73,6 +73,14 @@ impl CandidateIndex {
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.members.iter().copied()
     }
+
+    /// Removes and yields every member, leaving the index empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = NodeId> + '_ {
+        for id in &self.members {
+            self.pos[id.index()] = ABSENT;
+        }
+        self.members.drain(..)
+    }
 }
 
 #[cfg(test)]

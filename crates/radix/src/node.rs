@@ -48,6 +48,14 @@ pub(crate) struct Node<D> {
     /// structural inputs (e.g. Marconi's per-node FLOP-efficiency memo) can
     /// be invalidated in O(1) without callbacks.
     pub version: u32,
+    /// Number of in-flight pins rooted in this node's subtree (self
+    /// included). A nonzero count marks the node *protected*: the KVs on
+    /// its edge are being read by an in-flight request, so it must be
+    /// neither removed nor relocated. Maintained by
+    /// [`RadixTree::pin`](crate::RadixTree::pin) /
+    /// [`RadixTree::unpin`](crate::RadixTree::unpin); edge splits copy the
+    /// count onto the new intermediate so upward walks stay balanced.
+    pub pin_count: u32,
     /// Caller payload.
     pub data: D,
 }

@@ -22,6 +22,10 @@ use std::fmt;
 /// 5. [`eviction_candidates`](RadixTree::eviction_candidates) iterates an
 ///    incrementally-maintained index whose membership always equals
 ///    `{ live non-root n | child_count(n) ≤ 1 }`.
+/// 6. [`pinned_ids`](RadixTree::pinned_ids) iterates an
+///    incrementally-maintained index whose membership always equals
+///    `{ live non-root n | pin_count(n) > 0 }`, and a non-root parent's
+///    pin count is at least each child's (counts are subtree-inclusive).
 #[derive(Debug, Clone)]
 pub struct RadixTree<D> {
     slots: Vec<Slot<D>>,
@@ -32,6 +36,11 @@ pub struct RadixTree<D> {
     /// sync by `insert`/`split_edge`/`remove` so the eviction hot path never
     /// re-scans the arena.
     candidates: CandidateIndex,
+    /// Incremental protected set: nodes with `pin_count > 0`. Kept
+    /// *separate* from `candidates` — pinning must not perturb the
+    /// candidate index's internal order, so the pin-free operation history
+    /// stays byte-identical whether or not pins ever happened.
+    pinned: CandidateIndex,
 }
 
 /// Result of [`RadixTree::match_prefix`].
@@ -118,6 +127,9 @@ pub enum RemoveError {
     HasMultipleChildren,
     /// The id does not refer to a live node.
     NotFound,
+    /// The node is protected by an in-flight pin ([`RadixTree::pin`]): an
+    /// active request is still reading the KVs on its edge.
+    Pinned,
 }
 
 impl fmt::Display for RemoveError {
@@ -128,6 +140,7 @@ impl fmt::Display for RemoveError {
                 write!(f, "nodes with multiple children cannot be removed")
             }
             RemoveError::NotFound => write!(f, "node id does not refer to a live node"),
+            RemoveError::Pinned => write!(f, "node is pinned by an in-flight request"),
         }
     }
 }
@@ -151,12 +164,14 @@ impl<D: Default> RadixTree<D> {
                 children: BTreeMap::new(),
                 depth: 0,
                 version: 0,
+                pin_count: 0,
                 data: D::default(),
             })],
             free_head: None,
             node_count: 0,
             token_count: 0,
             candidates: CandidateIndex::default(),
+            pinned: CandidateIndex::default(),
         }
     }
 
@@ -191,6 +206,7 @@ impl<D: Default> RadixTree<D> {
                         children: BTreeMap::new(),
                         depth: self.node(cur).depth + added,
                         version: 0,
+                        pin_count: 0,
                         data: D::default(),
                     });
                     let was_leaf = self.node(cur).children.is_empty();
@@ -264,14 +280,24 @@ impl<D: Default> RadixTree<D> {
 
         let mut mid_children = BTreeMap::new();
         mid_children.insert(tail[0], child);
+        // The new intermediate inherits the child's pin count: pin counts
+        // are subtree-inclusive, and every upward walk that used to reach
+        // `child` directly now passes through `mid` first. Copying keeps
+        // later `unpin` walks balanced and keeps the head of a pinned edge
+        // protected (the split moved those KVs onto `mid`).
+        let inherited_pins = self.node(child).pin_count;
         let mid = self.alloc(Node {
             parent: Some(parent),
             edge: head,
             children: mid_children,
             depth: mid_depth,
             version: 0,
+            pin_count: inherited_pins,
             data: D::default(),
         });
+        if inherited_pins > 0 {
+            self.pinned.insert(mid);
+        }
         {
             let c = self.node_mut(child);
             c.edge = tail;
@@ -467,6 +493,96 @@ impl<D> RadixTree<D> {
         self.candidates.len()
     }
 
+    /// Pins `id` for an in-flight request: increments the pin count of
+    /// every node from `id` up to (excluding) the root. While any count on
+    /// a node is nonzero the node is *protected* — [`remove`] refuses it
+    /// with [`RemoveError::Pinned`], and a well-behaved cache also skips it
+    /// for demotion, because an in-flight request is still reading the KVs
+    /// along the pinned path. O(depth in nodes). Pinning the root is a
+    /// no-op.
+    ///
+    /// Pins are balanced by [`unpin`](RadixTree::unpin) with the *same*
+    /// id: pinned nodes are never removed, and edge splits copy counts
+    /// onto the new intermediate, so the id — and the upward walk from
+    /// it — stays valid across any interleaved tree mutations.
+    ///
+    /// [`remove`]: RadixTree::remove
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn pin(&mut self, id: NodeId) {
+        let mut cur = id;
+        while cur != NodeId::ROOT {
+            let n = self.node_mut(cur);
+            n.pin_count += 1;
+            let first = n.pin_count == 1;
+            let parent = n.parent.expect("non-root has a parent");
+            if first {
+                self.pinned.insert(cur);
+            }
+            cur = parent;
+        }
+    }
+
+    /// Releases one [`pin`](RadixTree::pin) of `id`: decrements the pin
+    /// count of every node from `id` up to (excluding) the root.
+    /// O(depth in nodes). Unpinning the root is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node, or (debug builds) if a
+    /// node on the walk has no pin to release — an unpin without a
+    /// matching pin.
+    pub fn unpin(&mut self, id: NodeId) {
+        let mut cur = id;
+        while cur != NodeId::ROOT {
+            let n = self.node_mut(cur);
+            debug_assert!(n.pin_count > 0, "{cur}: unpin without a matching pin");
+            n.pin_count = n.pin_count.saturating_sub(1);
+            let now_free = n.pin_count == 0;
+            let parent = n.parent.expect("non-root has a parent");
+            if now_free {
+                self.pinned.remove(cur);
+            }
+            cur = parent;
+        }
+    }
+
+    /// `true` if the node is protected by at least one in-flight pin
+    /// (its own or a descendant's — counts are subtree-inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn is_pinned(&self, id: NodeId) -> bool {
+        self.node(id).pin_count > 0
+    }
+
+    /// Iterates over all currently protected nodes (pin count > 0), in the
+    /// index's internal (deterministic but unspecified) order.
+    pub fn pinned_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.pinned.iter()
+    }
+
+    /// Number of currently protected nodes, in O(1).
+    #[must_use]
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Drops every pin, returning the tree to a fully evictable state.
+    ///
+    /// Intended for clones handed to offline replay (e.g. the α tuner's
+    /// replicas), which model no in-flight lifetimes.
+    pub fn clear_pins(&mut self) {
+        let ids: Vec<NodeId> = self.pinned.drain().collect();
+        for id in ids {
+            self.node_mut(id).pin_count = 0;
+        }
+    }
+
     /// Structure version of a node: bumped whenever the node's leaf status,
     /// edge length, or depth changes (the inputs to Marconi's per-node
     /// freed-bytes / FLOP-efficiency scores). Callers memoizing derived
@@ -568,8 +684,11 @@ impl<D> RadixTree<D> {
     /// # Errors
     ///
     /// [`RemoveError::IsRoot`] for the root, [`RemoveError::NotFound`] for a
-    /// dead id, and [`RemoveError::HasMultipleChildren`] for shared-prefix
-    /// nodes.
+    /// dead id, [`RemoveError::HasMultipleChildren`] for shared-prefix
+    /// nodes, and [`RemoveError::Pinned`] for nodes protected by an
+    /// in-flight [`pin`](RadixTree::pin). A pinned node can never have an
+    /// unpinned ancestor (counts are subtree-inclusive), so the merge arm
+    /// below never relocates protected KVs.
     pub fn remove(&mut self, id: NodeId) -> Result<Removed<D>, RemoveError> {
         if id == NodeId::ROOT {
             return Err(RemoveError::IsRoot);
@@ -577,6 +696,9 @@ impl<D> RadixTree<D> {
         let node = self.get_node(id).ok_or(RemoveError::NotFound)?;
         if node.children.len() > 1 {
             return Err(RemoveError::HasMultipleChildren);
+        }
+        if node.pin_count > 0 {
+            return Err(RemoveError::Pinned);
         }
         let parent = node.parent.expect("non-root has a parent");
         let first_tok = node.edge[0];
@@ -647,6 +769,7 @@ impl<D> RadixTree<D> {
         let mut seen_tokens = 0u64;
         let mut seen_nodes = 0usize;
         let mut seen_candidates = 0usize;
+        let mut seen_pinned = 0usize;
         let mut stack = vec![NodeId::ROOT];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
@@ -668,9 +791,26 @@ impl<D> RadixTree<D> {
                     n.children.len()
                 );
                 seen_candidates += usize::from(should_be_candidate);
+                assert_eq!(
+                    self.pinned.contains(id),
+                    n.pin_count > 0,
+                    "{id}: pinned-index membership drift (pin_count = {})",
+                    n.pin_count
+                );
+                seen_pinned += usize::from(n.pin_count > 0);
+                if n.parent != Some(NodeId::ROOT) {
+                    assert!(
+                        p.pin_count >= n.pin_count,
+                        "{id}: pin counts are subtree-inclusive, so a parent's \
+                         count ({}) must cover each child's ({})",
+                        p.pin_count,
+                        n.pin_count
+                    );
+                }
             } else {
                 assert!(n.parent.is_none(), "root has a parent");
                 assert_eq!(n.depth, 0, "root depth nonzero");
+                assert_eq!(n.pin_count, 0, "root must never be pinned");
             }
             for (&tok, &cid) in &n.children {
                 let c = self.node(cid);
@@ -689,6 +829,15 @@ impl<D> RadixTree<D> {
         assert!(
             !self.candidates.contains(NodeId::ROOT),
             "root must never be a candidate"
+        );
+        assert_eq!(
+            seen_pinned,
+            self.pinned.len(),
+            "pinned index holds dead or duplicate entries"
+        );
+        assert!(
+            !self.pinned.contains(NodeId::ROOT),
+            "root must never be in the pinned index"
         );
     }
 
@@ -1194,6 +1343,107 @@ mod tests {
         let s = t.speculate_insert(&[]);
         assert_eq!(s.matched_len, 0);
         assert_eq!(s.creates_branch_at, None);
+    }
+
+    // ------------------------------------------------------------------
+    // In-flight pinning: refcounts protect a matched path against removal
+    // while a request is still decoding against its KVs (PR 6).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pin_protects_the_whole_path() {
+        let mut t = tree();
+        t.insert(&[1, 2]);
+        let deep = t.insert(&[1, 2, 3, 4]).end_node;
+        let mid = t.parent(deep).unwrap();
+        t.pin(deep);
+        assert!(t.is_pinned(deep));
+        assert!(t.is_pinned(mid), "ancestors are protected transitively");
+        assert_eq!(t.pinned_count(), 2);
+        assert_eq!(t.remove(deep), Err(RemoveError::Pinned));
+        assert_eq!(t.remove(mid), Err(RemoveError::Pinned));
+        t.assert_invariants();
+        t.unpin(deep);
+        assert!(!t.is_pinned(deep));
+        assert!(!t.is_pinned(mid));
+        assert_eq!(t.pinned_count(), 0);
+        assert!(t.remove(deep).is_ok());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn pin_is_refcounted() {
+        let mut t = tree();
+        let leaf = t.insert(&[1, 2, 3]).end_node;
+        t.pin(leaf);
+        t.pin(leaf);
+        t.unpin(leaf);
+        assert!(t.is_pinned(leaf), "one of two pins still holds");
+        assert_eq!(t.remove(leaf), Err(RemoveError::Pinned));
+        t.unpin(leaf);
+        assert!(t.remove(leaf).is_ok());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn split_inherits_pins_and_unpin_stays_balanced() {
+        let mut t = tree();
+        let leaf = t.insert(&[1, 2, 3, 4]).end_node;
+        t.pin(leaf);
+        // Another request diverges mid-edge while the first is in flight:
+        // the new intermediate holds the head of the pinned edge and must
+        // be protected too.
+        let out = t.insert(&[1, 2, 9, 9]);
+        let mid = out.split_node.expect("split");
+        assert!(t.is_pinned(mid), "split head of a pinned edge stays pinned");
+        assert!(t.is_pinned(leaf));
+        assert!(!t.is_pinned(out.new_leaf.unwrap()));
+        assert_eq!(t.remove(mid), Err(RemoveError::HasMultipleChildren));
+        t.assert_invariants();
+        // Unpinning by the original id walks through the new intermediate
+        // and releases everything.
+        t.unpin(leaf);
+        assert_eq!(t.pinned_count(), 0);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn clear_pins_resets_all_counts() {
+        let mut t = tree();
+        let a = t.insert(&[1, 2, 3, 4]).end_node;
+        let b = t.insert(&[1, 2, 9]).end_node;
+        t.pin(a);
+        t.pin(a);
+        t.pin(b);
+        assert!(t.pinned_count() > 0);
+        t.clear_pins();
+        assert_eq!(t.pinned_count(), 0);
+        assert!(!t.is_pinned(a));
+        assert!(t.remove(a).is_ok());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn recycled_slots_start_unpinned() {
+        let mut t = tree();
+        let a = t.insert(&[1]).end_node;
+        t.pin(a);
+        t.unpin(a);
+        t.remove(a).unwrap();
+        let b = t.insert(&[2]).end_node;
+        assert_eq!(a.index(), b.index(), "slot reused");
+        assert!(!t.is_pinned(b));
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn pinning_root_is_a_noop() {
+        let mut t = tree();
+        t.insert(&[1, 2]);
+        t.pin(NodeId::ROOT);
+        t.unpin(NodeId::ROOT);
+        assert_eq!(t.pinned_count(), 0);
+        t.assert_invariants();
     }
 
     #[test]

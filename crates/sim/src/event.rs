@@ -1142,4 +1142,137 @@ mod tests {
             prefill_chunk_tokens: 1,
         });
     }
+
+    /// The headline bug this PR fixes, demonstrated end-to-end under the
+    /// modeled clock: a long-decoding request's admission-time hit path is
+    /// reclaimed by eviction pressure from concurrently *completing*
+    /// requests — unless the admission lookup pins it. The two runs
+    /// diverge exactly (and only) at that victim choice: unpinned,
+    /// pressure takes the in-flight path; pinned, it takes the next-best
+    /// victim instead.
+    #[test]
+    fn mid_flight_eviction_is_prevented_by_pinning() {
+        use marconi_workload::Request;
+        let m = ModelConfig::hybrid_7b();
+        let a_in: Vec<u32> = (0..96).collect();
+        let a_out: Vec<u32> = (500..532).collect();
+        let mut resume_a = a_in.clone();
+        resume_a.extend_from_slice(&a_out);
+        resume_a.extend(2000..2020);
+        let mk = |id, arrival, input: Vec<u32>, output: Vec<u32>| Request {
+            id,
+            session_id: id,
+            tenant_id: 0,
+            turn: 0,
+            arrival,
+            input,
+            output,
+        };
+        let pressure_seq = |base: u32| {
+            (
+                (base..base + 96).collect(),
+                (base + 500..base + 504).collect(),
+            )
+        };
+        // Session A's chain: 128 tokens + checkpoint. Pressure chains
+        // (96 in + 4 out): 100 tokens + checkpoint. Capacity fits A plus
+        // two pressure chains; the third completion must evict one chain.
+        let capacity = (128 + 2 * 100) * m.kv_bytes_per_token() + 3 * m.ssm_checkpoint_bytes() + 1;
+
+        // Calibrate the decode window: how long request 1 (the in-flight
+        // victim-to-be, with a 4000-token decode) stays resident when run
+        // alone, so arrivals can be placed *inside* that window without
+        // hardcoding iteration latencies.
+        let calibrate = {
+            let trace = Trace {
+                name: "calibrate".into(),
+                requests: vec![
+                    mk(0, 0.0, a_in.clone(), a_out.clone()),
+                    mk(1, 1.0, resume_a.clone(), (40_000..44_000).collect()),
+                ],
+            };
+            let mut sim = EventSim::new(
+                marconi_cache(1 << 40, EvictionPolicy::Lru),
+                GpuModel::a100_x4(),
+            );
+            let rep = sim.run(&trace);
+            rep.records[1].completed - rep.records[1].admitted
+        };
+        assert!(calibrate > 0.0);
+
+        let (c1_in, c1_out): (Vec<u32>, Vec<u32>) = pressure_seq(10_000);
+        let mut resume_c1 = c1_in.clone();
+        resume_c1.extend_from_slice(&c1_out);
+        let (c2_in, c2_out) = pressure_seq(20_000);
+        let (c3_in, c3_out) = pressure_seq(30_000);
+        let t0 = 1.0;
+        let trace = Trace {
+            name: "mid-flight".into(),
+            requests: vec![
+                // 0: establishes session A's cached chain.
+                mk(0, 0.0, a_in.clone(), a_out.clone()),
+                // 1: resumes A and decodes for a long time — its admission
+                // lookup hits A's 128-token checkpoint.
+                mk(1, t0, resume_a.clone(), (40_000..44_000).collect()),
+                // 2–4: pressure — each completion admits a fresh chain;
+                // the third overflows the byte budget mid-flight of 1.
+                mk(2, t0 + 0.05 * calibrate, c1_in, c1_out.clone()),
+                mk(3, t0 + 0.10 * calibrate, c2_in, c2_out),
+                mk(4, t0 + 0.15 * calibrate, c3_in, c3_out),
+                // 5–6: probes landing after the pressure but before 1
+                // completes, reading which chain survived.
+                mk(
+                    5,
+                    t0 + 0.90 * calibrate,
+                    resume_a.clone(),
+                    (600..604).collect(),
+                ),
+                mk(6, t0 + 0.92 * calibrate, resume_c1, (700..704).collect()),
+            ],
+        };
+
+        let run = |pin: bool| {
+            let cache = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .policy(EvictionPolicy::Lru)
+                .in_flight_pinning(pin)
+                .build();
+            let mut sim = EventSim::new(cache, GpuModel::a100_x4());
+            let rep = sim.run(&trace);
+            // Self-validate the overlap the scenario depends on: all the
+            // pressure completed, and both probes were admitted, while
+            // request 1 was still decoding.
+            let r = &rep.records;
+            assert!(
+                r[4].completed < r[5].admitted,
+                "pressure must land before the probes"
+            );
+            assert!(
+                r[6].admitted < r[1].completed,
+                "probes must observe the mid-flight state"
+            );
+            assert_eq!(r[1].hit_tokens, 128, "request 1 hit A's checkpoint");
+            rep
+        };
+
+        let unpinned = run(false);
+        let pinned = run(true);
+        // Unpinned: pressure reclaimed the chain request 1 was decoding
+        // from (a use-after-free in a real engine); the bystander chain
+        // survived.
+        assert_eq!(unpinned.records[5].hit_tokens, 0, "in-flight path evicted");
+        assert_eq!(unpinned.records[6].hit_tokens, 100, "bystander survived");
+        // Pinned: the victim choice diverges exactly there — the pinned
+        // in-flight path survives and pressure takes the bystander.
+        assert_eq!(pinned.records[5].hit_tokens, 128, "in-flight path pinned");
+        assert_eq!(pinned.records[6].hit_tokens, 0, "next-best victim taken");
+        // ... and nowhere else: both runs reclaim under the same pressure.
+        assert!(unpinned.cache_stats.evictions > 0);
+        assert_eq!(
+            unpinned.cache_stats.evictions, pinned.cache_stats.evictions,
+            "pinning redirects victims, it does not change how much pressure reclaims"
+        );
+        // All pins were redeemed at completion.
+        assert_eq!(pinned.cache_stats.lookups, unpinned.cache_stats.lookups);
+    }
 }

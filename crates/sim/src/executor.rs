@@ -17,7 +17,7 @@
 
 use crate::event::EventRecord;
 use crate::gpu::{GpuModel, ReloadDecision};
-use marconi_core::PrefixCache;
+use marconi_core::{PinTicket, PrefixCache};
 use marconi_workload::Request;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -92,6 +92,10 @@ struct Running<'a> {
     /// Set when the prefill frontier reaches the input length — the TTFT
     /// instant.
     prefill_done_at: Option<f64>,
+    /// In-flight pin on the admission lookup's hit path, held until
+    /// completion so eviction pressure from concurrent completions cannot
+    /// reclaim KVs this request is still reading.
+    pin: PinTicket,
     decoded: u64,
     /// Work scheduled for the in-flight iteration.
     sched_prefill: u64,
@@ -210,6 +214,11 @@ impl<'a> Executor<'a> {
                 continue;
             }
             let r = self.running.remove(i);
+            // Release the pin *before* admitting the completed sequence:
+            // the request is done reading its prefix, and a still-held pin
+            // would exempt that path from the admission's own eviction
+            // pressure (breaking pin-free parity even at zero load).
+            cache.unpin(r.pin);
             cache.insert_at(&r.req.input, &r.req.output, now);
             let ttft_at = r.prefill_done_at.expect("completed requests prefilled");
             self.records.push(EventRecord {
@@ -252,8 +261,15 @@ impl<'a> Executor<'a> {
             let Some(req) = self.queue.pop_front() else {
                 break;
             };
-            self.queued_input_tokens -= req.input_len();
+            debug_assert!(
+                self.queued_input_tokens >= req.input_len(),
+                "queue accounting underflow: {} queued tokens, dequeuing {}",
+                self.queued_input_tokens,
+                req.input_len()
+            );
+            self.queued_input_tokens = self.queued_input_tokens.saturating_sub(req.input_len());
             let hit = cache.lookup_at(&req.input, now);
+            let pin = cache.pin_prefix(&req.input);
             let (reload_s, reload) = match &self.service {
                 ServiceMode::Modeled(gpu) => {
                     gpu.reload_secs(cache.reload_policy(), hit.host_bytes, hit.host_reload_flops)
@@ -285,6 +301,7 @@ impl<'a> Executor<'a> {
                 reload,
                 prefill_pos: hit.tokens_matched,
                 prefill_done_at: None,
+                pin,
                 decoded: 0,
                 sched_prefill: 0,
                 sched_decode: false,
@@ -323,5 +340,74 @@ impl<'a> Executor<'a> {
         self.busy_s += duration;
         self.iterations += 1;
         self.busy_until = Some(now + duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marconi_core::{EvictionPolicy, HybridPrefixCache};
+    use marconi_model::ModelConfig;
+    use marconi_workload::{DatasetKind, TraceGenerator};
+
+    fn cache() -> HybridPrefixCache {
+        HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 40)
+            .policy(EvictionPolicy::Lru)
+            .build()
+    }
+
+    /// Queue-token accounting must balance exactly: every enqueued input
+    /// token is subtracted exactly once at admission, so a fully drained
+    /// executor reports zero outstanding work.
+    #[test]
+    fn queue_token_accounting_drains_to_zero() {
+        let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(6)
+            .seed(5)
+            .generate();
+        let mut c = cache();
+        let mut ex = Executor::new(
+            BatchConfig {
+                max_batch_requests: 2,
+                prefill_chunk_tokens: 512,
+            },
+            ServiceMode::Modeled(GpuModel::a100_x4()),
+        );
+        for r in &trace.requests {
+            ex.enqueue(r, &mut c, r.arrival);
+        }
+        assert!(ex.outstanding_tokens() > 0, "the batch must saturate");
+        while let Some(t) = ex.next_event() {
+            ex.advance(&mut c, t);
+        }
+        assert!(ex.is_idle());
+        assert_eq!(
+            ex.outstanding_tokens(),
+            0,
+            "drained executor must owe no queued or running tokens"
+        );
+        assert_eq!(ex.take_records().len(), trace.requests.len());
+    }
+
+    /// The debug guard on admission catches queue-accounting drift (a
+    /// request dequeued without having been counted) instead of silently
+    /// wrapping `queued_input_tokens` to ~u64::MAX and poisoning the
+    /// `QueueAware` router's load signal. Release builds saturate to zero.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "queue accounting underflow")]
+    fn queue_accounting_underflow_is_caught_in_debug() {
+        let trace = TraceGenerator::new(DatasetKind::ShareGpt)
+            .sessions(1)
+            .seed(1)
+            .generate();
+        let mut c = cache();
+        let mut ex = Executor::new(BatchConfig::default(), ServiceMode::Instantaneous);
+        // Bypass `enqueue`'s token bookkeeping to simulate drift, then let
+        // admission (via `advance`'s restart path) dequeue the request.
+        ex.queue.push_back(&trace.requests[0]);
+        ex.busy_until = Some(0.0);
+        ex.advance(&mut c, 0.0);
     }
 }
