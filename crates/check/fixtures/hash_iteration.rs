@@ -1,0 +1,27 @@
+//! Seeded violation: iterating a hash container in a report-producing
+//! path. Iteration order is nondeterministic, so the report is no longer
+//! a pure function of trace + config. `marconi-check --self-test` must
+//! reject this file with `hash-iter` findings.
+
+use std::collections::HashMap;
+
+pub struct PerTenant {
+    pub by_tenant: HashMap<u64, u64>,
+}
+
+pub fn tenant_rows(stats: &PerTenant) -> Vec<(u64, u64)> {
+    let mut rows = Vec::new();
+    // Nondeterministic row order — should be a BTreeMap, or sorted.
+    for (tenant, hits) in &stats.by_tenant {
+        rows.push((*tenant, *hits));
+    }
+    rows
+}
+
+pub fn total(stats: &PerTenant) -> u64 {
+    // Also flagged: .values() iteration (a sum happens to be
+    // order-insensitive, but the rule is deliberately conservative —
+    // waive it with `check:allow(hash-iter)` plus a reason if truly
+    // needed).
+    stats.by_tenant.values().sum()
+}

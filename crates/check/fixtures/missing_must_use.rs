@@ -1,0 +1,13 @@
+//! Seeded violation: a leak-prone handle type without `#[must_use]`.
+//! Dropping a pin ticket on the floor leaks the pin (the path stays
+//! protected forever), so ignoring one must at least warn.
+//! `marconi-check --self-test` must reject this file with a
+//! `must-use-handle` finding.
+
+pub struct LeakyPinTicket {
+    pub node: Option<u32>,
+}
+
+pub fn pin_prefix() -> LeakyPinTicket {
+    LeakyPinTicket { node: Some(7) }
+}

@@ -1,0 +1,38 @@
+//! Seeded violation: a tuner-replica knob that is not mirrored — the
+//! exact bug PR 2 fixed by hand. The builder grows a new behavioral knob
+//! (`speculative_depth`) but `replica()` hardcodes it, so the α
+//! grid-search would replay against a cache the live system never runs.
+//! `marconi-check --self-test` must reject this file with
+//! `replica-mirror` findings.
+
+pub struct HybridPrefixCacheBuilder {
+    capacity: u64,
+    checkpoint_mode: u32,
+    refresh_ancestors: bool,
+    speculative_depth: u32,
+    name: Option<String>,
+    policy: u32,
+}
+
+pub struct HybridPrefixCache {
+    capacity: u64,
+    checkpoint_mode: u32,
+    refresh_ancestors: bool,
+    speculative_depth: u32,
+    name: String,
+    policy: u32,
+}
+
+impl HybridPrefixCache {
+    fn replica(&self, alpha: u32) -> Self {
+        HybridPrefixCache {
+            capacity: self.capacity,
+            checkpoint_mode: self.checkpoint_mode,
+            refresh_ancestors: self.refresh_ancestors,
+            // The drifted knob: hardcoded instead of `self.speculative_depth`.
+            speculative_depth: 0,
+            name: "replica".to_owned(),
+            policy: alpha,
+        }
+    }
+}

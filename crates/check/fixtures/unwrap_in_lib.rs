@@ -1,0 +1,19 @@
+//! Seeded violation: `.unwrap()` and a contract-free `.expect(…)` in
+//! non-test lib code. `marconi-check --self-test` must reject this file
+//! with `unwrap` and `expect-message` findings.
+
+pub fn victim_parent(parents: &[Option<u32>], victim: usize) -> u32 {
+    // Should be `.expect("invariant: victims are non-root")`.
+    let p = parents[victim].unwrap();
+    let _q = parents.first().expect("should not happen");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        let _ = v.unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded violation: wall-clock time in report-producing lib code.
+//! `marconi-check --self-test` must reject this file with `wall-clock`
+//! findings; if it ever passes, the gate has rotted.
+
+use std::time::{Instant, SystemTime};
+
+pub struct Report {
+    pub wall_ms: f64,
+}
+
+pub fn produce_report() -> Report {
+    // Reports must be pure functions of trace + config; this one is not.
+    let t0 = Instant::now();
+    let _stamp = SystemTime::now();
+    let seed = thread_rng();
+    let _ = seed;
+    Report {
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        // This Instant must NOT be flagged — tests are exempt.
+        let _t = Instant::now();
+    }
+}

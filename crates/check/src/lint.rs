@@ -1,0 +1,609 @@
+//! The `marconi-check` contract rules.
+//!
+//! Each rule encodes an invariant this repository's results depend on (see
+//! `docs/verification.md` for the catalog). Rules operate on the token
+//! stream from [`crate::lexer`], skipping `#[cfg(test)]` / `#[test]` spans
+//! — the contracts constrain *lib* code, while tests may freely use
+//! wall-clocks or `unwrap()`.
+//!
+//! | rule id | contract |
+//! |---|---|
+//! | `wall-clock` | reports are pure functions of trace + config: no `Instant`, `SystemTime`, or `thread_rng` in the deterministic crates |
+//! | `hash-iter` | no iteration over `HashMap`/`HashSet` (nondeterministic order) in the deterministic crates |
+//! | `unwrap` | no `.unwrap()` in non-test lib code |
+//! | `expect-message` | every `.expect(...)` names the violated contract (`"invariant: …"` or `"lock: …"`) |
+//! | `must-use-handle` | leak-prone handle types (`*Ticket`, `*Guard`, `*Handle`) carry `#[must_use]` |
+//!
+//! A line can waive a rule with `// check:allow(rule-id): reason` on the
+//! same or the preceding line; the reason is mandatory so waivers stay
+//! auditable.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// A single rule finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in (as given to the linter).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id, e.g. `wall-clock`.
+    pub rule: &'static str,
+    /// Human-readable description of the violated contract.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Which crates the lint pass walks, relative to the workspace root.
+///
+/// Benches and the figures binary live in `crates/bench` and are *not*
+/// listed: they legitimately measure wall-clock time
+/// (`eviction_pressure.rs` et al.), which is exactly the allowlist the
+/// rules intend.
+pub const LINTED_CRATES: [&str; 5] = [
+    "crates/core",
+    "crates/radix",
+    "crates/sim",
+    "crates/workload",
+    "crates/metrics",
+];
+
+/// Identifiers banned by the `wall-clock` rule.
+const WALL_CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
+
+/// `.expect(...)` messages must start with one of these, naming the
+/// contract whose violation makes the panic unreachable.
+const EXPECT_PREFIXES: [&str; 2] = ["invariant:", "lock:"];
+
+/// Handle-type name suffixes that must carry `#[must_use]` (dropping one
+/// on the floor leaks the resource it tracks — e.g. a `PinTicket` leak
+/// pins a cache path forever).
+const MUST_USE_SUFFIXES: [&str; 3] = ["Ticket", "Guard", "Handle"];
+
+/// Hash-container iteration methods with order-dependent results.
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Lints one file's source, returning all findings.
+#[must_use]
+pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let test = test_spans(toks);
+    let waivers = waivers(&lexed);
+    let mut out = Vec::new();
+
+    let waived = |line: u32, rule: &str| -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| waivers.get(l).is_some_and(|rules| rules.contains(rule)))
+    };
+    let mut push = |line: u32, rule: &'static str, message: String| {
+        if !waived(line, rule) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let hash_bound = hash_bound_idents(toks);
+
+    for (i, t) in toks.iter().enumerate() {
+        if test[i] {
+            continue;
+        }
+        // wall-clock: reports must be pure functions of trace + config.
+        if t.kind == TokKind::Ident && WALL_CLOCK_IDENTS.contains(&t.text.as_str()) {
+            push(
+                t.line,
+                "wall-clock",
+                format!(
+                    "`{}` breaks determinism: reports must be pure functions of \
+                     trace + config (benches in crates/bench may time things)",
+                    t.text
+                ),
+            );
+        }
+        // unwrap / expect-message.
+        if t.is_punct('.') {
+            let (Some(name), paren) = (toks.get(i + 1), toks.get(i + 2)) else {
+                continue;
+            };
+            if !paren.is_some_and(|p| p.is_punct('(')) {
+                continue;
+            }
+            if name.is_ident("unwrap") {
+                push(
+                    name.line,
+                    "unwrap",
+                    "`.unwrap()` in non-test lib code: convert to \
+                     `.expect(\"invariant: …\")` naming the violated contract, \
+                     or propagate the error"
+                        .to_owned(),
+                );
+            } else if name.is_ident("expect") {
+                let msg = toks.get(i + 3);
+                let ok = msg.is_some_and(|m| {
+                    m.kind == TokKind::Str && EXPECT_PREFIXES.iter().any(|p| m.text.starts_with(p))
+                });
+                if !ok {
+                    push(
+                        name.line,
+                        "expect-message",
+                        "`.expect(…)` must take a string literal naming the \
+                         violated contract, prefixed `invariant:` or `lock:`"
+                            .to_owned(),
+                    );
+                }
+            } else if HASH_ITER_METHODS.contains(&name.text.as_str())
+                && i > 0
+                && toks[i - 1].kind == TokKind::Ident
+                && hash_bound.contains(&toks[i - 1].text)
+            {
+                push(
+                    name.line,
+                    "hash-iter",
+                    format!(
+                        "iterating hash container `{}` yields nondeterministic \
+                         order; use a BTree container or sort first",
+                        toks[i - 1].text
+                    ),
+                );
+            }
+        }
+        // hash-iter via for loops: `for x in &map` / `for x in map`.
+        if t.is_ident("for") {
+            // Find the matching `in` at depth 0 (patterns can contain
+            // parens/brackets but not braces).
+            let mut depth = 0i32;
+            for j in i + 1..toks.len().min(i + 40) {
+                let u = &toks[j];
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth -= 1;
+                } else if u.is_punct('{') {
+                    break;
+                } else if depth == 0 && u.is_ident("in") {
+                    let mut k = j + 1;
+                    while toks
+                        .get(k)
+                        .is_some_and(|v| v.is_punct('&') || v.is_ident("mut"))
+                    {
+                        k += 1;
+                    }
+                    // Walk a field path `a.b.c` to its final segment.
+                    while toks.get(k).is_some_and(|v| v.kind == TokKind::Ident)
+                        && toks.get(k + 1).is_some_and(|v| v.is_punct('.'))
+                        && toks.get(k + 2).is_some_and(|v| v.kind == TokKind::Ident)
+                    {
+                        k += 2;
+                    }
+                    if let Some(v) = toks.get(k) {
+                        if v.kind == TokKind::Ident
+                            && hash_bound.contains(&v.text)
+                            && toks.get(k + 1).is_some_and(|w| w.is_punct('{'))
+                        {
+                            push(
+                                v.line,
+                                "hash-iter",
+                                format!(
+                                    "`for … in {}` iterates a hash container in \
+                                     nondeterministic order; use a BTree container \
+                                     or sort first",
+                                    v.text
+                                ),
+                            );
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        // must-use-handle.
+        if t.is_ident("struct") {
+            let Some(name) = toks.get(i + 1) else {
+                continue;
+            };
+            if name.kind == TokKind::Ident
+                && MUST_USE_SUFFIXES
+                    .iter()
+                    .any(|s| name.text.ends_with(s) && name.text.len() > s.len())
+                && !has_preceding_attr(toks, i, "must_use")
+            {
+                push(
+                    name.line,
+                    "must-use-handle",
+                    format!(
+                        "handle type `{}` must be `#[must_use]`: dropping it \
+                         unredeemed leaks the resource it tracks",
+                        name.text
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Lints every `src/**/*.rs` file of the five deterministic crates under
+/// `root`, plus the tuner-fidelity mirror check on `hybrid.rs`.
+///
+/// # Errors
+///
+/// Returns an error when the workspace layout is unreadable (missing crate
+/// directories), so a mis-pointed `--root` fails loudly instead of
+/// reporting a clean empty run.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    for krate in LINTED_CRATES {
+        let dir = root.join(krate).join("src");
+        collect_rs_files(&dir, &mut files)
+            .map_err(|e| format!("cannot walk {}: {e}", dir.display()))?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let src =
+            std::fs::read_to_string(&f).map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+        let rel = f.strip_prefix(root).unwrap_or(&f);
+        out.extend(lint_source(rel, &src));
+    }
+    let hybrid = root.join("crates/core/src/hybrid.rs");
+    let src = std::fs::read_to_string(&hybrid)
+        .map_err(|e| format!("cannot read {}: {e}", hybrid.display()))?;
+    out.extend(crate::mirror::check_mirror_source(
+        Path::new("crates/core/src/hybrid.rs"),
+        &src,
+        &crate::mirror::MirrorSpec::hybrid(),
+    ));
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item (the item
+/// the attribute is attached to, through its closing `}`, `;`, or `,`).
+fn test_spans(toks: &[Tok]) -> Vec<bool> {
+    let mut test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#![cfg(test)]` (inner attribute): the whole file is test code.
+        let inner = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let open = i + 1 + usize::from(inner);
+        if !toks.get(open).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(toks, open, '[', ']') else {
+            break;
+        };
+        let attr = &toks[open + 1..close];
+        let is_test_attr = attr.first().is_some_and(|t| t.is_ident("test"))
+            || (attr.first().is_some_and(|t| t.is_ident("cfg"))
+                && attr.iter().any(|t| t.is_ident("test")));
+        if !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            test.iter_mut().for_each(|t| *t = true);
+            return test;
+        }
+        // Skip any further attributes, then span the item.
+        let mut j = close + 1;
+        while toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching(toks, j + 1, '[', ']') {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let mut end = toks.len().saturating_sub(1);
+        let mut depth = 0i32;
+        for (k, t) in toks.iter().enumerate().skip(j) {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') && depth == 0 {
+                end = matching(toks, k, '{', '}').unwrap_or(end);
+                break;
+            } else if (t.is_punct(';') || t.is_punct(',')) && depth == 0 {
+                end = k;
+                break;
+            }
+        }
+        test[i..=end.min(toks.len() - 1)]
+            .iter_mut()
+            .for_each(|t| *t = true);
+        i = end + 1;
+    }
+    test
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(toks: &[Tok], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` anywhere in the file, from
+/// `name: HashMap<…>` (fields, params) and `let name = HashMap::new()`
+/// style bindings. File-local and flow-insensitive — good enough, since
+/// shadowing a hash map with a non-hash binding of the same name would be
+/// its own readability bug.
+fn hash_bound_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over the path qualifier `std :: collections ::` and
+        // reference sigils (`&`, `&'a mut`).
+        let mut j = i;
+        loop {
+            if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+                j -= 3; // over `:: segment`
+            } else if j >= 1
+                && (toks[j - 1].is_punct('&')
+                    || toks[j - 1].is_ident("mut")
+                    || toks[j - 1].kind == TokKind::Lifetime)
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        // `name : [std::collections::] HashMap` — fields, lets, params.
+        if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].kind == TokKind::Ident {
+            out.insert(toks[j - 2].text.clone());
+        }
+        // `let [mut] name = HashMap::…` / `= HashSet::…`.
+        if j >= 2 && toks[j - 1].is_punct('=') && toks[j - 2].kind == TokKind::Ident {
+            out.insert(toks[j - 2].text.clone());
+        }
+    }
+    out
+}
+
+/// `true` if the item starting at token `item` (e.g. a `struct` keyword)
+/// has `#[must_use]` among the attributes immediately preceding it.
+fn has_preceding_attr(toks: &[Tok], item: usize, attr: &str) -> bool {
+    // Walk backwards over visibility and attribute groups.
+    let mut j = item;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        if prev.is_ident("pub") {
+            j -= 1;
+        } else if prev.is_punct(')') {
+            // pub(crate) etc. — walk back to the '(' and the `pub`.
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(')') {
+                    depth += 1;
+                } else if toks[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            j = k;
+        } else if prev.is_punct(']') {
+            // An attribute `#[…]` — scan it for the ident.
+            let mut depth = 0i32;
+            let mut k = j - 1;
+            loop {
+                if toks[k].is_punct(']') {
+                    depth += 1;
+                } else if toks[k].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return false;
+                }
+                k -= 1;
+            }
+            if k == 0 || !toks[k - 1].is_punct('#') {
+                return false;
+            }
+            if toks[k..j].iter().any(|t| t.is_ident(attr)) {
+                return true;
+            }
+            j = k - 1;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Waiver annotations by line: `// check:allow(rule-a, rule-b): reason`.
+/// Waivers without a reason (no text after the closing paren) are ignored.
+fn waivers(lexed: &Lexed) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut out: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("check:allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "check:allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        if rest[end + 1..].trim_start_matches([':', ' ']).is_empty() {
+            continue; // a waiver must carry a reason
+        }
+        for rule in rest[..end].split(',') {
+            out.entry(c.line)
+                .or_default()
+                .insert(rule.trim().to_owned());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint(src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_is_denied_outside_tests() {
+        assert_eq!(rules("fn f() { let t = Instant::now(); }"), ["wall-clock"]);
+        assert_eq!(
+            rules("use std::time::SystemTime;\nfn g() {}"),
+            ["wall-clock"]
+        );
+        assert_eq!(rules("fn f() { let r = thread_rng(); }"), ["wall-clock"]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); Instant::now(); }\n}";
+        assert!(lint(src).is_empty());
+        let src = "#[test]\nfn t() { x.unwrap(); }";
+        assert!(lint(src).is_empty());
+        let src = "#[cfg(test)]\nuse std::time::Instant;\nfn f() { let _ = 1; }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_field_is_exempt_but_siblings_are_not() {
+        let src = "struct S {\n #[cfg(test)]\n log: Instant,\n later: SystemTime,\n}";
+        assert_eq!(rules(src), ["wall-clock"]);
+        assert_eq!(lint(src)[0].line, 4);
+    }
+
+    #[test]
+    fn instantaneous_is_not_instant() {
+        assert!(lint("fn f() { let m = ServiceMode::Instantaneous; }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        assert!(lint("fn f() { let s = \"Instant .unwrap()\"; } // Instant").is_empty());
+    }
+
+    #[test]
+    fn unwrap_denied_expect_needs_contract_prefix() {
+        assert_eq!(rules("fn f() { x.unwrap(); }"), ["unwrap"]);
+        assert_eq!(rules("fn f() { x.expect(\"oops\"); }"), ["expect-message"]);
+        assert!(lint("fn f() { x.expect(\"invariant: tree is non-empty\"); }").is_empty());
+        assert!(lint("fn f() { l.read().expect(\"lock: shard poisoned\"); }").is_empty());
+        // unwrap_or and friends are fine.
+        assert!(lint("fn f() { x.unwrap_or(0); y.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_denied_direct_and_for_loops() {
+        let src = "struct S { index: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for (k, v) in &s.index {} }";
+        // field access `s.index` — the final ident before `{` is `index`.
+        assert_eq!(rules(src), ["hash-iter"]);
+        let src = "fn f() { let mut m = HashMap::new(); for k in m.keys() {} }";
+        assert_eq!(rules(src), ["hash-iter"]);
+        let src = "fn f(m: &HashMap<u32, u32>) { let v: Vec<_> = m.values().collect(); }";
+        assert_eq!(rules(src), ["hash-iter"]);
+    }
+
+    #[test]
+    fn hash_point_lookups_are_fine() {
+        let src = "struct S { index: HashMap<u64, u32> }\n\
+                   fn f(s: &mut S) { s.index.get(&1); s.index.insert(1, 2); s.index.remove(&1); }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_is_fine() {
+        let src = "fn f(m: &BTreeMap<u32, u32>) { for (k, v) in m { let _ = (k, v); } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn must_use_handles() {
+        assert_eq!(
+            rules("pub struct PinTicket { node: u32 }"),
+            ["must-use-handle"]
+        );
+        assert!(lint("#[must_use]\npub struct PinTicket { node: u32 }").is_empty());
+        assert!(lint("#[derive(Debug)]\n#[must_use]\npub struct FooGuard;").is_empty());
+        // A struct merely *named* Handle (no prefix) is not a handle type.
+        assert!(lint("pub struct Handle;").is_empty());
+        assert!(lint("pub struct Plain { x: u32 }").is_empty());
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_waiver_without_does_not() {
+        let src = "// check:allow(wall-clock): bench timing, not a report\n\
+                   fn f() { let t = Instant::now(); }";
+        assert!(lint(src).is_empty());
+        let src = "// check:allow(wall-clock)\nfn f() { let t = Instant::now(); }";
+        assert_eq!(rules(src), ["wall-clock"]);
+        // Waiving one rule does not waive another.
+        let src = "// check:allow(unwrap): reviewed\nfn f() { Instant::now(); }";
+        assert_eq!(rules(src), ["wall-clock"]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Bounded-interleaving model checker: a mini-loom for the sharded cache.
+//!
+//! loom is not vendorable in this offline environment, so this module
+//! implements the part of it the repository needs: a **deterministic
+//! virtual scheduler** over *modeled* shard locks that exhaustively
+//! explores every bounded interleaving of a small multi-threaded program.
+//!
+//! The key observation that makes this sound for
+//! [`ShardedCache`](marconi_core::ShardedCache): every public
+//! operation acquires exactly one shard `RwLock`, holds it for the whole
+//! operation, and never nests. Operations are therefore *atomic per
+//! shard*, and the complete set of observable concurrent behaviors is the
+//! set of linearizations — interleavings of whole operations consistent
+//! with per-thread program order and the read/write lock semantics. The
+//! checker:
+//!
+//! 1. **explores** every schedule of lock-acquire / execute steps under
+//!    the modeled locks (DFS, deterministic order, bounded by a schedule
+//!    budget), detecting *deadlock* states (no runnable thread) and
+//!    recording the *lock-order graph* (edges held→acquired) for cycle
+//!    detection — this is where a future nested-lock operation would be
+//!    caught before it ships;
+//! 2. **replays** each distinct linearization against the real
+//!    [`ShardedCache`](marconi_core::ShardedCache) (fresh instance per
+//!    schedule, virtual clock, no
+//!    wall time, no randomness), checking the scenario's safety
+//!    invariants after every operation and at termination.
+//!
+//! Exploration is separated from replay because lock feasibility does not
+//! depend on cache contents; replaying only *distinct* linearizations
+//! keeps exhaustive exploration cheap.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// How a step acquires a modeled lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) acquisition — compatible with other readers.
+    Shared,
+    /// Exclusive (write) acquisition.
+    Exclusive,
+}
+
+/// One operation of a virtual thread: the locks it takes (in order, all
+/// held until the operation executes) and an opaque action index the
+/// [`World`] interprets during replay.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Display label, used in violation traces.
+    pub label: String,
+    /// Locks acquired, in order. Every listed lock is held simultaneously
+    /// when the operation executes (single-element for all real
+    /// `ShardedCache` ops today; multi-element models nested locking).
+    pub locks: Vec<(usize, LockMode)>,
+}
+
+/// A multi-threaded program: one op list per virtual thread.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Threads in scheduling-priority order (exploration is deterministic).
+    pub threads: Vec<Vec<Op>>,
+}
+
+/// Replay target: interprets executed operations and checks invariants.
+///
+/// `execute` and `finish` return `Err(description)` on an invariant
+/// violation; the checker attaches the violating schedule.
+pub trait World {
+    /// Resets to the initial state (called once per replayed schedule).
+    fn reset(&mut self);
+    /// Executes thread `t`'s `op`-th operation; `Err` = violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant, for the schedule trace.
+    fn execute(&mut self, t: usize, op: usize) -> Result<(), String>;
+    /// End-of-schedule checks (leak detection, determinism fingerprints).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant, for the schedule trace.
+    fn finish(&mut self) -> Result<(), String>;
+}
+
+/// A violation found by replaying one schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleViolation {
+    /// The linearization that produced it, rendered as `t0.op-label → …`.
+    pub schedule: String,
+    /// What broke.
+    pub message: String,
+}
+
+/// Result of exploring one [`Program`].
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Complete schedules visited (leaves of the DFS).
+    pub schedules: usize,
+    /// Distinct linearizations replayed against the [`World`].
+    pub linearizations: usize,
+    /// Invariant violations, with their schedules.
+    pub violations: Vec<ScheduleViolation>,
+    /// Deadlocked states reached (held/waiting description per state).
+    pub deadlocks: Vec<String>,
+    /// Lock-order edges observed: (held, then-acquired).
+    pub lock_order: BTreeSet<(usize, usize)>,
+    /// Greatest number of threads simultaneously holding the same lock in
+    /// shared mode — proof the scheduler actually explores reader
+    /// concurrency.
+    pub max_concurrent_readers: usize,
+    /// `true` if the schedule budget was exhausted before the space was
+    /// fully explored (results are then a bounded smoke, not a proof).
+    pub budget_exhausted: bool,
+}
+
+impl Exploration {
+    /// A cycle in the lock-order graph, if any: a witness that two
+    /// schedules acquire the same locks in opposite orders (deadlock
+    /// potential even if no explored schedule manifested it).
+    #[must_use]
+    pub fn lock_order_cycle(&self) -> Option<Vec<usize>> {
+        let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(a, b) in &self.lock_order {
+            adj.entry(a).or_default().push(b);
+        }
+        // Iterative DFS with colors over the (sorted) node set.
+        let nodes: BTreeSet<usize> = self.lock_order.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut color: BTreeMap<usize, u8> = BTreeMap::new(); // 0 white 1 grey 2 black
+        for &start in &nodes {
+            if color.get(&start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            let mut path = Vec::new();
+            while let Some(&mut (n, ref mut next)) = stack.last_mut() {
+                if *next == 0 {
+                    color.insert(n, 1);
+                    path.push(n);
+                }
+                let succs = adj.get(&n).map_or(&[][..], Vec::as_slice);
+                if *next < succs.len() {
+                    let s = succs[*next];
+                    *next += 1;
+                    match color.get(&s).copied().unwrap_or(0) {
+                        0 => stack.push((s, 0)),
+                        1 => {
+                            // Found a cycle: slice the current path at s.
+                            let pos = path.iter().position(|&p| p == s).unwrap_or(0);
+                            let mut cycle = path[pos..].to_vec();
+                            cycle.push(s);
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(n, 2);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Modeled state of one read-write lock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct LockState {
+    readers: usize,
+    writer: bool,
+}
+
+impl LockState {
+    fn admits(&self, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => !self.writer,
+            LockMode::Exclusive => !self.writer && self.readers == 0,
+        }
+    }
+}
+
+/// Per-thread progress: next op, and how many of its locks are held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pc {
+    op: usize,
+    held: usize,
+}
+
+/// Explores every schedule of `program` (up to `budget` complete
+/// schedules), replaying each distinct linearization against `world`.
+pub fn explore(program: &Program, world: &mut dyn World, budget: usize) -> Exploration {
+    let mut exp = Exploration::default();
+    let mut seen: BTreeSet<Vec<(usize, usize)>> = BTreeSet::new();
+    let locks_needed: usize = program
+        .threads
+        .iter()
+        .flatten()
+        .flat_map(|op| op.locks.iter().map(|&(l, _)| l + 1))
+        .max()
+        .unwrap_or(0);
+    let mut st = SearchState {
+        program,
+        world,
+        exp: &mut exp,
+        seen: &mut seen,
+        budget,
+        locks: vec![LockState::default(); locks_needed],
+        pcs: vec![Pc { op: 0, held: 0 }; program.threads.len()],
+        order: Vec::new(),
+    };
+    st.dfs();
+    exp
+}
+
+struct SearchState<'a> {
+    program: &'a Program,
+    world: &'a mut dyn World,
+    exp: &'a mut Exploration,
+    seen: &'a mut BTreeSet<Vec<(usize, usize)>>,
+    budget: usize,
+    locks: Vec<LockState>,
+    pcs: Vec<Pc>,
+    /// Linearization so far: (thread, op index) at each execute.
+    order: Vec<(usize, usize)>,
+}
+
+impl SearchState<'_> {
+    fn finished(&self, t: usize) -> bool {
+        self.pcs[t].op >= self.program.threads[t].len()
+    }
+
+    /// The thread's next step is either "acquire its next lock" or, with
+    /// all locks held, "execute and release".
+    fn enabled(&self, t: usize) -> bool {
+        if self.finished(t) {
+            return false;
+        }
+        let pc = self.pcs[t];
+        let op = &self.program.threads[t][pc.op];
+        match op.locks.get(pc.held) {
+            Some(&(lock, mode)) => self.locks[lock].admits(mode),
+            None => true, // all locks held (or lock-free op): executable
+        }
+    }
+
+    fn dfs(&mut self) {
+        if self.exp.budget_exhausted {
+            return;
+        }
+        if self.pcs.iter().enumerate().all(|(t, _)| self.finished(t)) {
+            self.exp.schedules += 1;
+            if self.exp.schedules >= self.budget {
+                self.exp.budget_exhausted = true;
+            }
+            self.replay_if_new();
+            return;
+        }
+        let runnable: Vec<usize> = (0..self.pcs.len()).filter(|&t| self.enabled(t)).collect();
+        if runnable.is_empty() {
+            self.exp.schedules += 1;
+            if self.exp.schedules >= self.budget {
+                self.exp.budget_exhausted = true;
+            }
+            self.record_deadlock();
+            return;
+        }
+        for t in runnable {
+            let pc = self.pcs[t];
+            let op = &self.program.threads[t][pc.op];
+            match op.locks.get(pc.held) {
+                Some(&(lock, mode)) => {
+                    // Acquire step: record lock-order edges from every
+                    // already-held lock.
+                    for &(held, _) in &op.locks[..pc.held] {
+                        self.exp.lock_order.insert((held, lock));
+                    }
+                    match mode {
+                        LockMode::Shared => {
+                            self.locks[lock].readers += 1;
+                            self.exp.max_concurrent_readers = self
+                                .exp
+                                .max_concurrent_readers
+                                .max(self.locks[lock].readers);
+                        }
+                        LockMode::Exclusive => self.locks[lock].writer = true,
+                    }
+                    self.pcs[t].held += 1;
+                    self.dfs();
+                    self.pcs[t].held -= 1;
+                    match mode {
+                        LockMode::Shared => self.locks[lock].readers -= 1,
+                        LockMode::Exclusive => self.locks[lock].writer = false,
+                    }
+                }
+                None => {
+                    // Execute-and-release step.
+                    let held = op.locks.clone();
+                    for &(lock, mode) in &held {
+                        match mode {
+                            LockMode::Shared => self.locks[lock].readers -= 1,
+                            LockMode::Exclusive => self.locks[lock].writer = false,
+                        }
+                    }
+                    self.pcs[t] = Pc {
+                        op: pc.op + 1,
+                        held: 0,
+                    };
+                    self.order.push((t, pc.op));
+                    self.dfs();
+                    self.order.pop();
+                    self.pcs[t] = pc;
+                    for &(lock, mode) in &held {
+                        match mode {
+                            LockMode::Shared => {
+                                self.locks[lock].readers += 1;
+                                // (max_concurrent_readers already counted
+                                // on the way in.)
+                            }
+                            LockMode::Exclusive => self.locks[lock].writer = true,
+                        }
+                    }
+                }
+            }
+            if self.exp.budget_exhausted {
+                return;
+            }
+        }
+    }
+
+    fn replay_if_new(&mut self) {
+        if !self.seen.insert(self.order.clone()) {
+            return;
+        }
+        self.exp.linearizations += 1;
+        let trace = self.render(&self.order.clone());
+        self.world.reset();
+        for &(t, op) in &self.order.clone() {
+            if let Err(message) = self.world.execute(t, op) {
+                self.exp.violations.push(ScheduleViolation {
+                    schedule: trace,
+                    message,
+                });
+                // Still run finish() so the world can clean up pins.
+                let _ = self.world.finish();
+                return;
+            }
+        }
+        if let Err(message) = self.world.finish() {
+            self.exp.violations.push(ScheduleViolation {
+                schedule: trace,
+                message,
+            });
+        }
+    }
+
+    fn render(&self, order: &[(usize, usize)]) -> String {
+        let mut s = String::new();
+        for (i, &(t, op)) in order.iter().enumerate() {
+            if i > 0 {
+                s.push_str(" ; ");
+            }
+            let _ = write!(s, "t{t}:{}", self.program.threads[t][op].label);
+        }
+        s
+    }
+
+    fn record_deadlock(&mut self) {
+        let mut s = String::from("deadlock: ");
+        for (t, pc) in self.pcs.iter().enumerate() {
+            if self.finished(t) {
+                continue;
+            }
+            let op = &self.program.threads[t][pc.op];
+            if let Some(&(lock, _)) = op.locks.get(pc.held) {
+                let _ = write!(
+                    s,
+                    "t{t} holds {:?} waits lock{lock} in {}; ",
+                    &op.locks[..pc.held]
+                        .iter()
+                        .map(|&(l, _)| l)
+                        .collect::<Vec<_>>(),
+                    op.label
+                );
+            }
+        }
+        let _ = write!(s, "after [{}]", self.render(&self.order));
+        self.exp.deadlocks.push(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records execution order and never fails.
+    #[derive(Default)]
+    struct Recorder {
+        runs: Vec<Vec<(usize, usize)>>,
+        cur: Vec<(usize, usize)>,
+    }
+
+    impl World for Recorder {
+        fn reset(&mut self) {
+            self.cur.clear();
+        }
+        fn execute(&mut self, t: usize, op: usize) -> Result<(), String> {
+            self.cur.push((t, op));
+            Ok(())
+        }
+        fn finish(&mut self) -> Result<(), String> {
+            self.runs.push(self.cur.clone());
+            Ok(())
+        }
+    }
+
+    fn op(label: &str, locks: Vec<(usize, LockMode)>) -> Op {
+        Op {
+            label: label.into(),
+            locks,
+        }
+    }
+
+    #[test]
+    fn two_independent_writers_have_two_linearizations() {
+        let program = Program {
+            threads: vec![
+                vec![op("a", vec![(0, LockMode::Exclusive)])],
+                vec![op("b", vec![(1, LockMode::Exclusive)])],
+            ],
+        };
+        let mut w = Recorder::default();
+        let exp = explore(&program, &mut w, 10_000);
+        assert_eq!(exp.linearizations, 2);
+        assert!(exp.deadlocks.is_empty());
+        assert!(exp.lock_order_cycle().is_none());
+    }
+
+    #[test]
+    fn same_lock_writers_still_interleave_as_twoorders() {
+        let program = Program {
+            threads: vec![
+                vec![
+                    op("a1", vec![(0, LockMode::Exclusive)]),
+                    op("a2", vec![(0, LockMode::Exclusive)]),
+                ],
+                vec![op("b", vec![(0, LockMode::Exclusive)])],
+            ],
+        };
+        let mut w = Recorder::default();
+        let exp = explore(&program, &mut w, 10_000);
+        // b can run before a1, between a1 and a2, or after a2.
+        assert_eq!(exp.linearizations, 3);
+    }
+
+    #[test]
+    fn readers_overlap_writers_exclude() {
+        let program = Program {
+            threads: vec![
+                vec![op("r1", vec![(0, LockMode::Shared)])],
+                vec![op("r2", vec![(0, LockMode::Shared)])],
+            ],
+        };
+        let exp = explore(&program, &mut Recorder::default(), 10_000);
+        assert!(
+            exp.max_concurrent_readers >= 2,
+            "the scheduler must explore a state with both readers inside"
+        );
+    }
+
+    #[test]
+    fn opposite_order_nested_locks_deadlock_and_cycle() {
+        // The textbook ABBA deadlock — a future nested-lock op in
+        // ShardedCache would surface here before shipping.
+        let program = Program {
+            threads: vec![
+                vec![op(
+                    "ab",
+                    vec![(0, LockMode::Exclusive), (1, LockMode::Exclusive)],
+                )],
+                vec![op(
+                    "ba",
+                    vec![(1, LockMode::Exclusive), (0, LockMode::Exclusive)],
+                )],
+            ],
+        };
+        let exp = explore(&program, &mut Recorder::default(), 10_000);
+        assert!(!exp.deadlocks.is_empty(), "ABBA must deadlock");
+        let cycle = exp.lock_order_cycle().expect("cycle must be detected");
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn consistent_nested_order_neither_deadlocks_nor_cycles() {
+        let program = Program {
+            threads: vec![
+                vec![op(
+                    "ab",
+                    vec![(0, LockMode::Exclusive), (1, LockMode::Exclusive)],
+                )],
+                vec![op(
+                    "ab2",
+                    vec![(0, LockMode::Exclusive), (1, LockMode::Exclusive)],
+                )],
+            ],
+        };
+        let exp = explore(&program, &mut Recorder::default(), 10_000);
+        assert!(exp.deadlocks.is_empty());
+        assert!(exp.lock_order_cycle().is_none());
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let program = Program {
+            threads: vec![
+                vec![op("a", vec![(0, LockMode::Exclusive)]); 6],
+                vec![op("b", vec![(1, LockMode::Exclusive)]); 6],
+            ],
+        };
+        let exp = explore(&program, &mut Recorder::default(), 50);
+        assert!(exp.budget_exhausted);
+        assert!(exp.schedules <= 51);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let program = Program {
+            threads: vec![
+                vec![op("a", vec![(0, LockMode::Exclusive)]); 2],
+                vec![op("b", vec![(0, LockMode::Shared)]); 2],
+            ],
+        };
+        let a = explore(&program, &mut Recorder::default(), 100_000);
+        let b = explore(&program, &mut Recorder::default(), 100_000);
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.linearizations, b.linearizations);
+        assert_eq!(a.lock_order, b.lock_order);
+    }
+}

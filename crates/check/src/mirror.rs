@@ -1,0 +1,401 @@
+//! The tuner-fidelity mirror check (`replica-mirror` rule).
+//!
+//! PR 2 fixed a silent-corruption bug by hand: `HybridPrefixCache::replica`
+//! — the cache the α grid-search replays against — hardcoded
+//! `checkpoint_mode` / `refresh_ancestors` / `leaf_only_eviction` instead
+//! of mirroring its parent, so the tuner graded every α against a system
+//! that didn't exist. Nothing stopped the *next* behavioral knob from
+//! reintroducing the bug.
+//!
+//! This check makes the contract structural: it parses (token-level) the
+//! fields of `HybridPrefixCacheBuilder` — the set of behavioral knobs —
+//! and the struct literal inside `fn replica`, and requires every knob's
+//! initializer to read `self.<knob>`. A knob that is missing, or
+//! initialized from anything that never mentions `self.<knob>`, fails the
+//! lint. Two knobs are exempt by design and listed in
+//! [`MirrorSpec::hybrid`]: `name` (replicas are labeled `"replica"`) and
+//! `policy` (the grid-search overrides α — that is the point of a replica).
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::lint::Violation;
+use std::path::Path;
+
+/// What to check: which builder's fields must be mirrored by which
+/// function. Parameterized so the seeded-violation fixture can exercise
+/// the checker on a miniature copy of the real code.
+#[derive(Debug, Clone)]
+pub struct MirrorSpec {
+    /// Struct whose fields define the knob set (e.g.
+    /// `HybridPrefixCacheBuilder`).
+    pub knob_struct: &'static str,
+    /// Function whose body must mirror the knobs (e.g. `replica`).
+    pub mirror_fn: &'static str,
+    /// Struct literal inside the function that receives the knobs.
+    pub target_struct: &'static str,
+    /// Knobs exempt from mirroring, each with the reason.
+    pub exempt: &'static [(&'static str, &'static str)],
+}
+
+impl MirrorSpec {
+    /// The real contract: `HybridPrefixCacheBuilder` knobs vs
+    /// `HybridPrefixCache::replica`.
+    #[must_use]
+    pub fn hybrid() -> Self {
+        MirrorSpec {
+            knob_struct: "HybridPrefixCacheBuilder",
+            mirror_fn: "replica",
+            target_struct: "HybridPrefixCache",
+            exempt: &[
+                ("name", "replicas are labeled \"replica\" in reports"),
+                ("policy", "the grid-search overrides α per replica"),
+            ],
+        }
+    }
+}
+
+/// Runs the mirror check on one file's source.
+#[must_use]
+pub fn check_mirror_source(file: &Path, src: &str, spec: &MirrorSpec) -> Vec<Violation> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        out.push(Violation {
+            file: file.to_owned(),
+            line,
+            rule: "replica-mirror",
+            message,
+        });
+    };
+
+    let Some((knobs, _)) = struct_fields(toks, spec.knob_struct) else {
+        push(
+            1,
+            format!(
+                "knob struct `{}` not found — the mirror check is miswired",
+                spec.knob_struct
+            ),
+        );
+        return out;
+    };
+    let Some(body) = fn_body(toks, spec.mirror_fn) else {
+        push(
+            1,
+            format!(
+                "mirror fn `{}` not found — the mirror check is miswired",
+                spec.mirror_fn
+            ),
+        );
+        return out;
+    };
+    let Some(inits) = struct_literal_inits(&toks[body.0..body.1], spec.target_struct) else {
+        push(
+            toks[body.0].line,
+            format!(
+                "`fn {}` does not build a `{}` literal — the mirror check is miswired",
+                spec.mirror_fn, spec.target_struct
+            ),
+        );
+        return out;
+    };
+
+    for (knob, line) in &knobs {
+        if spec.exempt.iter().any(|(e, _)| e == knob) {
+            continue;
+        }
+        match inits.iter().find(|(f, _, _)| f == knob) {
+            None => push(
+                *line,
+                format!(
+                    "knob `{knob}` is not initialized in `fn {}`'s `{}` literal: \
+                     the α grid-search would tune against a system without it",
+                    spec.mirror_fn, spec.target_struct
+                ),
+            ),
+            Some((_, init, init_line)) => {
+                let mirrors = init
+                    .windows(3)
+                    .any(|w| w[0].is_ident("self") && w[1].is_punct('.') && w[2].is_ident(knob));
+                if !mirrors {
+                    push(
+                        *init_line,
+                        format!(
+                            "knob `{knob}` is hardcoded in `fn {}` instead of \
+                             mirroring `self.{knob}`: the exact PR-2 tuner-drift \
+                             bug — every behavioral knob must be mirrored into \
+                             grid-search replicas",
+                            spec.mirror_fn
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Field names (and their lines) of `struct name { … }`, skipping
+/// attributes and ignoring `#[cfg(test)]` fields.
+fn struct_fields(toks: &[Tok], name: &str) -> Option<(Vec<(String, u32)>, usize)> {
+    let mut i = 0usize;
+    let open = loop {
+        if i + 2 >= toks.len() {
+            return None;
+        }
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) && toks[i + 2].is_punct('{') {
+            break i + 2;
+        }
+        i += 1;
+    };
+    let close = matching(toks, open)?;
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('#') && toks.get(j + 1).is_some_and(|u| u.is_punct('['))
+        {
+            // Skip the attribute (covers #[cfg(test)] fields: parity-test
+            // plumbing is not a knob).
+            let mut k = j + 1;
+            let mut d = 0i32;
+            while k < close {
+                if toks[k].is_punct('[') {
+                    d += 1;
+                } else if toks[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let cfg_test = toks[j..=k].iter().any(|u| u.is_ident("test"));
+            j = k + 1;
+            if cfg_test {
+                // Skip the field the attribute covers: `ident : type ,`.
+                let mut d = 0i32;
+                while j < close {
+                    let u = &toks[j];
+                    if u.is_punct('<') || u.is_punct('(') || u.is_punct('[') {
+                        d += 1;
+                    } else if u.is_punct('>') || u.is_punct(')') || u.is_punct(']') {
+                        d -= 1;
+                    } else if u.is_punct(',') && d == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            continue;
+        } else if depth == 0
+            && t.kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|u| u.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|u| u.is_punct(':'))
+            && !t.is_ident("pub")
+        {
+            fields.push((t.text.clone(), t.line));
+        }
+        j += 1;
+    }
+    Some((fields, close))
+}
+
+/// Token range (exclusive) of the body of `fn name`.
+fn fn_body(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].is_ident(name) {
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('{') && depth == 0 {
+                    let close = matching(toks, j)?;
+                    return Some((j + 1, close));
+                } else if t.is_punct(';') && depth == 0 {
+                    break; // a trait method signature — keep looking
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Field initializers of the first `Name { field: <tokens>, … }` literal
+/// in `toks`: (field, initializer tokens, line).
+fn struct_literal_inits(toks: &[Tok], name: &str) -> Option<Vec<(String, Vec<Tok>, u32)>> {
+    let mut i = 0usize;
+    let open = loop {
+        if i + 1 >= toks.len() {
+            return None;
+        }
+        if toks[i].is_ident(name) && toks[i + 1].is_punct('{') {
+            break i + 1;
+        }
+        i += 1;
+    };
+    let close = matching(toks, open)?;
+    let mut out = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // Skip attributes on initializers (e.g. #[cfg(test)] fields).
+        while toks[j].is_punct('#') && toks.get(j + 1).is_some_and(|u| u.is_punct('[')) {
+            let mut d = 0i32;
+            while j < close {
+                if toks[j].is_punct('[') {
+                    d += 1;
+                } else if toks[j].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j >= close {
+            break;
+        }
+        let (field, line) = (&toks[j], toks[j].line);
+        if field.kind != TokKind::Ident {
+            break; // `..base` — stop parsing politely
+        }
+        if j + 1 == close || toks[j + 1].is_punct(',') {
+            // Shorthand init `field,`: the initializer is the same-named
+            // local (a knob initialized this way is conservatively treated
+            // as not mirroring `self.<knob>`).
+            out.push((field.text.clone(), vec![field.clone()], line));
+            j += 2;
+            continue;
+        }
+        if !toks[j + 1].is_punct(':') {
+            break;
+        }
+        let mut k = j + 2;
+        let mut depth = 0i32;
+        while k < close {
+            let t = &toks[k];
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 0 {
+                break;
+            }
+            k += 1;
+        }
+        out.push((field.text.clone(), toks[j + 2..k].to_vec(), line));
+        j = k + 1;
+    }
+    Some(out)
+}
+
+fn matching(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "{" => ('{', '}'),
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: fn() -> MirrorSpec = || MirrorSpec {
+        knob_struct: "Builder",
+        mirror_fn: "replica",
+        target_struct: "Cache",
+        exempt: &[("name", "labeled")],
+    };
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_mirror_source(Path::new("t.rs"), src, &SPEC())
+    }
+
+    #[test]
+    fn mirrored_knobs_pass() {
+        let src = "
+            struct Builder { name: String, alpha: f64, pin: bool }
+            impl Cache {
+                fn replica(&self) -> Cache {
+                    Cache { name: \"replica\".into(), alpha: self.alpha, pin: self.pin }
+                }
+            }";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn hardcoded_knob_is_the_pr2_bug() {
+        let src = "
+            struct Builder { name: String, alpha: f64, pin: bool }
+            impl Cache {
+                fn replica(&self) -> Cache {
+                    Cache { name: \"replica\".into(), alpha: self.alpha, pin: false }
+                }
+            }";
+        let v = check(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("hardcoded"));
+        assert!(v[0].message.contains("pin"));
+    }
+
+    #[test]
+    fn missing_knob_is_flagged() {
+        let src = "
+            struct Builder { name: String, alpha: f64, fresh_knob: bool }
+            impl Cache {
+                fn replica(&self) -> Cache {
+                    Cache { name: \"replica\".into(), alpha: self.alpha }
+                }
+            }";
+        let v = check(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("fresh_knob"));
+    }
+
+    #[test]
+    fn derived_initializers_that_mention_the_knob_pass() {
+        let src = "
+            struct Builder { name: String, alpha: f64 }
+            impl Cache {
+                fn replica(&self) -> Cache {
+                    Cache { name: String::new(), alpha: self.alpha.max(0.0) }
+                }
+            }";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn the_real_hybrid_source_passes_today() {
+        let src = include_str!("../../core/src/hybrid.rs");
+        let v = check_mirror_source(Path::new("hybrid.rs"), src, &MirrorSpec::hybrid());
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

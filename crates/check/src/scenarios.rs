@@ -1,0 +1,541 @@
+//! Model-check scenarios over the real [`ShardedCache`].
+//!
+//! Each scenario builds a small multi-threaded [`Program`] whose
+//! operations mirror the sharded front-end's public API — the same lock
+//! footprints `crates/core/src/concurrent.rs` documents — and replays
+//! every distinct linearization against a fresh real cache (virtual
+//! clock, no wall time, no randomness: violations reproduce exactly).
+//!
+//! The headline scenario is [`mid_decode_eviction`]: PR 6's bug, as a
+//! checkable property. A request's admission-time hit path must stay
+//! readable for the whole decode window (pin → decode-read → unpin).
+//! With `in_flight_pinning(false)` — the pre-PR-6 behavior — the checker
+//! finds a schedule where a concurrent insert's eviction pressure
+//! reclaims the pinned path mid-decode; with pinning on (the shipped
+//! default) every schedule passes. CI runs both and fails unless the
+//! race is *caught* on the unpinned build and *absent* on the pinned one,
+//! so the checker itself can never silently rot.
+
+use crate::mc::{explore, Exploration, LockMode, Op, Program, World};
+use marconi_core::HybridPrefixCache;
+use marconi_core::{EvictionPolicy, HybridPrefixCacheBuilder, PinTicket, ShardedCache};
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One cache operation a virtual thread performs, interpreted by
+/// [`CacheWorld::execute`].
+#[derive(Debug, Clone)]
+pub enum CacheOp {
+    /// `insert_at(seq, out)` on the owning shard (write lock).
+    Insert {
+        /// Prompt tokens.
+        seq: Vec<Token>,
+        /// Completion tokens appended at admission.
+        out: Vec<Token>,
+    },
+    /// `longest_cached_prefix_len(seq)` (read lock) — non-mutating probe.
+    Probe {
+        /// Probed prefix.
+        seq: Vec<Token>,
+    },
+    /// `pin_prefix(seq)` (write lock), storing the ticket in `slot` and
+    /// recording the admission-time hit length the pin protects.
+    Pin {
+        /// The request's admission-time input.
+        seq: Vec<Token>,
+        /// Ticket slot index.
+        slot: usize,
+    },
+    /// The decode window: re-probe `slot`'s sequence and require at least
+    /// the hit length recorded at pin time — the PR-6 invariant that a
+    /// mid-decode request's hit path is never reclaimed.
+    DecodeRead {
+        /// Ticket slot index.
+        slot: usize,
+    },
+    /// `unpin(ticket)` from `slot` (write lock).
+    Unpin {
+        /// Ticket slot index.
+        slot: usize,
+    },
+}
+
+/// Replay world: a fresh [`ShardedCache`] per schedule, with ticket slots
+/// and a virtual clock.
+pub struct CacheWorld {
+    builder: HybridPrefixCacheBuilder,
+    shards: usize,
+    /// Sequences inserted before the threads start (the shared setup every
+    /// schedule begins from).
+    setup: Vec<(Vec<Token>, Vec<Token>)>,
+    /// The per-thread op lists (actions parallel to the [`Program`]).
+    actions: Vec<Vec<CacheOp>>,
+    /// Collect a determinism fingerprint at the end of every schedule;
+    /// scenarios that expect schedule-independent final state assert the
+    /// set has exactly one element afterwards.
+    pub fingerprints: BTreeSet<String>,
+    /// Sequences fingerprinted (probed at finish).
+    fingerprint_seqs: Vec<Vec<Token>>,
+    cache: Option<ShardedCache>,
+    slots: Vec<Option<(PinTicket, Vec<Token>, u64)>>,
+    clock: f64,
+}
+
+impl CacheWorld {
+    fn new(
+        builder: HybridPrefixCacheBuilder,
+        shards: usize,
+        setup: Vec<(Vec<Token>, Vec<Token>)>,
+        actions: Vec<Vec<CacheOp>>,
+        fingerprint_seqs: Vec<Vec<Token>>,
+    ) -> Self {
+        let slots = actions
+            .iter()
+            .flatten()
+            .filter(|a| matches!(a, CacheOp::Pin { .. }))
+            .count();
+        CacheWorld {
+            builder,
+            shards,
+            setup,
+            actions,
+            fingerprints: BTreeSet::new(),
+            fingerprint_seqs,
+            cache: None,
+            slots: (0..slots).map(|_| None).collect(),
+            clock: 0.0,
+        }
+    }
+
+    fn cache(&self) -> &ShardedCache {
+        self.cache
+            .as_ref()
+            .expect("invariant: reset() runs before any execute()")
+    }
+}
+
+impl World for CacheWorld {
+    fn reset(&mut self) {
+        let cache = ShardedCache::new(self.builder.clone(), self.shards);
+        self.clock = 0.0;
+        for (seq, out) in &self.setup {
+            cache.insert_at(seq, out, self.clock);
+            self.clock += 1.0;
+        }
+        self.cache = Some(cache);
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    fn execute(&mut self, t: usize, op: usize) -> Result<(), String> {
+        let action = self.actions[t][op].clone();
+        self.clock += 1.0;
+        let now = self.clock;
+        match action {
+            CacheOp::Insert { seq, out } => {
+                self.cache().insert_at(&seq, &out, now);
+            }
+            CacheOp::Probe { seq } => {
+                let _ = self.cache().longest_cached_prefix_len(&seq);
+            }
+            CacheOp::Pin { seq, slot } => {
+                let len = self.cache().longest_cached_prefix_len(&seq);
+                let ticket = self.cache().pin_prefix(&seq);
+                self.slots[slot] = Some((ticket, seq, len));
+            }
+            CacheOp::DecodeRead { slot } => {
+                let (_, seq, admitted) = self.slots[slot]
+                    .as_ref()
+                    .expect("invariant: DecodeRead follows Pin in program order");
+                let now_len = self.cache().longest_cached_prefix_len(seq);
+                if now_len < *admitted {
+                    return Err(format!(
+                        "mid-decode eviction: the admission-time hit path \
+                         ({admitted} tokens) shrank to {now_len} while the \
+                         request was still decoding against it — PR 6's \
+                         unpinned-reclaim race"
+                    ));
+                }
+            }
+            CacheOp::Unpin { slot } => {
+                if let Some((ticket, _, _)) = self.slots[slot].take() {
+                    self.cache().unpin(ticket);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        // Leak detection: every pin a program takes must be released by
+        // the program (the Drop-based detector enforces the same contract
+        // in debug builds across the whole test suite).
+        let mut leaked = Vec::new();
+        let mut stray: Vec<marconi_core::PinTicket> = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some((ticket, seq, _)) = slot.take() {
+                if !ticket.is_empty() {
+                    leaked.push(format!("slot {i} (seq root {:?})", seq.first()));
+                }
+                stray.push(ticket);
+            }
+        }
+        for ticket in stray {
+            self.cache().unpin(ticket); // release so the run stays clean
+        }
+        if !leaked.is_empty() {
+            return Err(format!(
+                "pin leak: tickets never unpinned at thread exit: {}",
+                leaked.join(", ")
+            ));
+        }
+        if !self.fingerprint_seqs.is_empty() {
+            let cache = self.cache();
+            let stats = cache.stats();
+            let mut fp = format!(
+                "usage={} pinned={} insertions={} evictions={} hits={}",
+                cache.usage_bytes(),
+                cache.pinned_bytes(),
+                stats.insertions,
+                stats.evictions,
+                stats.hits
+            );
+            for seq in &self.fingerprint_seqs {
+                let _ = write!(fp, " probe={}", cache.longest_cached_prefix_len(seq));
+            }
+            self.fingerprints.insert(fp);
+        }
+        Ok(())
+    }
+}
+
+/// A built scenario: the program, its replay world, and the budget the
+/// expectation is stated against.
+pub struct Scenario {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// The virtual threads.
+    pub program: Program,
+    /// The replay world.
+    pub world: CacheWorld,
+}
+
+impl Scenario {
+    /// Explores the scenario under `budget` schedules.
+    pub fn run(&mut self, budget: usize) -> Exploration {
+        explore(&self.program, &mut self.world, budget)
+    }
+}
+
+fn seq(root: Token, len: usize) -> Vec<Token> {
+    (0..len as Token).map(|i| root + i).collect()
+}
+
+fn wlock(shard: usize) -> Vec<(usize, LockMode)> {
+    vec![(shard, LockMode::Exclusive)]
+}
+
+fn rlock(shard: usize) -> Vec<(usize, LockMode)> {
+    vec![(shard, LockMode::Shared)]
+}
+
+fn op(label: &str, locks: Vec<(usize, LockMode)>) -> Op {
+    Op {
+        label: label.to_owned(),
+        locks,
+    }
+}
+
+/// PR 6's mid-decode eviction race as a model-check scenario.
+///
+/// Setup: a 128-token `base` prefix is cached. Thread A is a request
+/// decoding against it: it pins the admission-time hit path, performs a
+/// decode-window read (which must still see the full hit), and unpins at
+/// completion. Thread B is concurrent admission traffic: two inserts
+/// whose combined footprint forces eviction pressure in the same shard.
+///
+/// With `pinned = false` the cache reproduces the pre-PR-6 behavior and
+/// some schedule evicts `base` between A's pin and its decode read; with
+/// `pinned = true` (the shipped default) no schedule can.
+#[must_use]
+pub fn mid_decode_eviction(pinned: bool) -> Scenario {
+    let model = ModelConfig::transformer_7b();
+    let bytes = model.kv_bytes_per_token();
+    let base = seq(1, 128);
+    let out = seq(100_000, 8);
+    let filler1 = seq(200_000, 128);
+    let filler2 = seq(300_000, 128);
+    // base+out (136) + one filler (136) fit; the second filler does not,
+    // so its admission must evict a whole earlier sequence.
+    let capacity = 280 * bytes;
+    let builder = HybridPrefixCache::builder(model)
+        .capacity_bytes(capacity)
+        .policy(EvictionPolicy::Lru)
+        .in_flight_pinning(pinned);
+    let actions = vec![
+        vec![
+            CacheOp::Pin {
+                seq: base.clone(),
+                slot: 0,
+            },
+            CacheOp::DecodeRead { slot: 0 },
+            CacheOp::Unpin { slot: 0 },
+        ],
+        vec![
+            CacheOp::Insert {
+                seq: filler1,
+                out: out.clone(),
+            },
+            CacheOp::Insert {
+                seq: filler2,
+                out: out.clone(),
+            },
+        ],
+    ];
+    let program = Program {
+        threads: vec![
+            vec![
+                op("pin(base)", wlock(0)),
+                op("decode-read(base)", rlock(0)),
+                op("unpin(base)", wlock(0)),
+            ],
+            vec![
+                op("insert(filler1)", wlock(0)),
+                op("insert(filler2)", wlock(0)),
+            ],
+        ],
+    };
+    Scenario {
+        name: if pinned {
+            "mid-decode-eviction (pinned)"
+        } else {
+            "mid-decode-eviction (unpinned)"
+        },
+        program,
+        world: CacheWorld::new(builder, 1, vec![(base, out)], actions, Vec::new()),
+    }
+}
+
+/// Three threads over four shards: two writers whose inserts route to the
+/// same and to different shards, and a reader probing concurrently.
+///
+/// Expectation: no violation, no deadlock, and — because probes take read
+/// locks and never mutate, and distinct-prefix inserts commute — every
+/// linearization ends in the *same* final state (asserted via the
+/// fingerprint set).
+#[must_use]
+pub fn cross_shard_commutation() -> Scenario {
+    let model = ModelConfig::transformer_7b();
+    let builder = HybridPrefixCache::builder(model)
+        .capacity_bytes(1 << 30)
+        .policy(EvictionPolicy::Lru);
+    let shards = 4usize;
+    // Find roots on two different shards, deterministically.
+    let probe_cache = ShardedCache::new(builder.clone(), shards);
+    let x = (0..u32::MAX)
+        .map(|r| seq(r * 1000 + 1, 32))
+        .find(|s| probe_cache.shard_of(s) == 0)
+        .expect("invariant: some root hashes to shard 0");
+    let y = (0..u32::MAX)
+        .map(|r| seq(r * 1000 + 7, 32))
+        .find(|s| probe_cache.shard_of(s) == 1)
+        .expect("invariant: some root hashes to shard 1");
+    let x2 = {
+        // Same first token as x → same shard, diverging tail.
+        let mut s = x.clone();
+        for (i, t) in s.iter_mut().enumerate().skip(1) {
+            *t = 500_000 + i as Token;
+        }
+        s
+    };
+    let out = seq(900_000, 4);
+    let actions = vec![
+        vec![
+            CacheOp::Insert {
+                seq: x.clone(),
+                out: out.clone(),
+            },
+            CacheOp::Insert {
+                seq: x2.clone(),
+                out: out.clone(),
+            },
+        ],
+        vec![CacheOp::Insert {
+            seq: y.clone(),
+            out: out.clone(),
+        }],
+        vec![
+            CacheOp::Probe { seq: x.clone() },
+            CacheOp::Probe { seq: y.clone() },
+        ],
+    ];
+    let program = Program {
+        threads: vec![
+            vec![op("insert(x)", wlock(0)), op("insert(x2)", wlock(0))],
+            vec![op("insert(y)", wlock(1))],
+            vec![op("probe(x)", rlock(0)), op("probe(y)", rlock(1))],
+        ],
+    };
+    Scenario {
+        name: "cross-shard-commutation",
+        program,
+        world: CacheWorld::new(builder, shards, Vec::new(), actions, vec![x, x2, y]),
+    }
+}
+
+/// Two requests pin overlapping paths concurrently; refcounts must
+/// balance to zero in every schedule, and no decode window may be
+/// violated (pinning on — this is the shipped configuration).
+#[must_use]
+pub fn overlapping_pins_balance() -> Scenario {
+    let model = ModelConfig::transformer_7b();
+    let builder = HybridPrefixCache::builder(model)
+        .capacity_bytes(1 << 30)
+        .policy(EvictionPolicy::Lru);
+    let base = seq(1, 64);
+    let out = seq(100_000, 4);
+    let actions = vec![
+        vec![
+            CacheOp::Pin {
+                seq: base.clone(),
+                slot: 0,
+            },
+            CacheOp::DecodeRead { slot: 0 },
+            CacheOp::Unpin { slot: 0 },
+        ],
+        vec![
+            CacheOp::Pin {
+                seq: base.clone(),
+                slot: 1,
+            },
+            CacheOp::DecodeRead { slot: 1 },
+            CacheOp::Unpin { slot: 1 },
+        ],
+    ];
+    let program = Program {
+        threads: vec![
+            vec![
+                op("pin/a", wlock(0)),
+                op("read/a", rlock(0)),
+                op("unpin/a", wlock(0)),
+            ],
+            vec![
+                op("pin/b", wlock(0)),
+                op("read/b", rlock(0)),
+                op("unpin/b", wlock(0)),
+            ],
+        ],
+    };
+    Scenario {
+        name: "overlapping-pins-balance",
+        program,
+        world: CacheWorld::new(builder, 1, vec![(base.clone(), out)], actions, vec![base]),
+    }
+}
+
+/// A thread that pins and exits without unpinning: the checker's leak
+/// rule must flag it (self-test of leak detection).
+#[must_use]
+pub fn leaky_pin() -> Scenario {
+    let model = ModelConfig::transformer_7b();
+    let builder = HybridPrefixCache::builder(model)
+        .capacity_bytes(1 << 30)
+        .policy(EvictionPolicy::Lru);
+    let base = seq(1, 64);
+    let out = seq(100_000, 4);
+    let actions = vec![vec![CacheOp::Pin {
+        seq: base.clone(),
+        slot: 0,
+    }]];
+    let program = Program {
+        threads: vec![vec![op("pin-and-forget", wlock(0))]],
+    };
+    Scenario {
+        name: "leaky-pin (self-test)",
+        program,
+        world: CacheWorld::new(builder, 1, vec![(base, out)], actions, Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: usize = 4096;
+
+    #[test]
+    fn unpinned_race_is_caught_within_budget() {
+        let mut s = mid_decode_eviction(false);
+        let exp = s.run(BUDGET);
+        assert!(
+            !exp.budget_exhausted,
+            "the bounded space must be fully explored within the budget"
+        );
+        assert!(
+            !exp.violations.is_empty(),
+            "disabling the pin filter must resurface PR 6's race"
+        );
+        assert!(exp.violations[0].message.contains("mid-decode eviction"));
+    }
+
+    #[test]
+    fn pinned_build_passes_every_schedule() {
+        let mut s = mid_decode_eviction(true);
+        let exp = s.run(BUDGET);
+        assert!(!exp.budget_exhausted);
+        assert!(
+            exp.violations.is_empty(),
+            "pinning must protect every schedule: {:?}",
+            exp.violations
+        );
+        assert!(exp.deadlocks.is_empty());
+        assert!(exp.lock_order_cycle().is_none());
+    }
+
+    #[test]
+    fn the_race_needs_a_specific_interleaving() {
+        // Sanity: the violating schedules are a strict subset — the race
+        // is an interleaving bug, not a logic bug on every path.
+        let mut s = mid_decode_eviction(false);
+        let exp = s.run(BUDGET);
+        assert!(exp.violations.len() < exp.linearizations);
+    }
+
+    #[test]
+    fn cross_shard_final_state_is_schedule_independent() {
+        let mut s = cross_shard_commutation();
+        let exp = s.run(BUDGET);
+        assert!(exp.violations.is_empty(), "{:?}", exp.violations);
+        assert!(exp.deadlocks.is_empty());
+        assert_eq!(
+            s.world.fingerprints.len(),
+            1,
+            "probes must not perturb state and distinct-prefix inserts \
+             must commute: {:?}",
+            s.world.fingerprints
+        );
+    }
+
+    #[test]
+    fn overlapping_pins_always_balance() {
+        let mut s = overlapping_pins_balance();
+        let exp = s.run(BUDGET);
+        assert!(exp.violations.is_empty(), "{:?}", exp.violations);
+        assert_eq!(s.world.fingerprints.len(), 1);
+        assert!(
+            exp.max_concurrent_readers >= 2,
+            "read locks must admit concurrent decode-window probers"
+        );
+    }
+
+    #[test]
+    fn leak_detector_flags_an_unredeemed_pin() {
+        let mut s = leaky_pin();
+        let exp = s.run(BUDGET);
+        assert!(!exp.violations.is_empty());
+        assert!(exp.violations[0].message.contains("pin leak"));
+    }
+}

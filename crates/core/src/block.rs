@@ -165,11 +165,15 @@ impl BlockCache {
     }
 
     fn block(&self, id: u32) -> &Block {
-        self.arena[id as usize].as_ref().expect("live block")
+        self.arena[id as usize]
+            .as_ref()
+            .expect("invariant: block ids in the index refer to live arena slots")
     }
 
     fn block_mut(&mut self, id: u32) -> &mut Block {
-        self.arena[id as usize].as_mut().expect("live block")
+        self.arena[id as usize]
+            .as_mut()
+            .expect("invariant: block ids in the index refer to live arena slots")
     }
 
     /// Walks the block chain matching `input`, returning matched block ids.
@@ -210,7 +214,7 @@ impl BlockCache {
                         .then(a.0.cmp(&b.0))
                 })
                 .map(|(id, _)| id)
-                .expect("non-empty block set has a leaf");
+                .expect("invariant: a non-empty block set has a leaf");
             self.remove_block(victim);
             let freed = self.block_bytes();
             self.stats.evictions += 1;
@@ -221,7 +225,9 @@ impl BlockCache {
     }
 
     fn remove_block(&mut self, id: u32) {
-        let block = self.arena[id as usize].take().expect("live block");
+        let block = self.arena[id as usize]
+            .take()
+            .expect("invariant: block ids in the index refer to live arena slots");
         debug_assert_eq!(block.children, 0, "only leaf blocks are evicted");
         let key = BlockKey {
             parent: Self::parent_key(block.parent),

@@ -112,7 +112,7 @@ impl ShardedCache {
     pub fn lookup_at(&self, input: &[Token], now: f64) -> LookupResult {
         self.shard(self.shard_of(input))
             .write()
-            .expect("shard lock poisoned")
+            .expect("lock: shard RwLock poisoned by a panicking holder")
             .lookup_at(input, now)
     }
 
@@ -120,7 +120,7 @@ impl ShardedCache {
     pub fn insert_at(&self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
         self.shard(self.shard_of(input))
             .write()
-            .expect("shard lock poisoned")
+            .expect("lock: shard RwLock poisoned by a panicking holder")
             .insert_at(input, output, now)
     }
 
@@ -131,7 +131,7 @@ impl ShardedCache {
     pub fn longest_cached_prefix_len(&self, input: &[Token]) -> u64 {
         self.shard(self.shard_of(input))
             .read()
-            .expect("shard lock poisoned")
+            .expect("lock: shard RwLock poisoned by a panicking holder")
             .longest_cached_prefix_len(input)
     }
 
@@ -141,7 +141,7 @@ impl ShardedCache {
     pub fn probe_tiers(&self, input: &[Token]) -> TieredPrefix {
         self.shard(self.shard_of(input))
             .read()
-            .expect("shard lock poisoned")
+            .expect("lock: shard RwLock poisoned by a panicking holder")
             .probe_tiers(input)
     }
 
@@ -153,7 +153,7 @@ impl ShardedCache {
         let mut ticket = self
             .shard(idx)
             .write()
-            .expect("shard lock poisoned")
+            .expect("lock: shard RwLock poisoned by a panicking holder")
             .pin_prefix(input);
         ticket.shard = idx;
         ticket
@@ -164,7 +164,7 @@ impl ShardedCache {
         let idx = ticket.shard;
         self.shard(idx)
             .write()
-            .expect("shard lock poisoned")
+            .expect("lock: shard RwLock poisoned by a panicking holder")
             .unpin(ticket);
     }
 
@@ -173,7 +173,11 @@ impl ShardedCache {
     pub fn pinned_bytes(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").pinned_bytes())
+            .map(|s| {
+                s.read()
+                    .expect("lock: shard RwLock poisoned by a panicking holder")
+                    .pinned_bytes()
+            })
             .sum()
     }
 
@@ -183,7 +187,11 @@ impl ShardedCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for s in &self.shards {
-            total.accumulate(s.read().expect("shard lock poisoned").stats());
+            total.accumulate(
+                s.read()
+                    .expect("lock: shard RwLock poisoned by a panicking holder")
+                    .stats(),
+            );
         }
         total
     }
@@ -193,7 +201,11 @@ impl ShardedCache {
     pub fn usage_bytes(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").usage_bytes())
+            .map(|s| {
+                s.read()
+                    .expect("lock: shard RwLock poisoned by a panicking holder")
+                    .usage_bytes()
+            })
             .sum()
     }
 
@@ -202,18 +214,24 @@ impl ShardedCache {
     pub fn capacity_bytes(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").capacity_bytes())
+            .map(|s| {
+                s.read()
+                    .expect("lock: shard RwLock poisoned by a panicking holder")
+                    .capacity_bytes()
+            })
             .sum()
     }
 
     /// Runs `f` against one shard's cache under its read lock (diagnostic
     /// and test access to per-shard state).
     pub fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&HybridPrefixCache) -> R) -> R {
-        f(&self.shard(idx).read().expect("shard lock poisoned"))
+        f(&self
+            .shard(idx)
+            .read()
+            .expect("lock: shard RwLock poisoned by a panicking holder"))
     }
 
     /// Wraps the cache in a cloneable, [`PrefixCache`]-implementing handle.
-    #[must_use]
     pub fn into_handle(self) -> ShardedCacheHandle {
         ShardedCacheHandle {
             inner: Arc::new(self),
@@ -229,6 +247,7 @@ impl ShardedCache {
 /// `stats()` serves a per-handle aggregate snapshot refreshed by the
 /// handle's own mutating calls.
 #[derive(Debug, Clone)]
+#[must_use = "a handle does nothing unless driven through PrefixCache"]
 pub struct ShardedCacheHandle {
     inner: Arc<ShardedCache>,
     /// Cached aggregate, because the trait returns `&CacheStats`.

@@ -753,12 +753,15 @@ impl HybridPrefixCache {
     ) {
         let (freed, _) = self.node_costs(victim);
         let victim_edge = self.tree.edge_len(victim);
-        let parent = self.tree.parent(victim).expect("victims are non-root");
+        let parent = self
+            .tree
+            .parent(victim)
+            .expect("invariant: eviction victims are non-root");
         let parent_children_before = self.tree.child_count(parent);
         let removed = self
             .tree
             .remove(victim)
-            .expect("eviction candidates are removable");
+            .expect("invariant: eviction candidates are unpinned leaves, hence removable");
         if removed.merged_into.is_none() && parent != self.tree.root() {
             let newly_eligible = if self.leaf_only_eviction {
                 parent_children_before == 1
@@ -919,7 +922,7 @@ impl HybridPrefixCache {
             let removed = self
                 .tree
                 .remove(victim)
-                .expect("eviction candidates are removable");
+                .expect("invariant: eviction candidates are unpinned leaves, hence removable");
             if removed.data.has_ssm_state {
                 self.ssm_states -= 1;
             }
@@ -1105,7 +1108,10 @@ fn grid_search(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("replay thread panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("invariant: replica replay threads do not panic")
+                })
                 .collect()
         })
     } else {
@@ -1115,7 +1121,7 @@ fn grid_search(
         .into_iter()
         .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.total_cmp(&a.0)))
         .map(|(alpha, _)| alpha)
-        .expect("non-empty grid")
+        .expect("invariant: the α grid is non-empty")
 }
 
 impl PrefixCache for HybridPrefixCache {
@@ -1321,8 +1327,10 @@ impl PrefixCache for HybridPrefixCache {
         PinTicket { node, shard: 0 }
     }
 
-    fn unpin(&mut self, ticket: PinTicket) {
-        if let Some(id) = ticket.node {
+    fn unpin(&mut self, mut ticket: PinTicket) {
+        // `redeem` takes the node out so the debug-build leak detector in
+        // `PinTicket::drop` knows the pin was released.
+        if let Some(id) = ticket.redeem() {
             self.tree.unpin(id);
         }
     }
@@ -2880,7 +2888,7 @@ mod tests {
         parent.insert_sequence(&input, &output);
         let mut resume: Vec<Token> = input.clone();
         resume.extend_from_slice(&output);
-        let _ticket = parent.pin_prefix(&resume);
+        let ticket = parent.pin_prefix(&resume);
         assert!(parent.pinned_node_count() > 0);
 
         let snapshot = Snapshot {
@@ -2894,6 +2902,7 @@ mod tests {
         assert!(replica.pin_in_flight, "knob mirrored");
         assert_eq!(replica.pinned_node_count(), 0, "live pins not inherited");
         assert_eq!(replica.pinned_bytes(), 0);
+        parent.unpin(ticket);
 
         let unpinning = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
             .capacity_bytes(1 << 30)

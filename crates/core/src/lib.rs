@@ -92,8 +92,10 @@ use marconi_radix::{NodeId, Token};
 /// every `pin_prefix` with exactly one `unpin` at request completion.
 ///
 /// Tickets are deliberately neither `Clone` nor `Copy` — one pin, one
-/// release.
+/// release. In debug builds, dropping a non-empty ticket without redeeming
+/// it panics (see the `Drop` impl): a dropped ticket is a leaked pin.
 #[derive(Debug, Default)]
+#[must_use = "dropping a PinTicket leaks the pin; redeem it with `unpin`"]
 pub struct PinTicket {
     /// The pinned hit node, if the lookup hit and pinning is enabled.
     /// Pinned nodes are never removed and keep their id across edge
@@ -110,6 +112,30 @@ impl PinTicket {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.node.is_none()
+    }
+
+    /// Takes the pinned node out of the ticket, marking it redeemed: the
+    /// debug-build leak detector in `Drop` only fires on tickets whose
+    /// node was never taken.
+    pub(crate) fn redeem(&mut self) -> Option<NodeId> {
+        self.node.take()
+    }
+}
+
+/// Debug-build pin-leak detector: a ticket dropped while still holding its
+/// node was never passed back through `unpin`, so the pinned path would
+/// stay protected (unevictable) forever. Release builds skip the check —
+/// a leak is a bug, not a memory-safety issue.
+#[cfg(debug_assertions)]
+impl Drop for PinTicket {
+    fn drop(&mut self) {
+        if self.node.is_some() && !std::thread::panicking() {
+            panic!(
+                "PinTicket leaked: dropped while still pinning node {:?} \
+                 (shard {}) — every pin_prefix must be paired with unpin",
+                self.node, self.shard
+            );
+        }
     }
 }
 

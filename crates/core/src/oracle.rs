@@ -81,7 +81,10 @@ pub fn best_static_alpha(
             let handles: Vec<_> = grid.iter().map(|&a| s.spawn(move || eval(a))).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("oracle replay thread panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("invariant: oracle replay threads do not panic")
+                })
                 .collect()
         })
     } else {
@@ -90,7 +93,7 @@ pub fn best_static_alpha(
     let &(best_alpha, best_hit_rate) = sweep
         .iter()
         .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.total_cmp(&a.0)))
-        .expect("non-empty grid");
+        .expect("invariant: the α grid is non-empty");
     OracleOutcome {
         best_alpha,
         best_hit_rate,

@@ -1,0 +1,176 @@
+//! Property test: an N-shard [`ShardedCache`] is observationally equivalent
+//! to N independent single-threaded [`HybridPrefixCache`]s fed the same
+//! shard-routed op streams.
+//!
+//! This is the sharding layer's core contract (see `docs/verification.md`):
+//! the concurrent front-end adds *routing and locking only* — every
+//! per-request result (lookup, admission, probe) and every piece of
+//! per-shard end state must match what the underlying single-threaded cache
+//! would have produced. Random op sequences drive both sides through the
+//! full public surface, including pins held across evicting inserts.
+
+use marconi_core::{
+    HybridPrefixCache, HybridPrefixCacheBuilder, PinTicket, PrefixCache, ShardedCache,
+};
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+use proptest::prelude::*;
+
+const SHARDS: usize = 4;
+
+/// One operation against the cache's public surface.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `insert_at(input, output)`.
+    Insert(Vec<Token>, Vec<Token>),
+    /// `lookup_at(input)` — mutates recency and stats.
+    Lookup(Vec<Token>),
+    /// `longest_cached_prefix_len` + `probe_tiers` — must not mutate.
+    Probe(Vec<Token>),
+    /// `pin_prefix(input)`, held until the end of the run.
+    Pin(Vec<Token>),
+}
+
+/// Sequences share a tiny alphabet so streams collide heavily, but the
+/// *first* token ranges wider: it alone picks the shard, and we want all
+/// four shards populated.
+fn seq_strategy() -> impl Strategy<Value = Vec<Token>> {
+    (0u32..8, prop::collection::vec(0u32..4, 0..24))
+        .prop_map(|(first, rest)| std::iter::once(first).chain(rest).collect())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0u8..4,
+        seq_strategy(),
+        prop::collection::vec(100u32..104, 1..12),
+    )
+        .prop_map(|(kind, seq, out)| match kind {
+            0 => Op::Insert(seq, out),
+            1 => Op::Lookup(seq),
+            2 => Op::Probe(seq),
+            _ => Op::Pin(seq),
+        })
+}
+
+fn builder(model: ModelConfig) -> HybridPrefixCacheBuilder {
+    // Capacity small enough that insert streams overflow a shard and force
+    // evictions, so the equivalence also covers the eviction + pin
+    // interplay (a pinned path must survive identically on both sides).
+    let cap = 96 * model.kv_bytes_per_token();
+    HybridPrefixCache::builder(model).capacity_bytes(cap)
+}
+
+/// Drives `ops` through a sharded cache and through `SHARDS` independent
+/// plain caches routed by the same deterministic hash, asserting every
+/// observable result and the complete per-shard end state agree.
+fn assert_equivalent(model: ModelConfig, ops: &[Op]) {
+    let sharded = ShardedCache::new(builder(model.clone()), SHARDS);
+    let mut reference: Vec<HybridPrefixCache> = (0..SHARDS)
+        .map(|_| builder(model.clone()).build())
+        .collect();
+    let mut sharded_pins: Vec<PinTicket> = Vec::new();
+    let mut reference_pins: Vec<(usize, PinTicket)> = Vec::new();
+
+    for (i, op) in ops.iter().enumerate() {
+        // Caller-supplied logical time, identical on both sides.
+        let now = i as f64;
+        match op {
+            Op::Insert(input, output) => {
+                let shard = sharded.shard_of(input);
+                let got = sharded.insert_at(input, output, now);
+                let want = reference[shard].insert_at(input, output, now);
+                prop_assert_eq!(got, want, "insert_at diverged at op {}", i);
+            }
+            Op::Lookup(input) => {
+                let shard = sharded.shard_of(input);
+                let got = sharded.lookup_at(input, now);
+                let want = reference[shard].lookup_at(input, now);
+                prop_assert_eq!(got, want, "lookup_at diverged at op {}", i);
+            }
+            Op::Probe(input) => {
+                let shard = sharded.shard_of(input);
+                prop_assert_eq!(
+                    sharded.longest_cached_prefix_len(input),
+                    reference[shard].longest_cached_prefix_len(input),
+                    "probe diverged at op {}",
+                    i
+                );
+                prop_assert_eq!(
+                    sharded.probe_tiers(input),
+                    reference[shard].probe_tiers(input),
+                    "probe_tiers diverged at op {}",
+                    i
+                );
+            }
+            Op::Pin(input) => {
+                let shard = sharded.shard_of(input);
+                let got = sharded.pin_prefix(input);
+                let want = reference[shard].pin_prefix(input);
+                prop_assert_eq!(got.is_empty(), want.is_empty(), "pin diverged at op {}", i);
+                sharded_pins.push(got);
+                reference_pins.push((shard, want));
+            }
+        }
+        prop_assert_eq!(
+            sharded.pinned_bytes(),
+            reference.iter().map(|c| c.pinned_bytes()).sum::<u64>()
+        );
+    }
+
+    // Complete per-shard end-state equality.
+    for (idx, reference_cache) in reference.iter().enumerate() {
+        sharded.with_shard(idx, |shard_cache| {
+            assert_eq!(
+                shard_cache.usage_bytes(),
+                reference_cache.usage_bytes(),
+                "shard {idx} usage diverged"
+            );
+            assert_eq!(
+                shard_cache.pinned_node_count(),
+                reference_cache.pinned_node_count(),
+                "shard {idx} pin counts diverged"
+            );
+            assert_eq!(
+                *shard_cache.stats(),
+                *reference_cache.stats(),
+                "shard {idx} stats diverged"
+            );
+        });
+    }
+    let aggregate = sharded.stats();
+    let mut expected = marconi_core::CacheStats::default();
+    for c in &reference {
+        expected.accumulate(c.stats());
+    }
+    prop_assert_eq!(aggregate, expected, "aggregate stats diverged");
+
+    // Release every pin on both sides (and keep the debug-build leak
+    // detector quiet); refcounts must drain back to zero identically.
+    for ticket in sharded_pins {
+        sharded.unpin(ticket);
+    }
+    for (shard, ticket) in reference_pins {
+        reference[shard].unpin(ticket);
+    }
+    prop_assert_eq!(sharded.pinned_bytes(), 0);
+    prop_assert_eq!(reference.iter().map(|c| c.pinned_bytes()).sum::<u64>(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_equals_independent_caches_transformer(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        assert_equivalent(ModelConfig::transformer_7b(), &ops);
+    }
+
+    #[test]
+    fn sharded_equals_independent_caches_hybrid(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        assert_equivalent(ModelConfig::hybrid_7b(), &ops);
+    }
+}

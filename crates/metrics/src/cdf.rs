@@ -27,7 +27,10 @@ impl Cdf {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("invariant: samples are finite, never NaN")
+        });
         Some(Cdf { sorted })
     }
 
@@ -89,7 +92,10 @@ impl Cdf {
     pub fn sampled_points(&self, count: usize) -> Vec<(f64, f64)> {
         assert!(count >= 2, "need at least 2 sample points");
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty");
+        let hi = *self
+            .sorted
+            .last()
+            .expect("invariant: sorted samples are non-empty");
         (0..count)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (count - 1) as f64;

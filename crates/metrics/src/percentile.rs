@@ -32,7 +32,10 @@ impl Percentiles {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("invariant: samples are finite, never NaN")
+        });
         Some(Percentiles { sorted })
     }
 
@@ -113,7 +116,10 @@ impl Percentiles {
     /// Maximum sample value.
     #[must_use]
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        *self
+            .sorted
+            .last()
+            .expect("invariant: sorted samples are non-empty")
     }
 
     /// The sorted sample.

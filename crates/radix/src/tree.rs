@@ -270,7 +270,10 @@ impl<D: Default> RadixTree<D> {
     /// Splits `child`'s edge after `shared` tokens, inserting a new
     /// intermediate node (returned) between `child` and its parent.
     fn split_edge(&mut self, child: NodeId, shared: usize) -> NodeId {
-        let parent = self.node(child).parent.expect("non-root");
+        let parent = self
+            .node(child)
+            .parent
+            .expect("invariant: split children are non-root");
         let edge = std::mem::take(&mut self.node_mut(child).edge);
         let (head, tail) = edge.split_at(shared);
         let head = head.to_vec();
@@ -321,13 +324,13 @@ impl<D> RadixTree<D> {
     fn node(&self, id: NodeId) -> &Node<D> {
         self.slots[id.index()]
             .as_node()
-            .expect("node id refers to a removed node")
+            .expect("invariant: node ids refer to live nodes")
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node<D> {
         self.slots[id.index()]
             .as_node_mut()
-            .expect("node id refers to a removed node")
+            .expect("invariant: node ids refer to live nodes")
     }
 
     fn get_node(&self, id: NodeId) -> Option<&Node<D>> {
@@ -517,7 +520,7 @@ impl<D> RadixTree<D> {
             let n = self.node_mut(cur);
             n.pin_count += 1;
             let first = n.pin_count == 1;
-            let parent = n.parent.expect("non-root has a parent");
+            let parent = n.parent.expect("invariant: non-root nodes have a parent");
             if first {
                 self.pinned.insert(cur);
             }
@@ -541,7 +544,7 @@ impl<D> RadixTree<D> {
             debug_assert!(n.pin_count > 0, "{cur}: unpin without a matching pin");
             n.pin_count = n.pin_count.saturating_sub(1);
             let now_free = n.pin_count == 0;
-            let parent = n.parent.expect("non-root has a parent");
+            let parent = n.parent.expect("invariant: non-root nodes have a parent");
             if now_free {
                 self.pinned.remove(cur);
             }
@@ -700,7 +703,9 @@ impl<D> RadixTree<D> {
         if node.pin_count > 0 {
             return Err(RemoveError::Pinned);
         }
-        let parent = node.parent.expect("non-root has a parent");
+        let parent = node
+            .parent
+            .expect("invariant: non-root nodes have a parent");
         let first_tok = node.edge[0];
         let child = node.children.values().next().copied();
 
@@ -776,7 +781,7 @@ impl<D> RadixTree<D> {
             if id != NodeId::ROOT {
                 seen_nodes += 1;
                 assert!(!n.edge.is_empty(), "{id}: empty edge on non-root");
-                let p = self.node(n.parent.expect("non-root parent"));
+                let p = self.node(n.parent.expect("invariant: non-root nodes have a parent"));
                 assert_eq!(
                     p.depth + n.edge.len() as u64,
                     n.depth,

@@ -223,7 +223,7 @@ impl Router for PrefixAware {
                     .then(b.index.cmp(&a.index))
             })
             .map(|(_, r)| r.index)
-            .expect("clusters have at least one replica")
+            .expect("invariant: clusters have at least one replica")
     }
 }
 
@@ -264,7 +264,7 @@ impl Router for QueueAware {
                     .then(b.index.cmp(&a.index))
             })
             .map(|(_, r)| r.index)
-            .expect("clusters have at least one replica")
+            .expect("invariant: clusters have at least one replica")
     }
 }
 

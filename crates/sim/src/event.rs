@@ -287,7 +287,9 @@ impl<C: PrefixCache> EventSim<C> {
             match (exec.next_event(), arrival) {
                 (Some(te), Some(ta)) if te <= ta => exec.advance(&mut self.cache, te),
                 (_, Some(ta)) => {
-                    let req = arrivals.next().expect("peeked arrival exists");
+                    let req = arrivals
+                        .next()
+                        .expect("invariant: the peeked arrival is still in the iterator");
                     exec.enqueue(req, &mut self.cache, ta);
                 }
                 (Some(te), None) => exec.advance(&mut self.cache, te),
@@ -416,7 +418,9 @@ impl EventCluster {
                     execs[k].advance(&mut self.replicas[k], te);
                 }
                 (_, Some(ta)) => {
-                    let req = arrivals.next().expect("peeked arrival exists");
+                    let req = arrivals
+                        .next()
+                        .expect("invariant: the peeked arrival is still in the iterator");
                     let statuses: Vec<ReplicaStatus<'_>> = self
                         .replicas
                         .iter()

@@ -220,7 +220,9 @@ impl<'a> Executor<'a> {
             // pressure (breaking pin-free parity even at zero load).
             cache.unpin(r.pin);
             cache.insert_at(&r.req.input, &r.req.output, now);
-            let ttft_at = r.prefill_done_at.expect("completed requests prefilled");
+            let ttft_at = r
+                .prefill_done_at
+                .expect("invariant: completed requests have a prefill timestamp");
             self.records.push(EventRecord {
                 id: r.req.id,
                 session_id: r.req.session_id,
