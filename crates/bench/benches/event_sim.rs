@@ -61,6 +61,7 @@ fn bench_event_sim(c: &mut Criterion) {
     });
     group.finish();
 
+    let mut rows = Vec::new();
     for (label, t, modeled) in [
         ("modeled/saturated", &saturated, true),
         ("instantaneous", &base, false),
@@ -72,7 +73,7 @@ fn bench_event_sim(c: &mut Criterion) {
         };
         let started = Instant::now();
         let report = sim.run(t);
-        let wall = started.elapsed().as_secs_f64();
+        let wall = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
         println!(
             "event_sim/[sweep] {label}: {} requests, {} events, {:.0} req/s, {:.2e} events/s",
             report.records.len(),
@@ -80,6 +81,51 @@ fn bench_event_sim(c: &mut Criterion) {
             report.records.len() as f64 / wall,
             report.iterations as f64 / wall,
         );
+        rows.push(format!(
+            "      {{ \"mode\": \"{label}\", \"requests\": {}, \"events\": {}, \
+             \"events_per_sec\": {:.0} }}",
+            report.records.len(),
+            report.iterations,
+            report.iterations as f64 / wall,
+        ));
+    }
+    merge_into_bench8(&format!(
+        "{{\n    \"model\": \"hybrid_7b\",\n    \"sweeps\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    ));
+}
+
+/// Appends (or replaces) the `event_sim` section of `BENCH_8.json`, whose
+/// base object the `eviction_pressure` bench's `engine_replay` sweep
+/// writes. Plain string surgery — serde_json is not vendored, and the
+/// hand-formatted layout is part of the file's schema.
+fn merge_into_bench8(section: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        eprintln!(
+            "event_sim: {path} not found (run the eviction_pressure bench first); \
+             skipping BENCH_8 merge"
+        );
+        return;
+    };
+    // Truncate at a previous event_sim section (idempotent re-runs) or
+    // before the object's closing brace.
+    let base = match existing.find(",\n  \"event_sim\"") {
+        Some(i) => &existing[..i],
+        None => match existing.rfind('}') {
+            // The closing brace of the top-level object follows the last
+            // section's own closing bracket/brace on the previous line.
+            Some(i) => existing[..i].trim_end(),
+            None => {
+                eprintln!("event_sim: {path} is malformed; skipping BENCH_8 merge");
+                return;
+            }
+        },
+    };
+    let json = format!("{base},\n  \"event_sim\": {section}\n}}\n");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("event_sim: merged section into {path}"),
+        Err(e) => eprintln!("event_sim: could not write {path}: {e}"),
     }
 }
 

@@ -16,14 +16,24 @@
 //!   prints the measured speedup.
 //! * `cache_eviction_storm` — end to end: `HybridPrefixCache` in steady
 //!   state at ≥ 10k live nodes, every insertion forcing evictions.
+//! * `engine_replay` — PR 8's arena engine vs the verbatim pre-refactor
+//!   engine (`marconi_radix::legacy`) on an identical pre-baked at-capacity
+//!   op stream (90/10 insert/match, every insert evicting the coldest
+//!   candidates back down to the node budget) at 10k and 100k live nodes
+//!   (1M with `EVICTION_PRESSURE_FULL=1`). The arena engine pops victims
+//!   from its O(log n) recency index; the legacy engine — which has none —
+//!   min-scans all candidates per victim, as the cache did before PR 8.
+//!   Writes the measured curve to `BENCH_8.json` at the repo root (the
+//!   `event_sim` bench merges its section into the same file).
 //!
 //! Sizes default to 10k nodes so the CI smoke run stays fast; set
-//! `EVICTION_PRESSURE_FULL=1` to sweep 10k–100k.
+//! `EVICTION_PRESSURE_FULL=1` to sweep 10k–100k (and 10k–1M for
+//! `engine_replay`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use marconi_core::{EvictionPolicy, HybridPrefixCache, PrefixCache};
 use marconi_model::ModelConfig;
-use marconi_radix::{NodeId, RadixTree, Token};
+use marconi_radix::{legacy, NodeId, RadixTree, Token};
 use std::time::Instant;
 
 fn sizes() -> Vec<usize> {
@@ -214,10 +224,328 @@ fn bench_cache_eviction_storm(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// engine_replay: arena engine vs the verbatim pre-refactor engine.
+// ---------------------------------------------------------------------------
+
+/// splitmix64: deterministic trace generation without external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One pre-baked replay op. Both engines replay the identical stream;
+/// evictions are implicit (each insert evicts the coldest candidates until
+/// the tree is back under its node budget, as a cache at capacity would).
+enum ReplayOp {
+    Insert(Vec<Token>),
+    Match(Vec<Token>),
+}
+
+/// The two radix engines behind one replay interface, exercising each
+/// engine's own recency machinery:
+///
+/// * the arena engine `touch`es its O(log n) recency index and evicts by
+///   popping the index's coldest entry;
+/// * the pre-refactor engine has no recency structure — exactly like the
+///   pre-PR 8 cache, it stores the stamp in the payload and selects each
+///   victim with an O(candidates) min-scan.
+trait Engine: Default {
+    type Id: Copy;
+    fn insert_seq(&mut self, seq: &[Token]) -> (Self::Id, u64);
+    fn touch_node(&mut self, id: Self::Id, stamp: u64);
+    /// Removes the coldest eviction candidate, returning its arena index.
+    fn evict_coldest(&mut self) -> Option<usize>;
+    fn match_len(&self, seq: &[Token]) -> u64;
+    fn live(&self) -> usize;
+}
+
+impl Engine for RadixTree<()> {
+    type Id = NodeId;
+
+    fn insert_seq(&mut self, seq: &[Token]) -> (NodeId, u64) {
+        let out = self.insert(seq);
+        (out.end_node, out.added_tokens)
+    }
+
+    fn touch_node(&mut self, id: NodeId, stamp: u64) {
+        self.touch(id, stamp);
+    }
+
+    fn evict_coldest(&mut self) -> Option<usize> {
+        let id = self.lru_candidates().next()?.1;
+        self.remove(id).ok().map(|_| id.index())
+    }
+
+    fn match_len(&self, seq: &[Token]) -> u64 {
+        self.match_prefix(seq).matched_len
+    }
+
+    fn live(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Engine for legacy::RadixTree<u64> {
+    type Id = legacy::NodeId;
+
+    fn insert_seq(&mut self, seq: &[Token]) -> (legacy::NodeId, u64) {
+        let out = self.insert(seq);
+        (out.end_node, out.added_tokens)
+    }
+
+    fn touch_node(&mut self, id: legacy::NodeId, stamp: u64) {
+        *self.data_mut(id) = stamp;
+    }
+
+    fn evict_coldest(&mut self) -> Option<usize> {
+        // Pre-refactor victim selection: no recency index exists, so every
+        // victim costs a full min-scan over the candidate set (the shape of
+        // the cache's scored pool loop before PR 8's LRU fast path).
+        let id = self
+            .eviction_candidates()
+            .min_by_key(|&id| (*self.data(id), id.index()))?;
+        self.remove(id).ok().map(|_| id.index())
+    }
+
+    fn match_len(&self, seq: &[Token]) -> u64 {
+        self.match_prefix(seq).matched_len
+    }
+
+    fn live(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Fork-and-extend trace with long edges (64–320 fresh tokens per insert):
+/// most inserts fork a prior sequence mid-edge, so the pre-refactor engine
+/// pays an O(edge) `Vec` clone per split where the arena engine does O(1)
+/// offset arithmetic. Returns `(build, measured)`: `build` grows a scratch
+/// arena tree to exactly `target_live` nodes, `measured` is the
+/// at-capacity steady-state segment (90% insert / 10% match; every insert
+/// evicts back down to the node budget during replay).
+fn engine_replay_trace(
+    seed: u64,
+    target_live: usize,
+    measured_ops: usize,
+) -> (Vec<ReplayOp>, Vec<ReplayOp>) {
+    let mut rng = Rng(seed);
+    let mut history: Vec<Vec<Token>> = Vec::new();
+    let mut fresh: Token = 1 << 16;
+    let mut scratch: RadixTree<()> = RadixTree::new();
+    let insert_op = |rng: &mut Rng, history: &mut Vec<Vec<Token>>, fresh: &mut Token| {
+        let mut seq: Vec<Token> = if history.is_empty() || rng.below(8) == 0 {
+            vec![(rng.below(64) + 1) as Token]
+        } else {
+            let base = &history[rng.below(history.len() as u64) as usize];
+            let cut = 1 + rng.below(base.len() as u64) as usize;
+            base[..cut].to_vec()
+        };
+        for _ in 0..64 + rng.below(256) {
+            seq.push(*fresh);
+            *fresh += 1;
+        }
+        if history.len() < 512 {
+            history.push(seq.clone());
+        } else {
+            let slot = rng.below(512) as usize;
+            history[slot] = seq.clone();
+        }
+        seq
+    };
+
+    let mut build = Vec::new();
+    while scratch.live() < target_live {
+        let seq = insert_op(&mut rng, &mut history, &mut fresh);
+        scratch.insert(&seq);
+        build.push(ReplayOp::Insert(seq));
+    }
+    let mut measured = Vec::with_capacity(measured_ops);
+    for _ in 0..measured_ops {
+        if rng.below(100) < 90 {
+            measured.push(ReplayOp::Insert(insert_op(
+                &mut rng,
+                &mut history,
+                &mut fresh,
+            )));
+        } else {
+            let base = &history[rng.below(history.len() as u64) as usize];
+            let cut = 1 + rng.below(base.len() as u64) as usize;
+            measured.push(ReplayOp::Match(base[..cut].to_vec()));
+        }
+    }
+    (build, measured)
+}
+
+/// Replays `ops` against a node `budget`: every inserted end node is
+/// touched with a monotone recency stamp, then the coldest candidates are
+/// evicted until the tree is back under budget — the cache-at-capacity
+/// loop both engines served in production. Returns a checksum over added
+/// tokens, victim arena indices, and match lengths; because both slabs
+/// allocate LIFO in the same order, the checksum is byte-comparable across
+/// engines and doubles as a lockstep assertion.
+fn replay<E: Engine>(tree: &mut E, ops: &[ReplayOp], budget: usize, stamp: &mut u64) -> u64 {
+    let mut checksum = 0u64;
+    for op in ops {
+        match op {
+            ReplayOp::Insert(seq) => {
+                let (id, added) = tree.insert_seq(seq);
+                *stamp += 1;
+                tree.touch_node(id, *stamp);
+                checksum = checksum.wrapping_add(added);
+                while tree.live() > budget {
+                    match tree.evict_coldest() {
+                        Some(idx) => checksum = checksum.wrapping_add(idx as u64),
+                        None => break,
+                    }
+                }
+            }
+            ReplayOp::Match(seq) => {
+                checksum = checksum.wrapping_add(tree.match_len(seq));
+            }
+        }
+    }
+    checksum
+}
+
+/// Builds to size (untimed, unbounded budget), then replays the measured
+/// segment (timed) with the budget pinned at the built size, so every
+/// insert pays the eviction path. Returns `(ops_per_sec,
+/// live_nodes_at_start, checksum)`.
+fn measure_engine<E: Engine>(build: &[ReplayOp], measured: &[ReplayOp]) -> (f64, usize, u64) {
+    let mut tree = E::default();
+    let mut stamp = 0u64;
+    replay(&mut tree, build, usize::MAX, &mut stamp);
+    let live = tree.live();
+    let started = Instant::now();
+    let checksum = replay(&mut tree, measured, live, &mut stamp);
+    let wall = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    (measured.len() as f64 / wall, live, checksum)
+}
+
+fn replay_sizes() -> Vec<usize> {
+    if std::env::var("EVICTION_PRESSURE_FULL").is_ok() {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        vec![10_000, 100_000]
+    }
+}
+
+const REPLAY_SEED: u64 = 0xBE8;
+
+/// Measured-segment length, scaled down as the tree grows so the legacy
+/// engine's O(candidates)-per-victim scan keeps the sweep bounded (~2e9
+/// candidate visits per size regardless of n).
+fn replay_measured_ops(n: usize) -> usize {
+    (2_000_000_000 / n).clamp(2_000, 20_000)
+}
+
+/// One-shot sweep: measures both engines at each size, prints `[ratio]`
+/// lines, and writes the curve to `BENCH_8.json` (hand-formatted; the
+/// `event_sim` bench appends its section to the same file).
+fn run_replay_sweep_and_write_json() {
+    let mut rows = Vec::new();
+    for &n in &replay_sizes() {
+        let measured_ops = replay_measured_ops(n);
+        let (build, measured) = engine_replay_trace(REPLAY_SEED, n, measured_ops);
+        let (legacy_ops, legacy_live, legacy_sum) =
+            measure_engine::<legacy::RadixTree<u64>>(&build, &measured);
+        let (arena_ops, arena_live, arena_sum) = measure_engine::<RadixTree<()>>(&build, &measured);
+        assert_eq!(
+            (arena_live, arena_sum),
+            (legacy_live, legacy_sum),
+            "engines diverged on the bench trace at n={n}"
+        );
+        let speedup = arena_ops / legacy_ops.max(f64::MIN_POSITIVE);
+        println!(
+            "engine_replay/[ratio] n={n} ({arena_live} live nodes): \
+             arena {arena_ops:.0} ops/s / legacy {legacy_ops:.0} ops/s = {speedup:.1}x"
+        );
+        rows.push(format!(
+            "    {{ \"live_nodes\": {arena_live}, \"ops\": {measured_ops}, \
+             \"legacy_ops_per_sec\": {legacy_ops:.0}, \
+             \"arena_ops_per_sec\": {arena_ops:.0}, \"speedup\": {speedup:.2} }}"
+        ));
+    }
+    // Hand-formatted snapshot (serde_json is not vendored); flat schema,
+    // same convention as BENCH_6.json.
+    let json = format!(
+        "{{\n  \"bench\": \"engine_replay\",\n  \
+         \"trace\": \"fork-extend at-capacity steady state, seed {REPLAY_SEED}, \
+         90/10 insert/match, evict-to-budget per insert\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("engine_replay: wrote {path}"),
+        Err(e) => eprintln!("engine_replay: could not write {path}: {e}"),
+    }
+}
+
+fn bench_engine_replay(c: &mut Criterion) {
+    run_replay_sweep_and_write_json();
+
+    // Criterion-tracked non-mutating probes on identical 10k-node trees,
+    // so ordinary bench comparisons catch lookup-path regressions in
+    // either engine without rebuilding state per iteration.
+    let (build, _) = engine_replay_trace(REPLAY_SEED, 10_000, 0);
+    let mut stamp = 0u64;
+    let mut arena: RadixTree<()> = RadixTree::default();
+    replay(&mut arena, &build, usize::MAX, &mut stamp);
+    let mut stamp = 0u64;
+    let mut old: legacy::RadixTree<u64> = legacy::RadixTree::default();
+    replay(&mut old, &build, usize::MAX, &mut stamp);
+    let probes: Vec<Vec<Token>> = {
+        let mut rng = Rng(REPLAY_SEED ^ 0xABCD);
+        let seqs: Vec<&Vec<Token>> = build
+            .iter()
+            .filter_map(|op| match op {
+                ReplayOp::Insert(seq) => Some(seq),
+                _ => None,
+            })
+            .collect();
+        (0..256)
+            .map(|_| {
+                let base = seqs[rng.below(seqs.len() as u64) as usize];
+                let cut = 1 + rng.below(base.len() as u64) as usize;
+                base[..cut].to_vec()
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("engine_replay");
+    group.sample_size(10);
+    group.bench_function("arena_probe_10k_x256", |b| {
+        b.iter(|| {
+            let sum: u64 = probes.iter().map(|p| arena.match_len(p)).sum();
+            black_box(sum)
+        })
+    });
+    group.bench_function("legacy_probe_10k_x256", |b| {
+        b.iter(|| {
+            let sum: u64 = probes.iter().map(|p| old.match_len(p)).sum();
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_candidate_enumeration,
     bench_victim_selection,
-    bench_cache_eviction_storm
+    bench_cache_eviction_storm,
+    bench_engine_replay
 );
 criterion_main!(benches);

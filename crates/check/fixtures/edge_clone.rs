@@ -1,0 +1,40 @@
+//! Seeded violation for `marconi-check --self-test`: materializing edge
+//! token bytes in a radix hot path. The self-test presents this file as
+//! `crates/radix/src/edge_clone.rs`, where the `edge-clone` rule applies:
+//! edge labels are `(offset, len)` slices of the shared token store, and
+//! `.clone()` / `.to_vec()` are how O(edge) copies sneak back in.
+
+/// Must trip `edge-clone`: merging by materializing both labels.
+pub fn absorb_edge(head: &[u32], tail: &[u32]) -> Vec<u32> {
+    let mut merged = head.to_vec();
+    merged.extend_from_slice(tail);
+    merged
+}
+
+/// Edge bytes held by value, snapshotted per call.
+pub struct EdgeCache {
+    tokens: Vec<u32>,
+}
+
+impl EdgeCache {
+    /// Must trip `edge-clone`: a full copy on every probe.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.tokens.clone()
+    }
+
+    // check:allow(edge-clone): dot export diagnostic, off the hot path
+    /// Waived with a reason: no finding may point here.
+    pub fn dump(&self) -> Vec<u32> {
+        self.tokens.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test spans are exempt: no finding may point here either.
+    #[test]
+    fn clones_are_fine_in_tests() {
+        let v = vec![1u32, 2];
+        assert_eq!(v.clone(), v.to_vec());
+    }
+}

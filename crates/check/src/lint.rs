@@ -13,6 +13,7 @@
 //! | `unwrap` | no `.unwrap()` in non-test lib code |
 //! | `expect-message` | every `.expect(...)` names the violated contract (`"invariant: …"` or `"lock: …"`) |
 //! | `must-use-handle` | leak-prone handle types (`*Ticket`, `*Guard`, `*Handle`) carry `#[must_use]` |
+//! | `edge-clone` | radix hot paths never materialize edge tokens: no `.clone()`/`.to_vec()` in `crates/radix/src` (the `legacy.rs` oracle is exempt) |
 //!
 //! A line can waive a rule with `// check:allow(rule-id): reason` on the
 //! same or the preceding line; the reason is mandatory so waivers stay
@@ -74,6 +75,11 @@ const EXPECT_PREFIXES: [&str; 2] = ["invariant:", "lock:"];
 /// pins a cache path forever).
 const MUST_USE_SUFFIXES: [&str; 3] = ["Ticket", "Guard", "Handle"];
 
+/// Methods banned by `edge-clone` in radix hot paths: since PR 8 edge
+/// labels are `(offset, len)` slices of the tree's shared token store, and
+/// these calls are how O(edge) byte copies sneak back in.
+const EDGE_CLONE_METHODS: [&str; 2] = ["clone", "to_vec"];
+
 /// Hash-container iteration methods with order-dependent results.
 const HASH_ITER_METHODS: [&str; 7] = [
     "iter",
@@ -111,6 +117,7 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
     };
 
     let hash_bound = hash_bound_idents(toks);
+    let radix_hot = is_radix_hot_path(file);
 
     for (i, t) in toks.iter().enumerate() {
         if test[i] {
@@ -159,6 +166,18 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
                             .to_owned(),
                     );
                 }
+            } else if radix_hot && EDGE_CLONE_METHODS.contains(&name.text.as_str()) {
+                push(
+                    name.line,
+                    "edge-clone",
+                    format!(
+                        "`.{}()` in a radix hot path materializes token bytes; \
+                         edge labels are (offset, len) slices of the shared \
+                         store — use `edge_tokens()` / offset arithmetic, or \
+                         waive with a reason",
+                        name.text
+                    ),
+                );
             } else if HASH_ITER_METHODS.contains(&name.text.as_str())
                 && i > 0
                 && toks[i - 1].kind == TokKind::Ident
@@ -282,6 +301,14 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
         &crate::mirror::MirrorSpec::hybrid(),
     ));
     Ok(out)
+}
+
+/// `true` for files the `edge-clone` rule constrains: the arena engine's
+/// sources under `crates/radix/src`, minus the verbatim pre-refactor
+/// oracle `legacy.rs` (whose `Vec<Token>` edges clone by design).
+fn is_radix_hot_path(file: &Path) -> bool {
+    let p = file.to_string_lossy().replace('\\', "/");
+    p.contains("crates/radix/src/") && !p.ends_with("legacy.rs")
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -593,6 +620,27 @@ mod tests {
         // A struct merely *named* Handle (no prefix) is not a handle type.
         assert!(lint("pub struct Handle;").is_empty());
         assert!(lint("pub struct Plain { x: u32 }").is_empty());
+    }
+
+    #[test]
+    fn edge_clone_denied_in_radix_hot_paths_only() {
+        let src = "fn merge(head: &[u32]) -> Vec<u32> { head.to_vec() }";
+        let hot = Path::new("crates/radix/src/tree.rs");
+        let found = lint_source(hot, src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "edge-clone");
+        let src = "fn snap(edge: &Vec<u32>) -> Vec<u32> { edge.clone() }";
+        assert_eq!(lint_source(hot, src)[0].rule, "edge-clone");
+        // The legacy oracle and other crates clone freely.
+        assert!(lint_source(Path::new("crates/radix/src/legacy.rs"), src).is_empty());
+        assert!(lint_source(Path::new("crates/core/src/hybrid.rs"), src).is_empty());
+        // Test spans inside radix sources are exempt.
+        let src = "#[cfg(test)]\nmod tests {\n fn f(v: &[u32]) { v.to_vec(); }\n}";
+        assert!(lint_source(hot, src).is_empty());
+        // Waivers work as for every other rule.
+        let src = "// check:allow(edge-clone): dot export, off the hot path\n\
+                   fn dump(e: &[u32]) -> Vec<u32> { e.to_vec() }";
+        assert!(lint_source(hot, src).is_empty());
     }
 
     #[test]

@@ -91,23 +91,39 @@ fn run_workspace(root: &Path) -> bool {
 /// Every seeded-violation fixture must still be *rejected* (and the clean
 /// fixture accepted) — otherwise the gate has rotted and CI fails.
 fn run_self_test(root: &Path) -> bool {
-    // (fixture, rules that must fire at least once).
-    let expectations: &[(&str, &[&str])] = &[
-        ("wall_clock.rs", &["wall-clock"]),
-        ("unwrap_in_lib.rs", &["unwrap", "expect-message"]),
-        ("hash_iteration.rs", &["hash-iter"]),
-        ("missing_must_use.rs", &["must-use-handle"]),
+    // (fixture, path presented to the linter, rules that must fire at
+    // least once). The path matters for path-scoped rules: `edge-clone`
+    // only constrains `crates/radix/src`, so its fixture is presented
+    // under that prefix.
+    let expectations: &[(&str, &str, &[&str])] = &[
+        ("wall_clock.rs", "wall_clock.rs", &["wall-clock"]),
+        (
+            "unwrap_in_lib.rs",
+            "unwrap_in_lib.rs",
+            &["unwrap", "expect-message"],
+        ),
+        ("hash_iteration.rs", "hash_iteration.rs", &["hash-iter"]),
+        (
+            "missing_must_use.rs",
+            "missing_must_use.rs",
+            &["must-use-handle"],
+        ),
+        (
+            "edge_clone.rs",
+            "crates/radix/src/edge_clone.rs",
+            &["edge-clone"],
+        ),
     ];
     let dir = root.join("crates/check/fixtures");
     let mut ok = true;
-    for (file, rules) in expectations {
+    for (file, lint_path, rules) in expectations {
         let path = dir.join(file);
         let Ok(src) = std::fs::read_to_string(&path) else {
             println!("self-test: cannot read {}", path.display());
             ok = false;
             continue;
         };
-        let found = lint_source(Path::new(file), &src);
+        let found = lint_source(Path::new(lint_path), &src);
         for rule in *rules {
             if !found.iter().any(|v| v.rule == *rule) {
                 println!(

@@ -7,7 +7,9 @@ use crate::tier::{ReloadPolicy, Tier, TieredPrefix};
 use crate::tuner::{TunerConfig, TunerState};
 use crate::{PinTicket, PrefixCache};
 use marconi_model::ModelConfig;
-use marconi_radix::{InsertOutcome, NodeId, PrefixMatch, RadixTree, Token};
+use marconi_radix::{recency_stamp, InsertOutcome, NodeId, PrefixMatch, RadixTree, Token};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Per-node cache metadata: edge KVs are implicit (the edge's tokens); the
 /// node additionally records SSM-checkpoint presence, the memory tier the
@@ -650,23 +652,10 @@ impl HybridPrefixCache {
         if self.usage() <= self.capacity || self.tree.is_empty() {
             return;
         }
-        let mut pool = self.tier_pool(Tier::Device);
-        let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(pool.len());
-        while self.usage() > self.capacity && !self.tree.is_empty() {
-            #[cfg(debug_assertions)]
-            self.assert_pool_matches_scan(&pool, Tier::Device);
-            let Some(i) = self.pick_from_pool(&pool, &mut scored) else {
-                break;
-            };
-            let victim = pool.swap_remove(i);
-            // Tiered mode: demote everything that actually moves bytes;
-            // zero-byte structural nodes (no checkpoint, zero-width KVs)
-            // still merge away so the loop always progresses.
-            if self.host_capacity > 0 && self.node_bytes(victim) > 0 {
-                self.demote_victim(victim, report);
-                continue;
-            }
-            self.delete_victim(victim, &mut pool, report, Tier::Device);
+        if self.lru_fast_path() {
+            self.lru_tier_pressure(Tier::Device, report);
+        } else {
+            self.scored_tier_pressure(Tier::Device, report);
         }
         // Fallback: the candidate pool drained but non-candidate (2+
         // child) device nodes still hold bytes. Only reachable with a host
@@ -679,6 +668,7 @@ impl HybridPrefixCache {
                 .filter(|&id| self.tree.data(id).tier == Tier::Device && self.node_bytes(id) > 0)
                 .filter(|&id| !self.tree.is_pinned(id))
                 .collect();
+            let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(rest.len());
             while self.usage() > self.capacity {
                 let Some(i) = self.pick_from_pool(&rest, &mut scored) else {
                     break;
@@ -714,17 +704,159 @@ impl HybridPrefixCache {
         if self.host_usage() <= self.host_capacity || self.tree.is_empty() {
             return;
         }
-        let mut pool = self.tier_pool(Tier::Host);
+        if self.lru_fast_path() {
+            self.lru_tier_pressure(Tier::Host, report);
+        } else {
+            self.scored_tier_pressure(Tier::Host, report);
+        }
+    }
+
+    /// One pressure episode for `tier` through the scored victim pool: the
+    /// PR 2 machinery, verbatim — build the tier's pool once, re-score it
+    /// per victim with memoized cost reads, repair it in place. Device
+    /// episodes demote byte-bearing victims when a host tier exists; host
+    /// episodes (the last tier) always delete.
+    fn scored_tier_pressure(&mut self, tier: Tier, report: &mut AdmissionReport) {
+        let mut pool = self.tier_pool(tier);
         let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(pool.len());
-        while self.host_usage() > self.host_capacity && !pool.is_empty() {
+        loop {
+            let pressing = match tier {
+                Tier::Device => self.usage() > self.capacity && !self.tree.is_empty(),
+                Tier::Host => self.host_usage() > self.host_capacity && !pool.is_empty(),
+            };
+            if !pressing {
+                break;
+            }
             #[cfg(debug_assertions)]
-            self.assert_pool_matches_scan(&pool, Tier::Host);
+            self.assert_pool_matches_scan(&pool, tier);
             let Some(i) = self.pick_from_pool(&pool, &mut scored) else {
                 break;
             };
             let victim = pool.swap_remove(i);
-            self.delete_victim(victim, &mut pool, report, Tier::Host);
+            // Tiered mode: demote everything that actually moves bytes;
+            // zero-byte structural nodes (no checkpoint, zero-width KVs)
+            // still merge away so the loop always progresses.
+            if tier == Tier::Device && self.host_capacity > 0 && self.node_bytes(victim) > 0 {
+                self.demote_victim(victim, report);
+                continue;
+            }
+            self.delete_victim(victim, &mut pool, report, tier);
         }
+    }
+
+    /// `true` when victim selection collapses to pure LRU — a non-GDSF
+    /// policy with `effective_alpha == 0` (Lru always; FlopAware at
+    /// `α = 0`; AutoTuned until the tuner decides on a nonzero α). Under
+    /// that collapse [`pick_victim_index`] reduces to the minimum of
+    /// `(last_access, id)`, which is exactly the ascending key order of the
+    /// tree's recency index, so the O(log n) episode in
+    /// [`lru_tier_pressure`](Self::lru_tier_pressure) picks byte-identical
+    /// victims without building or re-scoring a pool.
+    fn lru_fast_path(&self) -> bool {
+        !matches!(self.policy, EvictionPolicy::Gdsf) && self.effective_alpha == 0.0
+    }
+
+    /// One pressure episode for `tier` on the LRU fast path: victims come
+    /// straight off the tree's O(log n) recency index instead of a
+    /// re-scored pool, in provably the same order as
+    /// [`pick_from_pool`](Self::pick_from_pool) (see
+    /// [`lru_fast_path`](Self::lru_fast_path); debug builds re-check every
+    /// pick against the scored reference).
+    ///
+    /// The episode snapshots the index's `(stamp, id)` entries once, then
+    /// merges in parents promoted to candidacy by mid-episode deletions
+    /// through a min-heap keyed the same way. Entries the episode itself
+    /// invalidates (deleted nodes, demoted nodes, duplicates of a
+    /// heap-promoted parent under leaf-only ablation) are rejected at
+    /// consumption time by re-checking liveness, stamp, child count, tier,
+    /// leaf status, and pins against the live tree — the same predicates
+    /// [`tier_pool`](Self::tier_pool) builds from.
+    fn lru_tier_pressure(&mut self, tier: Tier, report: &mut AdmissionReport) {
+        let over = |c: &Self| match tier {
+            Tier::Device => c.usage() > c.capacity,
+            Tier::Host => c.host_usage() > c.host_capacity,
+        };
+        let snapshot: Vec<(u64, NodeId)> = self.tree.lru_candidates().collect();
+        let mut cursor = 0usize;
+        let mut promoted: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        let mut sink: Vec<NodeId> = Vec::new();
+        while over(self) && !self.tree.is_empty() {
+            let victim = loop {
+                // Next entry in global (stamp, id) order across the
+                // snapshot and the promoted parents.
+                let snap = snapshot.get(cursor).copied();
+                let prom = promoted.peek().map(|r| r.0);
+                let (stamp, id) = match (snap, prom) {
+                    (None, None) => break None,
+                    (Some(s), None) => {
+                        cursor += 1;
+                        s
+                    }
+                    (None, Some(p)) => {
+                        promoted.pop();
+                        p
+                    }
+                    (Some(s), Some(p)) => {
+                        if s <= p {
+                            cursor += 1;
+                            s
+                        } else {
+                            promoted.pop();
+                            p
+                        }
+                    }
+                };
+                // Consumption-time staleness filters (tier_pool's
+                // predicates, re-evaluated against the live tree).
+                if !self.tree.contains(id) || self.tree.stamp(id) != stamp {
+                    continue;
+                }
+                if self.tree.child_count(id) > 1 || self.tree.data(id).tier != tier {
+                    continue;
+                }
+                if self.leaf_only_eviction && !self.tree.is_leaf(id) {
+                    continue;
+                }
+                if self.tree.is_pinned(id) {
+                    continue;
+                }
+                break Some(id);
+            };
+            let Some(victim) = victim else {
+                break;
+            };
+            #[cfg(debug_assertions)]
+            self.assert_lru_victim_matches_scored_pick(victim, tier);
+            if tier == Tier::Device && self.host_capacity > 0 && self.node_bytes(victim) > 0 {
+                self.demote_victim(victim, report);
+                continue;
+            }
+            // delete_victim pushes any parent that just became eligible
+            // for this tier's pool into `sink` — exactly the entries the
+            // scored loop would append — and they re-enter the merged
+            // stream through the heap at their current stamp.
+            self.delete_victim(victim, &mut sink, report, tier);
+            for parent in sink.drain(..) {
+                promoted.push(Reverse((self.tree.stamp(parent), parent)));
+            }
+        }
+    }
+
+    /// Debug-only: the fast-path victim must equal what the scored pool
+    /// loop would have picked at this exact cache state.
+    #[cfg(debug_assertions)]
+    fn assert_lru_victim_matches_scored_pick(&mut self, victim: NodeId, tier: Tier) {
+        let pool = self.tier_pool(tier);
+        self.assert_pool_matches_scan(&pool, tier);
+        let mut scored = Vec::with_capacity(pool.len());
+        let want = self
+            .pick_from_pool(&pool, &mut scored)
+            .map(|i| pool[i])
+            .expect("invariant: fast path found a victim, so the scored pool is non-empty");
+        assert_eq!(
+            victim, want,
+            "O(log n) LRU fast path diverged from the scored reference pick"
+        );
     }
 
     /// Demotes `victim` and records the move in stats and the admission
@@ -934,10 +1066,20 @@ impl HybridPrefixCache {
         }
     }
 
+    /// Records an access on `id`: the float timestamp in the node's
+    /// metadata (what the scoring paths read) and its order-preserving
+    /// integer image in the tree's recency index (what the O(log n) LRU
+    /// fast path reads). Every `last_access` write must go through here so
+    /// the two views can never drift.
+    fn stamp_access(&mut self, id: NodeId, now: f64) {
+        self.tree.data_mut(id).last_access = now;
+        self.tree.touch(id, recency_stamp(now));
+    }
+
     /// Marks an SSM checkpoint on `id` if absent; returns 1 if newly added.
     fn checkpoint(&mut self, id: NodeId, now: f64) -> u64 {
+        self.stamp_access(id, now);
         let meta = self.tree.data_mut(id);
-        meta.last_access = now;
         if meta.has_ssm_state {
             0
         } else {
@@ -963,7 +1105,7 @@ impl HybridPrefixCache {
             .into_iter()
             .flatten()
         {
-            self.tree.data_mut(id).last_access = now;
+            self.stamp_access(id, now);
             self.refresh_gdsf(id, false);
         }
     }
@@ -1198,13 +1340,13 @@ impl PrefixCache for HybridPrefixCache {
         // the ancestor-refresh ablation is enabled).
         if let Some(node) = result.node {
             if result.is_hit() {
-                self.tree.data_mut(node).last_access = now;
+                self.stamp_access(node, now);
                 self.refresh_gdsf(node, true);
                 if self.refresh_ancestors {
                     let hit_depth = self.tree.depth(node);
                     for &id in &m.path {
                         if self.tree.depth(id) <= hit_depth {
-                            self.tree.data_mut(id).last_access = now;
+                            self.stamp_access(id, now);
                         }
                     }
                 }
@@ -2229,6 +2371,161 @@ mod tests {
             }),
             cap,
             17,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // PR 8 stress: split/merge-heavy multi-tenant replay parity at scale.
+    // The single-tier parity contract above, pushed through traces that
+    // churn the arena engine's whole split/merge lifecycle: every request
+    // forks an earlier same-tenant sequence at a random depth (usually
+    // mid-edge, forcing an edge split on insert), and sustained capacity
+    // pressure deletes and merges those nodes back out. Default size keeps
+    // the scan reference affordable in debug builds; set
+    // MARCONI_STRESS_FULL=1 to replay at 100k+ live nodes.
+    // ------------------------------------------------------------------
+
+    /// Tiny deterministic PRNG (splitmix64) for the stress traces.
+    struct StressRng(u64);
+
+    impl StressRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Split/merge-heavy multi-tenant request stream: eight tenants with
+    /// distinct system prompts; each request usually forks a recent
+    /// same-tenant sequence at a random cut (mid-edge more often than not)
+    /// and extends it with globally fresh tokens, so insertions split
+    /// edges constantly and never accidentally re-merge.
+    fn stress_trace(seed: u64, requests: usize) -> Vec<(Vec<Token>, Vec<Token>)> {
+        const TENANTS: usize = 8;
+        let mut rng = StressRng(seed);
+        let mut fresh: u32 = 10_000_000;
+        let mut history: Vec<Vec<Vec<Token>>> = vec![Vec::new(); TENANTS];
+        let mut out = Vec::with_capacity(requests);
+        for _ in 0..requests {
+            let t = rng.below(TENANTS as u64) as usize;
+            let base = (t as u32 + 1) * 100_000;
+            let mut input: Vec<Token> = if history[t].is_empty() || rng.below(4) == 0 {
+                (0..32).map(|i| base + i).collect()
+            } else {
+                let prev = &history[t][rng.below(history[t].len() as u64) as usize];
+                let cut = 32 + rng.below((prev.len() - 32) as u64) as usize;
+                prev[..cut].to_vec()
+            };
+            let extend = 8 + rng.below(56);
+            for _ in 0..extend {
+                input.push(fresh);
+                fresh += 1;
+            }
+            history[t].push(input.clone());
+            if history[t].len() > 24 {
+                history[t].remove(0);
+            }
+            let output: Vec<Token> = (0..8)
+                .map(|_| {
+                    fresh += 1;
+                    fresh
+                })
+                .collect();
+            out.push((input, output));
+        }
+        out
+    }
+
+    /// Replays a stress trace through the scan-reference and incremental
+    /// caches in lockstep and asserts the full PR 2/5 parity contract:
+    /// byte-identical victim logs, `CacheStats`, usage, and α.
+    fn assert_scale_replay_parity(policy: EvictionPolicy, trace_seed: u64) {
+        // The binding cost is the *scan reference*: O(live nodes) per
+        // victim, so full-scale runs are opt-in. (The 100k–1M-node regime
+        // is exercised against the verbatim legacy engine in
+        // `crates/radix/tests/differential.rs`, where both sides are
+        // O(depth) per op.)
+        let requests = if std::env::var("MARCONI_STRESS_FULL").is_ok() {
+            20_000
+        } else {
+            2_000
+        };
+        let m = ModelConfig::hybrid_7b();
+        let cap = requests as u64 * 256 * m.kv_bytes_per_token();
+        let trace = stress_trace(trace_seed, requests);
+        let build = |scan: bool| {
+            let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                .capacity_bytes(cap)
+                .host_capacity_bytes(0)
+                .policy(policy.clone())
+                .build();
+            c.use_scan_eviction = scan;
+            c
+        };
+        let mut reference = build(true);
+        let mut incremental = build(false);
+        for (i, (input, output)) in trace.iter().enumerate() {
+            let now = i as f64;
+            reference.lookup_at(input, now);
+            incremental.lookup_at(input, now);
+            reference.insert_at(input, output, now);
+            incremental.insert_at(input, output, now);
+        }
+        assert!(
+            reference.stats.evictions > 100,
+            "stress trace must sustain eviction pressure ({policy}: {} evictions)",
+            reference.stats.evictions
+        );
+        assert!(
+            reference.tree.len() > 1_000,
+            "stress trace must grow a large tree ({policy}: {} nodes)",
+            reference.tree.len()
+        );
+        assert_eq!(
+            reference.eviction_log, incremental.eviction_log,
+            "victim sequence diverged under {policy}"
+        );
+        assert_eq!(
+            reference.stats, incremental.stats,
+            "stats diverged under {policy}"
+        );
+        assert_eq!(reference.usage(), incremental.usage());
+        assert_eq!(reference.effective_alpha, incremental.effective_alpha);
+        assert_eq!(reference.tree.len(), incremental.tree.len());
+        incremental.tree.assert_invariants();
+    }
+
+    #[test]
+    fn scale_replay_parity_lru() {
+        assert_scale_replay_parity(EvictionPolicy::Lru, 101);
+    }
+
+    #[test]
+    fn scale_replay_parity_flop_aware() {
+        assert_scale_replay_parity(EvictionPolicy::FlopAware { alpha: 2.0 }, 103);
+    }
+
+    #[test]
+    fn scale_replay_parity_gdsf() {
+        assert_scale_replay_parity(EvictionPolicy::Gdsf, 107);
+    }
+
+    #[test]
+    fn scale_replay_parity_auto_tuned() {
+        assert_scale_replay_parity(
+            EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 2.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }),
+            109,
         );
     }
 

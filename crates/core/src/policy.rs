@@ -72,9 +72,18 @@ pub(crate) struct Candidate<Id> {
 /// keeping a live pool can `swap_remove` it in O(1).
 ///
 /// Infinite-efficiency candidates (zero bytes freed) are kept unless
-/// nothing else can be evicted; ties break toward older, then lower id, so
+/// nothing else can be evicted when `α > 0`; at `α = 0` recency alone
+/// decides for every candidate. Ties break toward older, then lower id, so
 /// the chosen victim is the unique minimum of a strict total order — the
 /// result is independent of candidate ordering.
+///
+/// The efficiency term is skipped outright at `α = 0` rather than
+/// multiplied in: `0 · norm(∞)` is NaN, and the *sign* of a NaN produced
+/// from non-NaN operands is unspecified by IEEE 754 — x86 returns the
+/// negative default QNaN at runtime while compile-time constant folding
+/// yields a positive one — so under `total_cmp` the same α = 0 pick could
+/// differ between debug and release builds. Guarding the product keeps
+/// every score finite and the order well-defined everywhere.
 pub(crate) fn pick_victim_index<Id: Copy + Ord>(
     candidates: &[Candidate<Id>],
     alpha: f64,
@@ -107,8 +116,12 @@ pub(crate) fn pick_victim_index<Id: Copy + Ord>(
         .enumerate()
         .min_by(|(_, a), (_, b)| {
             let score = |c: &Candidate<Id>| {
-                norm(c.last_access, ts_min, ts_max)
-                    + alpha * norm(c.flop_efficiency, eff_min, eff_max)
+                let weighted = if alpha == 0.0 {
+                    0.0
+                } else {
+                    alpha * norm(c.flop_efficiency, eff_min, eff_max)
+                };
+                norm(c.last_access, ts_min, ts_max) + weighted
             };
             score(a)
                 .total_cmp(&score(b))
@@ -156,6 +169,19 @@ mod tests {
         let cands = [cand(1, 0.0, 1e6), cand(2, 10.0, 1.0)];
         assert_eq!(pick_victim(&cands, 0.0), Some(1));
         assert_eq!(pick_victim(&cands, 100.0), Some(2));
+    }
+
+    #[test]
+    fn alpha_zero_ranks_infinite_efficiency_by_recency_alone() {
+        // At α = 0 the efficiency term must contribute exactly zero — not
+        // 0·∞ = NaN, whose total_cmp rank depends on the NaN sign the
+        // platform happens to produce. The zero-byte node here is strictly
+        // older, so pure recency must evict it first, deterministically.
+        let cands = [cand(1, 2.0, f64::INFINITY), cand(2, 5.0, 100.0)];
+        assert_eq!(pick_victim(&cands, 0.0), Some(1));
+        // ...and when it is younger, the finite node goes first.
+        let cands = [cand(1, 9.0, f64::INFINITY), cand(2, 5.0, 100.0)];
+        assert_eq!(pick_victim(&cands, 0.0), Some(2));
     }
 
     #[test]

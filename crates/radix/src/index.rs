@@ -11,6 +11,10 @@
 //! swap-pops, so iteration order is *unspecified* but fully deterministic:
 //! it is a pure function of the operation history, which is what seeded
 //! replay parity relies on.
+//!
+//! `insert`/`remove` report whether membership actually changed, so the
+//! tree can mirror transitions into the [`RecencyIndex`](crate::recency)
+//! without double-inserting or double-removing entries.
 
 use crate::node::NodeId;
 
@@ -27,27 +31,30 @@ pub(crate) struct CandidateIndex {
 }
 
 impl CandidateIndex {
-    /// Adds `id` to the set; no-op if already present.
-    pub fn insert(&mut self, id: NodeId) {
+    /// Adds `id` to the set. Returns `true` if it was newly inserted,
+    /// `false` if already present.
+    pub fn insert(&mut self, id: NodeId) -> bool {
         let slot = id.index();
         if slot >= self.pos.len() {
             self.pos.resize(slot + 1, ABSENT);
         }
         if self.pos[slot] != ABSENT {
-            return;
+            return false;
         }
         self.pos[slot] = self.members.len() as u32;
         self.members.push(id);
+        true
     }
 
-    /// Removes `id` from the set; no-op if absent.
-    pub fn remove(&mut self, id: NodeId) {
+    /// Removes `id` from the set. Returns `true` if it was a member,
+    /// `false` if absent.
+    pub fn remove(&mut self, id: NodeId) -> bool {
         let slot = id.index();
         let Some(&p) = self.pos.get(slot) else {
-            return;
+            return false;
         };
         if p == ABSENT {
-            return;
+            return false;
         }
         self.pos[slot] = ABSENT;
         let last = self.members.len() - 1;
@@ -56,6 +63,7 @@ impl CandidateIndex {
             let moved = self.members[p as usize];
             self.pos[moved.index()] = p;
         }
+        true
     }
 
     /// `true` if `id` is a member.
@@ -87,22 +95,26 @@ impl CandidateIndex {
 mod tests {
     use super::*;
 
+    fn id(i: u32) -> NodeId {
+        NodeId::new(i, 0)
+    }
+
     #[test]
     fn insert_remove_contains() {
         let mut idx = CandidateIndex::default();
         assert_eq!(idx.len(), 0);
-        idx.insert(NodeId(3));
-        idx.insert(NodeId(7));
-        idx.insert(NodeId(3)); // idempotent
+        assert!(idx.insert(id(3)));
+        assert!(idx.insert(id(7)));
+        assert!(!idx.insert(id(3)), "idempotent insert reports no change");
         assert_eq!(idx.len(), 2);
-        assert!(idx.contains(NodeId(3)));
-        assert!(idx.contains(NodeId(7)));
-        assert!(!idx.contains(NodeId(4)));
-        idx.remove(NodeId(3));
-        assert!(!idx.contains(NodeId(3)));
-        assert!(idx.contains(NodeId(7)));
-        idx.remove(NodeId(3)); // idempotent
-        idx.remove(NodeId(1000)); // out of range: no-op
+        assert!(idx.contains(id(3)));
+        assert!(idx.contains(id(7)));
+        assert!(!idx.contains(id(4)));
+        assert!(idx.remove(id(3)));
+        assert!(!idx.contains(id(3)));
+        assert!(idx.contains(id(7)));
+        assert!(!idx.remove(id(3)), "idempotent remove reports no change");
+        assert!(!idx.remove(id(1000)), "out of range: no-op");
         assert_eq!(idx.len(), 1);
     }
 
@@ -110,26 +122,26 @@ mod tests {
     fn swap_remove_keeps_positions_consistent() {
         let mut idx = CandidateIndex::default();
         for i in 1..=8u32 {
-            idx.insert(NodeId(i));
+            idx.insert(id(i));
         }
         // Remove from the middle so the tail member gets relocated.
-        idx.remove(NodeId(2));
-        idx.remove(NodeId(5));
-        let mut got: Vec<u32> = idx.iter().map(|n| n.0).collect();
+        idx.remove(id(2));
+        idx.remove(id(5));
+        let mut got: Vec<u32> = idx.iter().map(|n| n.index() as u32).collect();
         got.sort_unstable();
         assert_eq!(got, vec![1, 3, 4, 6, 7, 8]);
         for n in got {
-            assert!(idx.contains(NodeId(n)));
+            assert!(idx.contains(id(n)));
         }
     }
 
     #[test]
     fn slot_reuse_after_removal() {
         let mut idx = CandidateIndex::default();
-        idx.insert(NodeId(2));
-        idx.remove(NodeId(2));
-        idx.insert(NodeId(2));
-        assert!(idx.contains(NodeId(2)));
+        idx.insert(id(2));
+        idx.remove(id(2));
+        idx.insert(id(2));
+        assert!(idx.contains(id(2)));
         assert_eq!(idx.len(), 1);
     }
 }

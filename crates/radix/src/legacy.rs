@@ -1,0 +1,1043 @@
+//! The verbatim pre-arena radix engine, kept as the differential oracle.
+//!
+//! This module is the PR-7-era implementation of [`crate::RadixTree`]
+//! frozen byte-for-byte (tests stripped, imports re-rooted): owned
+//! `Vec<Token>` edge labels, `BTreeMap` children, no generation tags and
+//! no recency index. The arena rewrite in `crate::tree` must stay
+//! observably identical to this engine — `tests/differential.rs` replays
+//! random op streams through both and asserts equal state after every op,
+//! and the `engine_replay` bench reports old-vs-new throughput. Keep this
+//! module frozen: fixing or "improving" it would silently weaken the
+//! oracle.
+#![allow(missing_docs)]
+
+use crate::Token;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// node.rs (pre-refactor)
+// ---------------------------------------------------------------------------
+
+/// Stable handle to a node in a [`RadixTree`](crate::RadixTree).
+///
+/// Node ids are arena indices: they stay valid until the node is removed,
+/// after which the id may be recycled for a newly created node. Holders of
+/// long-lived ids (e.g. an eviction policy's bookkeeping) must drop ids when
+/// the tree reports the node removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root node of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index into the arena.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Internal node: edge label from the parent, child index, payload.
+#[derive(Debug, Clone)]
+pub(crate) struct Node<D> {
+    /// Parent node (`None` only for the root).
+    pub parent: Option<NodeId>,
+    /// Tokens on the edge from `parent` to this node (empty only for root).
+    pub edge: Vec<Token>,
+    /// Children keyed by the first token of their edge. `BTreeMap` keeps
+    /// iteration deterministic.
+    pub children: BTreeMap<Token, NodeId>,
+    /// Token depth: number of tokens from the root through this node's edge.
+    pub depth: u64,
+    /// Structure version: bumped whenever this node's leaf status, edge
+    /// length, or depth changes, so payload-side caches keyed on the cheap
+    /// structural inputs (e.g. Marconi's per-node FLOP-efficiency memo) can
+    /// be invalidated in O(1) without callbacks.
+    pub version: u32,
+    /// Number of in-flight pins rooted in this node's subtree (self
+    /// included). A nonzero count marks the node *protected*: the KVs on
+    /// its edge are being read by an in-flight request, so it must be
+    /// neither removed nor relocated. Maintained by
+    /// [`RadixTree::pin`](crate::RadixTree::pin) /
+    /// [`RadixTree::unpin`](crate::RadixTree::unpin); edge splits copy the
+    /// count onto the new intermediate so upward walks stay balanced.
+    pub pin_count: u32,
+    /// Caller payload.
+    pub data: D,
+}
+
+/// Arena slot: occupied node or member of the free list.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<D> {
+    Occupied(Node<D>),
+    Free { next: Option<u32> },
+}
+
+impl<D> Slot<D> {
+    pub fn as_node(&self) -> Option<&Node<D>> {
+        match self {
+            Slot::Occupied(n) => Some(n),
+            Slot::Free { .. } => None,
+        }
+    }
+
+    pub fn as_node_mut(&mut self) -> Option<&mut Node<D>> {
+        match self {
+            Slot::Occupied(n) => Some(n),
+            Slot::Free { .. } => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// index.rs (pre-refactor)
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "slot is not a member".
+const ABSENT: u32 = u32::MAX;
+
+/// O(1)-amortized set of eviction-candidate node ids.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CandidateIndex {
+    /// Dense member list (unordered).
+    members: Vec<NodeId>,
+    /// Arena slot → position in `members`, or [`ABSENT`].
+    pos: Vec<u32>,
+}
+
+impl CandidateIndex {
+    /// Adds `id` to the set; no-op if already present.
+    pub fn insert(&mut self, id: NodeId) {
+        let slot = id.index();
+        if slot >= self.pos.len() {
+            self.pos.resize(slot + 1, ABSENT);
+        }
+        if self.pos[slot] != ABSENT {
+            return;
+        }
+        self.pos[slot] = self.members.len() as u32;
+        self.members.push(id);
+    }
+
+    /// Removes `id` from the set; no-op if absent.
+    pub fn remove(&mut self, id: NodeId) {
+        let slot = id.index();
+        let Some(&p) = self.pos.get(slot) else {
+            return;
+        };
+        if p == ABSENT {
+            return;
+        }
+        self.pos[slot] = ABSENT;
+        let last = self.members.len() - 1;
+        self.members.swap_remove(p as usize);
+        if (p as usize) < last {
+            let moved = self.members[p as usize];
+            self.pos[moved.index()] = p;
+        }
+    }
+
+    /// `true` if `id` is a member.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.pos.get(id.index()).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Iterates over members in the index's internal (deterministic but
+    /// unspecified) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Removes and yields every member, leaving the index empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = NodeId> + '_ {
+        for id in &self.members {
+            self.pos[id.index()] = ABSENT;
+        }
+        self.members.drain(..)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tree.rs (pre-refactor)
+// ---------------------------------------------------------------------------
+
+/// A compressed prefix trie over token sequences with per-node payload `D`.
+///
+/// See the [crate docs](crate) for the role this plays in hybrid-LLM prefix
+/// caching. Structural invariants (checked by `debug_assert_invariants` and
+/// the property-test suite):
+///
+/// 1. every non-root node has a non-empty edge label;
+/// 2. a node's children are keyed by the first token of their edge, and no
+///    two children share a first token;
+/// 3. `depth(n) = depth(parent(n)) + edge_len(n)`;
+/// 4. [`token_count`](RadixTree::token_count) equals the sum of all edge
+///    lengths, which equals the number of distinct prefixes stored.
+/// 5. [`eviction_candidates`](RadixTree::eviction_candidates) iterates an
+///    incrementally-maintained index whose membership always equals
+///    `{ live non-root n | child_count(n) ≤ 1 }`.
+/// 6. [`pinned_ids`](RadixTree::pinned_ids) iterates an
+///    incrementally-maintained index whose membership always equals
+///    `{ live non-root n | pin_count(n) > 0 }`, and a non-root parent's
+///    pin count is at least each child's (counts are subtree-inclusive).
+#[derive(Debug, Clone)]
+pub struct RadixTree<D> {
+    slots: Vec<Slot<D>>,
+    free_head: Option<u32>,
+    node_count: usize,
+    token_count: u64,
+    /// Incremental eviction-candidate set (nodes with ≤ 1 child), kept in
+    /// sync by `insert`/`split_edge`/`remove` so the eviction hot path never
+    /// re-scans the arena.
+    candidates: CandidateIndex,
+    /// Incremental protected set: nodes with `pin_count > 0`. Kept
+    /// *separate* from `candidates` — pinning must not perturb the
+    /// candidate index's internal order, so the pin-free operation history
+    /// stays byte-identical whether or not pins ever happened.
+    pinned: CandidateIndex,
+}
+
+/// Result of [`RadixTree::match_prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixMatch {
+    /// Fully-matched nodes along the path, shallowest first (root excluded).
+    ///
+    /// A node appears here iff the query covers its entire edge.
+    pub path: Vec<NodeId>,
+    /// Number of leading query tokens present in the tree (may end inside an
+    /// edge).
+    pub matched_len: u64,
+    /// `true` if the match ended partway through an edge label.
+    pub ends_mid_edge: bool,
+    /// The child whose edge the match ended inside, when `ends_mid_edge`.
+    ///
+    /// This node holds the KVs of the partially-matched tokens, so a
+    /// recency-refreshing cache must stamp *it* (not just `deepest()`) on a
+    /// partial hit — otherwise a hot, partially-matched prefix looks idle
+    /// and gets evicted.
+    pub mid_edge_child: Option<NodeId>,
+}
+
+impl PrefixMatch {
+    /// Deepest fully-matched node, if any.
+    #[must_use]
+    pub fn deepest(&self) -> Option<NodeId> {
+        self.path.last().copied()
+    }
+}
+
+/// Result of [`RadixTree::speculate_insert`]: what *would* happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Speculation {
+    /// Longest common prefix between the sequence and the tree's contents.
+    pub matched_len: u64,
+    /// `Some(depth)` if the insertion would split an existing edge, creating
+    /// a new intermediate node at token depth `depth` (always equal to
+    /// `matched_len` when present).
+    ///
+    /// This is the signal Marconi uses to checkpoint an SSM state during
+    /// prefill (§4.1): a new intermediate node marks a prefix shared by
+    /// multiple requests.
+    pub creates_branch_at: Option<u64>,
+}
+
+/// Result of [`RadixTree::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Node whose depth equals the inserted sequence's length (the node
+    /// "representing" the sequence). May be pre-existing.
+    pub end_node: NodeId,
+    /// New intermediate node created by splitting an existing edge, if any.
+    pub split_node: Option<NodeId>,
+    /// New leaf created to hold the sequence's un-shared suffix, if any.
+    /// Equal to `end_node` when present.
+    pub new_leaf: Option<NodeId>,
+    /// Tokens newly added to the tree (the un-shared suffix length); the
+    /// KV-byte footprint of the insertion is proportional to this.
+    pub added_tokens: u64,
+}
+
+/// Payload and accounting returned by [`RadixTree::remove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Removed<D> {
+    /// The removed node's payload.
+    pub data: D,
+    /// Edge tokens freed from the tree. Zero when the removed node had one
+    /// child: the child *absorbed* the edge (KVs retained), mirroring the
+    /// paper's §4.3 eviction of intermediate nodes.
+    pub freed_tokens: u64,
+    /// The child that absorbed the edge, if any.
+    pub merged_into: Option<NodeId>,
+}
+
+/// Error returned by [`RadixTree::remove`] for nodes that must not be
+/// removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveError {
+    /// The root cannot be removed.
+    IsRoot,
+    /// Nodes with two or more children are shared prefixes and cannot be
+    /// removed directly (evict their descendants first).
+    HasMultipleChildren,
+    /// The id does not refer to a live node.
+    NotFound,
+    /// The node is protected by an in-flight pin ([`RadixTree::pin`]): an
+    /// active request is still reading the KVs on its edge.
+    Pinned,
+}
+
+impl fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoveError::IsRoot => write!(f, "the root node cannot be removed"),
+            RemoveError::HasMultipleChildren => {
+                write!(f, "nodes with multiple children cannot be removed")
+            }
+            RemoveError::NotFound => write!(f, "node id does not refer to a live node"),
+            RemoveError::Pinned => write!(f, "node is pinned by an in-flight request"),
+        }
+    }
+}
+
+impl Error for RemoveError {}
+
+impl<D: Default> Default for RadixTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: Default> RadixTree<D> {
+    /// Creates an empty tree (a lone root).
+    #[must_use]
+    pub fn new() -> Self {
+        RadixTree {
+            slots: vec![Slot::Occupied(Node {
+                parent: None,
+                edge: Vec::new(),
+                children: BTreeMap::new(),
+                depth: 0,
+                version: 0,
+                pin_count: 0,
+                data: D::default(),
+            })],
+            free_head: None,
+            node_count: 0,
+            token_count: 0,
+            candidates: CandidateIndex::default(),
+            pinned: CandidateIndex::default(),
+        }
+    }
+
+    /// Inserts `seq`, splitting edges and creating nodes as needed. New
+    /// nodes get `D::default()` payloads.
+    ///
+    /// Inserting an empty sequence or an already-present sequence is a no-op
+    /// structurally (the returned `end_node` is the existing node; for the
+    /// empty sequence it is the root).
+    pub fn insert(&mut self, seq: &[Token]) -> InsertOutcome {
+        let mut cur = NodeId::ROOT;
+        let mut pos: usize = 0;
+        let mut split_node = None;
+
+        loop {
+            if pos == seq.len() {
+                return InsertOutcome {
+                    end_node: cur,
+                    split_node,
+                    new_leaf: None,
+                    added_tokens: 0,
+                };
+            }
+            let next_tok = seq[pos];
+            match self.node(cur).children.get(&next_tok).copied() {
+                None => {
+                    // No child shares the next token: append a fresh leaf.
+                    let added = (seq.len() - pos) as u64;
+                    let leaf = self.alloc(Node {
+                        parent: Some(cur),
+                        edge: seq[pos..].to_vec(),
+                        children: BTreeMap::new(),
+                        depth: self.node(cur).depth + added,
+                        version: 0,
+                        pin_count: 0,
+                        data: D::default(),
+                    });
+                    let was_leaf = self.node(cur).children.is_empty();
+                    self.node_mut(cur).children.insert(next_tok, leaf);
+                    if was_leaf {
+                        // `cur`'s leaf status flipped: structural caches on
+                        // it (freed bytes) are stale.
+                        self.node_mut(cur).version += 1;
+                    }
+                    self.candidates.insert(leaf);
+                    self.sync_candidate(cur);
+                    self.token_count += added;
+                    return InsertOutcome {
+                        end_node: leaf,
+                        split_node,
+                        new_leaf: Some(leaf),
+                        added_tokens: added,
+                    };
+                }
+                Some(child) => {
+                    let shared = self.shared_edge_len(child, &seq[pos..]);
+                    let edge_len = self.node(child).edge.len();
+                    if shared == edge_len {
+                        // Whole edge matched: descend.
+                        pos += shared;
+                        cur = child;
+                    } else {
+                        // Partial edge match: split the edge at `shared`.
+                        debug_assert!(shared > 0, "child lookup guarantees 1 shared token");
+                        let mid = self.split_edge(child, shared);
+                        split_node = Some(mid);
+                        pos += shared;
+                        cur = mid;
+                        // Loop continues: either seq is exhausted (mid is the
+                        // end node) or a new leaf hangs off `mid`.
+                    }
+                }
+            }
+        }
+    }
+
+    fn alloc(&mut self, node: Node<D>) -> NodeId {
+        self.node_count += 1;
+        match self.free_head {
+            Some(idx) => {
+                let next = match self.slots[idx as usize] {
+                    Slot::Free { next } => next,
+                    Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next;
+                self.slots[idx as usize] = Slot::Occupied(node);
+                NodeId(idx)
+            }
+            None => {
+                self.slots.push(Slot::Occupied(node));
+                NodeId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Splits `child`'s edge after `shared` tokens, inserting a new
+    /// intermediate node (returned) between `child` and its parent.
+    fn split_edge(&mut self, child: NodeId, shared: usize) -> NodeId {
+        let parent = self
+            .node(child)
+            .parent
+            .expect("invariant: split children are non-root");
+        let edge = std::mem::take(&mut self.node_mut(child).edge);
+        let (head, tail) = edge.split_at(shared);
+        let head = head.to_vec();
+        let tail = tail.to_vec();
+        let child_depth = self.node(child).depth;
+        let mid_depth = child_depth - tail.len() as u64;
+
+        let mut mid_children = BTreeMap::new();
+        mid_children.insert(tail[0], child);
+        // The new intermediate inherits the child's pin count: pin counts
+        // are subtree-inclusive, and every upward walk that used to reach
+        // `child` directly now passes through `mid` first. Copying keeps
+        // later `unpin` walks balanced and keeps the head of a pinned edge
+        // protected (the split moved those KVs onto `mid`).
+        let inherited_pins = self.node(child).pin_count;
+        let mid = self.alloc(Node {
+            parent: Some(parent),
+            edge: head,
+            children: mid_children,
+            depth: mid_depth,
+            version: 0,
+            pin_count: inherited_pins,
+            data: D::default(),
+        });
+        if inherited_pins > 0 {
+            self.pinned.insert(mid);
+        }
+        {
+            let c = self.node_mut(child);
+            c.edge = tail;
+            c.parent = Some(mid);
+            // The child's edge shortened (and its parent changed): bump so
+            // memoized per-node costs recompute.
+            c.version += 1;
+        }
+        let first = self.node(mid).edge[0];
+        self.node_mut(parent).children.insert(first, mid);
+        // `mid` replaces `child` under `parent`, so the parent's child count
+        // (and candidacy) is unchanged; `mid` itself has exactly one child.
+        self.candidates.insert(mid);
+        // Splitting moves tokens between edges without adding any, so
+        // token_count is untouched; alloc() already counted the new node.
+        mid
+    }
+}
+
+impl<D> RadixTree<D> {
+    fn node(&self, id: NodeId) -> &Node<D> {
+        self.slots[id.index()]
+            .as_node()
+            .expect("invariant: node ids refer to live nodes")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<D> {
+        self.slots[id.index()]
+            .as_node_mut()
+            .expect("invariant: node ids refer to live nodes")
+    }
+
+    fn get_node(&self, id: NodeId) -> Option<&Node<D>> {
+        self.slots.get(id.index()).and_then(Slot::as_node)
+    }
+
+    /// Re-derives `id`'s candidate-index membership from its current child
+    /// count. O(1); idempotent; the root is never a candidate.
+    fn sync_candidate(&mut self, id: NodeId) {
+        if id == NodeId::ROOT {
+            return;
+        }
+        if self.node(id).children.len() <= 1 {
+            self.candidates.insert(id);
+        } else {
+            self.candidates.remove(id);
+        }
+    }
+
+    /// Number of leading tokens of `rest` matching `child`'s edge label.
+    fn shared_edge_len(&self, child: NodeId, rest: &[Token]) -> usize {
+        let edge = &self.node(child).edge;
+        edge.iter()
+            .zip(rest.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of live non-root nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// `true` if the tree holds no sequences.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    /// Total tokens across all edges (= number of distinct stored prefixes).
+    #[must_use]
+    pub fn token_count(&self) -> u64 {
+        self.token_count
+    }
+
+    /// Payload of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn data(&self, id: NodeId) -> &D {
+        &self.node(id).data
+    }
+
+    /// Mutable payload of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn data_mut(&mut self, id: NodeId) -> &mut D {
+        &mut self.node_mut(id).data
+    }
+
+    /// `true` if `id` refers to a live node.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get_node(id).is_some()
+    }
+
+    /// Token depth of a node (tokens from root through its edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn depth(&self, id: NodeId) -> u64 {
+        self.node(id).depth
+    }
+
+    /// Length of the edge label from the node's parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn edge_len(&self, id: NodeId) -> u64 {
+        self.node(id).edge.len() as u64
+    }
+
+    /// Parent of a node (`None` for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Number of children of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.node(id).children.len()
+    }
+
+    /// `true` if the node has no children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).children.is_empty()
+    }
+
+    /// Children of a node, in deterministic (first-token) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id).children.values().copied()
+    }
+
+    /// Iterates over all live non-root node ids, in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(i, s)| s.as_node().map(|_| NodeId(i as u32)))
+    }
+
+    /// Nodes eligible for eviction: live non-root nodes with ≤ 1 child.
+    ///
+    /// Nodes with multiple children are common prefixes shared by multiple
+    /// requests and are not evicted directly (paper §4.3); they become
+    /// candidates once their descendants are gone.
+    ///
+    /// Served from an incrementally-maintained index, so iterating costs
+    /// O(candidates) — not O(arena slots) — regardless of how much the
+    /// arena has churned. Iteration order is unspecified but deterministic
+    /// (a pure function of the tree's operation history).
+    pub fn eviction_candidates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.candidates.iter()
+    }
+
+    /// Number of current eviction candidates, in O(1).
+    #[must_use]
+    pub fn eviction_candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Pins `id` for an in-flight request: increments the pin count of
+    /// every node from `id` up to (excluding) the root. While any count on
+    /// a node is nonzero the node is *protected* — [`remove`] refuses it
+    /// with [`RemoveError::Pinned`], and a well-behaved cache also skips it
+    /// for demotion, because an in-flight request is still reading the KVs
+    /// along the pinned path. O(depth in nodes). Pinning the root is a
+    /// no-op.
+    ///
+    /// Pins are balanced by [`unpin`](RadixTree::unpin) with the *same*
+    /// id: pinned nodes are never removed, and edge splits copy counts
+    /// onto the new intermediate, so the id — and the upward walk from
+    /// it — stays valid across any interleaved tree mutations.
+    ///
+    /// [`remove`]: RadixTree::remove
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn pin(&mut self, id: NodeId) {
+        let mut cur = id;
+        while cur != NodeId::ROOT {
+            let n = self.node_mut(cur);
+            n.pin_count += 1;
+            let first = n.pin_count == 1;
+            let parent = n.parent.expect("invariant: non-root nodes have a parent");
+            if first {
+                self.pinned.insert(cur);
+            }
+            cur = parent;
+        }
+    }
+
+    /// Releases one [`pin`](RadixTree::pin) of `id`: decrements the pin
+    /// count of every node from `id` up to (excluding) the root.
+    /// O(depth in nodes). Unpinning the root is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node, or (debug builds) if a
+    /// node on the walk has no pin to release — an unpin without a
+    /// matching pin.
+    pub fn unpin(&mut self, id: NodeId) {
+        let mut cur = id;
+        while cur != NodeId::ROOT {
+            let n = self.node_mut(cur);
+            debug_assert!(n.pin_count > 0, "{cur}: unpin without a matching pin");
+            n.pin_count = n.pin_count.saturating_sub(1);
+            let now_free = n.pin_count == 0;
+            let parent = n.parent.expect("invariant: non-root nodes have a parent");
+            if now_free {
+                self.pinned.remove(cur);
+            }
+            cur = parent;
+        }
+    }
+
+    /// `true` if the node is protected by at least one in-flight pin
+    /// (its own or a descendant's — counts are subtree-inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn is_pinned(&self, id: NodeId) -> bool {
+        self.node(id).pin_count > 0
+    }
+
+    /// Iterates over all currently protected nodes (pin count > 0), in the
+    /// index's internal (deterministic but unspecified) order.
+    pub fn pinned_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.pinned.iter()
+    }
+
+    /// Number of currently protected nodes, in O(1).
+    #[must_use]
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Drops every pin, returning the tree to a fully evictable state.
+    ///
+    /// Intended for clones handed to offline replay (e.g. the α tuner's
+    /// replicas), which model no in-flight lifetimes.
+    pub fn clear_pins(&mut self) {
+        let ids: Vec<NodeId> = self.pinned.drain().collect();
+        for id in ids {
+            self.node_mut(id).pin_count = 0;
+        }
+    }
+
+    /// Structure version of a node: bumped whenever the node's leaf status,
+    /// edge length, or depth changes (the inputs to Marconi's per-node
+    /// freed-bytes / FLOP-efficiency scores). Callers memoizing derived
+    /// quantities per node can compare versions to detect staleness in O(1).
+    ///
+    /// Versions restart at 0 when an arena slot is recycled; since the
+    /// payload is reset to `D::default()` at the same moment, a memo stored
+    /// *in* the payload can never observe a stale match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn structure_version(&self, id: NodeId) -> u32 {
+        self.node(id).version
+    }
+
+    /// Finds the longest stored prefix of `query`.
+    #[must_use]
+    pub fn match_prefix(&self, query: &[Token]) -> PrefixMatch {
+        let mut path = Vec::new();
+        let mut cur = NodeId::ROOT;
+        let mut pos: usize = 0;
+        loop {
+            if pos == query.len() {
+                return PrefixMatch {
+                    path,
+                    matched_len: pos as u64,
+                    ends_mid_edge: false,
+                    mid_edge_child: None,
+                };
+            }
+            match self.node(cur).children.get(&query[pos]).copied() {
+                None => {
+                    return PrefixMatch {
+                        path,
+                        matched_len: pos as u64,
+                        ends_mid_edge: false,
+                        mid_edge_child: None,
+                    }
+                }
+                Some(child) => {
+                    let shared = self.shared_edge_len(child, &query[pos..]);
+                    pos += shared;
+                    if shared == self.node(child).edge.len() {
+                        path.push(child);
+                        cur = child;
+                    } else {
+                        return PrefixMatch {
+                            path,
+                            matched_len: pos as u64,
+                            ends_mid_edge: true,
+                            mid_edge_child: Some(child),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Predicts the structural effect of inserting `seq` without mutating
+    /// the tree (the paper's *speculative insertion*, §4.1).
+    #[must_use]
+    pub fn speculate_insert(&self, seq: &[Token]) -> Speculation {
+        let m = self.match_prefix(seq);
+        Speculation {
+            matched_len: m.matched_len,
+            creates_branch_at: m.ends_mid_edge.then_some(m.matched_len),
+        }
+    }
+
+    /// Tokens along the path from the root to (and including) `id`'s edge.
+    ///
+    /// Intended for debugging and tests; O(depth) allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn path_tokens(&self, id: NodeId) -> Vec<Token> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = self.node(c);
+            chain.push(&n.edge);
+            cur = n.parent;
+        }
+        chain.reverse();
+        chain.into_iter().flatten().copied().collect()
+    }
+
+    /// Removes a node with ≤ 1 child.
+    ///
+    /// * Leaf: the node and its edge tokens leave the tree.
+    /// * Single child: the node is spliced out and its edge label is
+    ///   *prepended* to the child's (the child absorbs the KVs; only the
+    ///   node's payload — e.g. its SSM state — is released).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoveError::IsRoot`] for the root, [`RemoveError::NotFound`] for a
+    /// dead id, [`RemoveError::HasMultipleChildren`] for shared-prefix
+    /// nodes, and [`RemoveError::Pinned`] for nodes protected by an
+    /// in-flight [`pin`](RadixTree::pin). A pinned node can never have an
+    /// unpinned ancestor (counts are subtree-inclusive), so the merge arm
+    /// below never relocates protected KVs.
+    pub fn remove(&mut self, id: NodeId) -> Result<Removed<D>, RemoveError> {
+        if id == NodeId::ROOT {
+            return Err(RemoveError::IsRoot);
+        }
+        let node = self.get_node(id).ok_or(RemoveError::NotFound)?;
+        if node.children.len() > 1 {
+            return Err(RemoveError::HasMultipleChildren);
+        }
+        if node.pin_count > 0 {
+            return Err(RemoveError::Pinned);
+        }
+        let parent = node
+            .parent
+            .expect("invariant: non-root nodes have a parent");
+        let first_tok = node.edge[0];
+        let child = node.children.values().next().copied();
+
+        self.candidates.remove(id);
+        match child {
+            None => {
+                let node = self.free(id);
+                self.node_mut(parent).children.remove(&first_tok);
+                if self.node(parent).children.is_empty() && parent != NodeId::ROOT {
+                    // The parent just became a leaf: its freed-bytes shape
+                    // changed.
+                    self.node_mut(parent).version += 1;
+                }
+                // Losing a child may have dropped the parent to ≤ 1.
+                self.sync_candidate(parent);
+                self.token_count -= node.edge.len() as u64;
+                Ok(Removed {
+                    data: node.data,
+                    freed_tokens: node.edge.len() as u64,
+                    merged_into: None,
+                })
+            }
+            Some(child) => {
+                let node = self.free(id);
+                // Child absorbs the edge: tokens (KVs) stay in the tree.
+                let c = self.node_mut(child);
+                c.parent = Some(parent);
+                let mut new_edge = node.edge;
+                new_edge.extend_from_slice(&c.edge);
+                c.edge = new_edge;
+                // The child's edge grew (and its parent changed): bump so
+                // memoized per-node costs recompute. Its child count — and
+                // the parent's — are unchanged, so candidacies hold.
+                c.version += 1;
+                self.node_mut(parent).children.insert(first_tok, child);
+                Ok(Removed {
+                    data: node.data,
+                    freed_tokens: 0,
+                    merged_into: Some(child),
+                })
+            }
+        }
+    }
+
+    fn free(&mut self, id: NodeId) -> Node<D> {
+        let slot = std::mem::replace(
+            &mut self.slots[id.index()],
+            Slot::Free {
+                next: self.free_head,
+            },
+        );
+        self.free_head = Some(id.0);
+        self.node_count -= 1;
+        match slot {
+            Slot::Occupied(n) => n,
+            Slot::Free { .. } => unreachable!("free() called on free slot"),
+        }
+    }
+
+    /// Exhaustively checks the structural invariants; for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn assert_invariants(&self) {
+        let mut seen_tokens = 0u64;
+        let mut seen_nodes = 0usize;
+        let mut seen_candidates = 0usize;
+        let mut seen_pinned = 0usize;
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            if id != NodeId::ROOT {
+                seen_nodes += 1;
+                assert!(!n.edge.is_empty(), "{id}: empty edge on non-root");
+                let p = self.node(n.parent.expect("invariant: non-root nodes have a parent"));
+                assert_eq!(
+                    p.depth + n.edge.len() as u64,
+                    n.depth,
+                    "{id}: depth mismatch"
+                );
+                seen_tokens += n.edge.len() as u64;
+                let should_be_candidate = n.children.len() <= 1;
+                assert_eq!(
+                    self.candidates.contains(id),
+                    should_be_candidate,
+                    "{id}: candidate-index membership drift (child_count = {})",
+                    n.children.len()
+                );
+                seen_candidates += usize::from(should_be_candidate);
+                assert_eq!(
+                    self.pinned.contains(id),
+                    n.pin_count > 0,
+                    "{id}: pinned-index membership drift (pin_count = {})",
+                    n.pin_count
+                );
+                seen_pinned += usize::from(n.pin_count > 0);
+                if n.parent != Some(NodeId::ROOT) {
+                    assert!(
+                        p.pin_count >= n.pin_count,
+                        "{id}: pin counts are subtree-inclusive, so a parent's \
+                         count ({}) must cover each child's ({})",
+                        p.pin_count,
+                        n.pin_count
+                    );
+                }
+            } else {
+                assert!(n.parent.is_none(), "root has a parent");
+                assert_eq!(n.depth, 0, "root depth nonzero");
+                assert_eq!(n.pin_count, 0, "root must never be pinned");
+            }
+            for (&tok, &cid) in &n.children {
+                let c = self.node(cid);
+                assert_eq!(c.parent, Some(id), "{cid}: bad parent pointer");
+                assert_eq!(c.edge[0], tok, "{cid}: child key != first edge token");
+                stack.push(cid);
+            }
+        }
+        assert_eq!(seen_nodes, self.node_count, "node_count drift");
+        assert_eq!(seen_tokens, self.token_count, "token_count drift");
+        assert_eq!(
+            seen_candidates,
+            self.candidates.len(),
+            "candidate index holds dead or duplicate entries"
+        );
+        assert!(
+            !self.candidates.contains(NodeId::ROOT),
+            "root must never be a candidate"
+        );
+        assert_eq!(
+            seen_pinned,
+            self.pinned.len(),
+            "pinned index holds dead or duplicate entries"
+        );
+        assert!(
+            !self.pinned.contains(NodeId::ROOT),
+            "root must never be in the pinned index"
+        );
+    }
+
+    /// Graphviz `dot` rendering of the tree structure (edge labels
+    /// abbreviated), for debugging.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph radix {\n  node [shape=circle];\n");
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            for &cid in n.children.values() {
+                let c = self.node(cid);
+                let label: Vec<String> = if c.edge.len() <= 6 {
+                    c.edge.iter().map(|t| t.to_string()).collect()
+                } else {
+                    let mut v: Vec<String> = c.edge[..3].iter().map(|t| t.to_string()).collect();
+                    v.push(format!("…(+{})", c.edge.len() - 3));
+                    v
+                };
+                let _ = writeln!(out, "  {id} -> {cid} [label=\"{}\"];", label.join(" "));
+                stack.push(cid);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}

@@ -24,6 +24,15 @@
 //!   intermediate node lets its child *absorb* the edge KVs while the SSM
 //!   state is released.
 //!
+//! Since PR 8 the tree is an *arena engine*: a free-list slab of
+//! generation-tagged nodes, sorted-vec children probed by binary search,
+//! edge labels as `(offset, len)` slices of one shared append-only token
+//! store (O(1) splits), and an O(log n) recency index over the candidate
+//! set ([`RadixTree::touch`] / [`RadixTree::lru_candidates`]). The
+//! pre-refactor engine survives verbatim in the hidden [`legacy`] module
+//! as the oracle for `tests/differential.rs` and the `engine_replay`
+//! bench; see `docs/radix-engine.md` for design and measurements.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,10 +54,14 @@
 #![warn(missing_docs)]
 
 mod index;
+#[doc(hidden)]
+pub mod legacy;
 mod node;
+mod recency;
 mod tree;
 
 pub use node::NodeId;
+pub use recency::recency_stamp;
 pub use tree::{InsertOutcome, PrefixMatch, RadixTree, RemoveError, Removed, Speculation};
 
 /// A token identifier, as produced by a tokenizer.

@@ -1,0 +1,119 @@
+//! O(log n) recency index over eviction candidates.
+//!
+//! Marconi's LRU-flavored policies (paper §4.3 with α = 0, and the
+//! auto-tuner's LRU phase) pick victims by minimum `(last_access, id)`.
+//! Re-deriving that minimum by scanning the candidate set costs
+//! O(candidates) per victim; this index keeps the candidates ordered by
+//! `(stamp, id)` in a `BTreeSet`, so the current minimum is O(log n) to
+//! maintain and O(1) to read. The tree updates it on exactly the same
+//! events that maintain the candidate index — candidate entry/exit and
+//! [`RadixTree::touch`](crate::RadixTree::touch) — so membership always
+//! mirrors [`RadixTree::eviction_candidates`](crate::RadixTree).
+
+use crate::node::NodeId;
+use std::collections::BTreeSet;
+
+/// Candidate ids ordered by `(stamp, id)` — ascending stamp, then id.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecencyIndex {
+    set: BTreeSet<(u64, NodeId)>,
+}
+
+impl RecencyIndex {
+    /// Adds an entry. The caller guarantees `(stamp, id)` is not present.
+    pub fn insert(&mut self, stamp: u64, id: NodeId) {
+        let fresh = self.set.insert((stamp, id));
+        debug_assert!(fresh, "recency entry for {id} already present");
+    }
+
+    /// Removes an entry. The caller guarantees `(stamp, id)` is present.
+    pub fn remove(&mut self, stamp: u64, id: NodeId) {
+        let existed = self.set.remove(&(stamp, id));
+        debug_assert!(existed, "recency entry for {id} was absent");
+    }
+
+    /// `true` if the exact `(stamp, id)` entry is present.
+    pub fn contains(&self, stamp: u64, id: NodeId) -> bool {
+        self.set.contains(&(stamp, id))
+    }
+
+    /// Number of entries (equals the candidate count by construction).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Entries in ascending `(stamp, id)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.set.iter().copied()
+    }
+}
+
+/// Maps an `f64` timestamp to a `u64` stamp whose unsigned order equals
+/// [`f64::total_cmp`] order, so a binary-searchable integer index can stand
+/// in for float recency comparisons exactly (no epsilon, no NaN caveats).
+///
+/// The transform is the classic total-order bijection: flip the sign bit of
+/// non-negative floats, flip every bit of negative ones.
+///
+/// ```
+/// use marconi_radix::recency_stamp;
+///
+/// let ts = [-1.5f64, -0.0, 0.0, 1.0e-300, 2.5, f64::INFINITY];
+/// let stamps: Vec<u64> = ts.iter().map(|&t| recency_stamp(t)).collect();
+/// assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+/// ```
+#[must_use]
+pub fn recency_stamp(t: f64) -> u64 {
+    let bits = t.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_preserves_total_order() {
+        let mut ts = vec![
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -2.5,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            1.0 + f64::EPSILON,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        ts.sort_by(f64::total_cmp);
+        for w in ts.windows(2) {
+            let (a, b) = (recency_stamp(w[0]), recency_stamp(w[1]));
+            match w[0].total_cmp(&w[1]) {
+                std::cmp::Ordering::Less => assert!(a < b, "{} vs {}", w[0], w[1]),
+                std::cmp::Ordering::Equal => assert_eq!(a, b),
+                std::cmp::Ordering::Greater => unreachable!("sorted input"),
+            }
+        }
+        // -0.0 and 0.0 are distinct under total_cmp and stay distinct.
+        assert!(recency_stamp(-0.0) < recency_stamp(0.0));
+    }
+
+    #[test]
+    fn index_orders_by_stamp_then_id() {
+        let mut idx = RecencyIndex::default();
+        idx.insert(5, NodeId::new(2, 0));
+        idx.insert(5, NodeId::new(1, 0));
+        idx.insert(3, NodeId::new(9, 0));
+        let order: Vec<(u64, usize)> = idx.iter().map(|(s, n)| (s, n.index())).collect();
+        assert_eq!(order, vec![(3, 9), (5, 1), (5, 2)]);
+        assert!(idx.contains(5, NodeId::new(1, 0)));
+        idx.remove(5, NodeId::new(1, 0));
+        assert!(!idx.contains(5, NodeId::new(1, 0)));
+        assert_eq!(idx.len(), 2);
+    }
+}

@@ -1,9 +1,22 @@
-//! The radix tree implementation.
+//! The radix tree implementation (arena engine).
+//!
+//! Engine layout (see `docs/radix-engine.md` for the design rationale and
+//! measured speedups over the owned-`Vec` engine kept in [`crate::legacy`]):
+//!
+//! * nodes live in a free-list slab arena of generation-tagged slots, so
+//!   ids are dense `u32` indices and stale ids are detected, not aliased;
+//! * children are a sorted vec probed by binary search (deterministic
+//!   ascending first-token order, no per-node `BTreeMap` allocations);
+//! * edge labels are `(offset, len)` slices into one shared append-only
+//!   token store, so splitting an edge is O(1) offset arithmetic;
+//! * eviction candidates are mirrored into an O(log n) recency index
+//!   keyed by caller-supplied stamps ([`RadixTree::touch`]), so LRU-style
+//!   victim selection needs no linear scans.
 
 use crate::index::CandidateIndex;
-use crate::node::{Node, NodeId, Slot};
+use crate::node::{ChildSet, EdgeRef, Node, NodeId, Slot};
+use crate::recency::RecencyIndex;
 use crate::Token;
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -26,9 +39,21 @@ use std::fmt;
 ///    incrementally-maintained index whose membership always equals
 ///    `{ live non-root n | pin_count(n) > 0 }`, and a non-root parent's
 ///    pin count is at least each child's (counts are subtree-inclusive).
+/// 7. [`lru_candidates`](RadixTree::lru_candidates) iterates a recency
+///    index holding exactly one `(stamp, id)` entry per eviction
+///    candidate, where `stamp` is the node's current
+///    [`touch`](RadixTree::touch) stamp.
+///
+/// The token store is append-only: splits reference it in place, and edge
+/// merges reuse contiguous ranges (the split-then-evict hot path), copying
+/// within the store only when a merge joins non-adjacent ranges. Stored
+/// tokens are never compacted, so a long churn of inserts and removals
+/// grows the store monotonically — the trade that buys O(1) splits.
 #[derive(Debug, Clone)]
 pub struct RadixTree<D> {
     slots: Vec<Slot<D>>,
+    /// Shared append-only backing store for every edge label.
+    store: Vec<Token>,
     free_head: Option<u32>,
     node_count: usize,
     token_count: u64,
@@ -41,6 +66,12 @@ pub struct RadixTree<D> {
     /// candidate index's internal order, so the pin-free operation history
     /// stays byte-identical whether or not pins ever happened.
     pinned: CandidateIndex,
+    /// Candidates ordered by `(stamp, id)`; mirrors `candidates` exactly.
+    lru: RecencyIndex,
+    /// Fault-injection knob for the differential harness's self-test: when
+    /// set, edge splits cut one token too deep. Never enabled outside
+    /// tests.
+    split_off_by_one: bool,
 }
 
 /// Result of [`RadixTree::match_prefix`].
@@ -158,25 +189,33 @@ impl<D: Default> RadixTree<D> {
     #[must_use]
     pub fn new() -> Self {
         RadixTree {
-            slots: vec![Slot::Occupied(Node {
-                parent: None,
-                edge: Vec::new(),
-                children: BTreeMap::new(),
-                depth: 0,
-                version: 0,
-                pin_count: 0,
-                data: D::default(),
-            })],
+            slots: vec![Slot::Occupied {
+                gen: 0,
+                node: Node {
+                    parent: None,
+                    edge: EdgeRef::EMPTY,
+                    children: ChildSet::default(),
+                    depth: 0,
+                    version: 0,
+                    pin_count: 0,
+                    stamp: 0,
+                    data: D::default(),
+                },
+            }],
+            store: Vec::new(),
             free_head: None,
             node_count: 0,
             token_count: 0,
             candidates: CandidateIndex::default(),
             pinned: CandidateIndex::default(),
+            lru: RecencyIndex::default(),
+            split_off_by_one: false,
         }
     }
 
     /// Inserts `seq`, splitting edges and creating nodes as needed. New
-    /// nodes get `D::default()` payloads.
+    /// nodes get `D::default()` payloads (and recency stamp 0; see
+    /// [`touch`](RadixTree::touch)).
     ///
     /// Inserting an empty sequence or an already-present sequence is a no-op
     /// structurally (the returned `end_node` is the existing node; for the
@@ -196,17 +235,22 @@ impl<D: Default> RadixTree<D> {
                 };
             }
             let next_tok = seq[pos];
-            match self.node(cur).children.get(&next_tok).copied() {
+            match self.node(cur).children.get(next_tok) {
                 None => {
                     // No child shares the next token: append a fresh leaf.
+                    // The suffix is appended once to the shared store; the
+                    // leaf's edge is a slice of it.
                     let added = (seq.len() - pos) as u64;
+                    let edge = self.push_tokens(&seq[pos..]);
+                    let depth = self.node(cur).depth + added;
                     let leaf = self.alloc(Node {
                         parent: Some(cur),
-                        edge: seq[pos..].to_vec(),
-                        children: BTreeMap::new(),
-                        depth: self.node(cur).depth + added,
+                        edge,
+                        children: ChildSet::default(),
+                        depth,
                         version: 0,
                         pin_count: 0,
+                        stamp: 0,
                         data: D::default(),
                     });
                     let was_leaf = self.node(cur).children.is_empty();
@@ -216,7 +260,7 @@ impl<D: Default> RadixTree<D> {
                         // it (freed bytes) are stale.
                         self.node_mut(cur).version += 1;
                     }
-                    self.candidates.insert(leaf);
+                    self.candidate_add(leaf);
                     self.sync_candidate(cur);
                     self.token_count += added;
                     return InsertOutcome {
@@ -236,7 +280,14 @@ impl<D: Default> RadixTree<D> {
                     } else {
                         // Partial edge match: split the edge at `shared`.
                         debug_assert!(shared > 0, "child lookup guarantees 1 shared token");
-                        let mid = self.split_edge(child, shared);
+                        let cut = if self.split_off_by_one {
+                            // Injected fault for the differential harness's
+                            // self-test: cut one token too deep.
+                            (shared + 1).min(edge_len - 1)
+                        } else {
+                            shared
+                        };
+                        let mid = self.split_edge(child, cut);
                         split_node = Some(mid);
                         pos += shared;
                         cur = mid;
@@ -252,43 +303,67 @@ impl<D: Default> RadixTree<D> {
         self.node_count += 1;
         match self.free_head {
             Some(idx) => {
-                let next = match self.slots[idx as usize] {
-                    Slot::Free { next } => next,
-                    Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+                let (gen, next) = match self.slots[idx as usize] {
+                    Slot::Free { gen, next } => (gen, next),
+                    Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
                 };
                 self.free_head = next;
-                self.slots[idx as usize] = Slot::Occupied(node);
-                NodeId(idx)
+                self.slots[idx as usize] = Slot::Occupied { gen, node };
+                NodeId::new(idx, gen)
             }
             None => {
-                self.slots.push(Slot::Occupied(node));
-                NodeId((self.slots.len() - 1) as u32)
+                self.slots.push(Slot::Occupied { gen: 0, node });
+                NodeId::new((self.slots.len() - 1) as u32, 0)
             }
+        }
+    }
+
+    /// Appends `toks` to the shared store, returning the covering slice.
+    fn push_tokens(&mut self, toks: &[Token]) -> EdgeRef {
+        let off = self.store.len();
+        debug_assert!(
+            off + toks.len() <= u32::MAX as usize,
+            "token store exceeds u32 addressing"
+        );
+        self.store.extend_from_slice(toks);
+        EdgeRef {
+            off: off as u32,
+            len: toks.len() as u32,
         }
     }
 
     /// Splits `child`'s edge after `shared` tokens, inserting a new
     /// intermediate node (returned) between `child` and its parent.
+    ///
+    /// Both halves keep referencing the shared store — the split itself is
+    /// pure offset arithmetic, no token is copied or moved.
     fn split_edge(&mut self, child: NodeId, shared: usize) -> NodeId {
         let parent = self
             .node(child)
             .parent
             .expect("invariant: split children are non-root");
-        let edge = std::mem::take(&mut self.node_mut(child).edge);
-        let (head, tail) = edge.split_at(shared);
-        let head = head.to_vec();
-        let tail = tail.to_vec();
-        let child_depth = self.node(child).depth;
-        let mid_depth = child_depth - tail.len() as u64;
+        let (edge, child_depth, inherited_pins) = {
+            let c = self.node(child);
+            (c.edge, c.depth, c.pin_count)
+        };
+        let shared = shared as u32;
+        let head = EdgeRef {
+            off: edge.off,
+            len: shared,
+        };
+        let tail = EdgeRef {
+            off: edge.off + shared,
+            len: edge.len - shared,
+        };
+        let mid_depth = child_depth - u64::from(tail.len);
 
-        let mut mid_children = BTreeMap::new();
-        mid_children.insert(tail[0], child);
+        let mut mid_children = ChildSet::default();
+        mid_children.insert(self.store[tail.off as usize], child);
         // The new intermediate inherits the child's pin count: pin counts
         // are subtree-inclusive, and every upward walk that used to reach
         // `child` directly now passes through `mid` first. Copying keeps
         // later `unpin` walks balanced and keeps the head of a pinned edge
         // protected (the split moved those KVs onto `mid`).
-        let inherited_pins = self.node(child).pin_count;
         let mid = self.alloc(Node {
             parent: Some(parent),
             edge: head,
@@ -296,6 +371,7 @@ impl<D: Default> RadixTree<D> {
             depth: mid_depth,
             version: 0,
             pin_count: inherited_pins,
+            stamp: 0,
             data: D::default(),
         });
         if inherited_pins > 0 {
@@ -309,11 +385,11 @@ impl<D: Default> RadixTree<D> {
             // memoized per-node costs recompute.
             c.version += 1;
         }
-        let first = self.node(mid).edge[0];
+        let first = self.store[head.off as usize];
         self.node_mut(parent).children.insert(first, mid);
         // `mid` replaces `child` under `parent`, so the parent's child count
         // (and candidacy) is unchanged; `mid` itself has exactly one child.
-        self.candidates.insert(mid);
+        self.candidate_add(mid);
         // Splitting moves tokens between edges without adding any, so
         // token_count is untouched; alloc() already counted the new node.
         mid
@@ -322,37 +398,60 @@ impl<D: Default> RadixTree<D> {
 
 impl<D> RadixTree<D> {
     fn node(&self, id: NodeId) -> &Node<D> {
-        self.slots[id.index()]
-            .as_node()
-            .expect("invariant: node ids refer to live nodes")
+        match self.slots.get(id.index()) {
+            Some(Slot::Occupied { gen, node }) if *gen == id.gen => node,
+            _ => panic!("invariant: node ids refer to live nodes (stale or freed id {id})"),
+        }
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node<D> {
-        self.slots[id.index()]
-            .as_node_mut()
-            .expect("invariant: node ids refer to live nodes")
+        match self.slots.get_mut(id.index()) {
+            Some(Slot::Occupied { gen, node }) if *gen == id.gen => node,
+            _ => panic!("invariant: node ids refer to live nodes (stale or freed id {id})"),
+        }
     }
 
     fn get_node(&self, id: NodeId) -> Option<&Node<D>> {
-        self.slots.get(id.index()).and_then(Slot::as_node)
+        match self.slots.get(id.index()) {
+            Some(Slot::Occupied { gen, node }) if *gen == id.gen => Some(node),
+            _ => None,
+        }
+    }
+
+    /// Adds `id` to the candidate index, mirroring it into the recency
+    /// index iff membership actually changed.
+    fn candidate_add(&mut self, id: NodeId) {
+        let stamp = self.node(id).stamp;
+        if self.candidates.insert(id) {
+            self.lru.insert(stamp, id);
+        }
+    }
+
+    /// Removes `id` from the candidate index, mirroring the recency index
+    /// iff membership actually changed.
+    fn candidate_drop(&mut self, id: NodeId) {
+        let stamp = self.node(id).stamp;
+        if self.candidates.remove(id) {
+            self.lru.remove(stamp, id);
+        }
     }
 
     /// Re-derives `id`'s candidate-index membership from its current child
-    /// count. O(1); idempotent; the root is never a candidate.
+    /// count. O(log candidates); idempotent; the root is never a candidate.
     fn sync_candidate(&mut self, id: NodeId) {
         if id == NodeId::ROOT {
             return;
         }
         if self.node(id).children.len() <= 1 {
-            self.candidates.insert(id);
+            self.candidate_add(id);
         } else {
-            self.candidates.remove(id);
+            self.candidate_drop(id);
         }
     }
 
     /// Number of leading tokens of `rest` matching `child`'s edge label.
     fn shared_edge_len(&self, child: NodeId, rest: &[Token]) -> usize {
-        let edge = &self.node(child).edge;
+        let edge = &self.store[self.node(child).edge.range()];
         edge.iter()
             .zip(rest.iter())
             .take_while(|(a, b)| a == b)
@@ -383,6 +482,21 @@ impl<D> RadixTree<D> {
         self.token_count
     }
 
+    /// Number of tokens ever appended to the shared edge store (≥
+    /// [`token_count`](RadixTree::token_count); the store is append-only
+    /// and never compacted).
+    #[must_use]
+    pub fn token_store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Arena high-water mark: total slots ever allocated (live + free).
+    /// Bounded by the peak live-node count thanks to free-list reuse.
+    #[must_use]
+    pub fn arena_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Payload of a node.
     ///
     /// # Panics
@@ -402,7 +516,9 @@ impl<D> RadixTree<D> {
         &mut self.node_mut(id).data
     }
 
-    /// `true` if `id` refers to a live node.
+    /// `true` if `id` refers to a live node. A stale id — one whose slot
+    /// was freed, even if since recycled — is reported dead (generation
+    /// tags distinguish occupancies).
     #[must_use]
     pub fn contains(&self, id: NodeId) -> bool {
         self.get_node(id).is_some()
@@ -425,7 +541,17 @@ impl<D> RadixTree<D> {
     /// Panics if `id` refers to a removed node.
     #[must_use]
     pub fn edge_len(&self, id: NodeId) -> u64 {
-        self.node(id).edge.len() as u64
+        u64::from(self.node(id).edge.len)
+    }
+
+    /// The tokens on the edge from the node's parent (empty for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn edge_tokens(&self, id: NodeId) -> &[Token] {
+        &self.store[self.node(id).edge.range()]
     }
 
     /// Parent of a node (`None` for the root).
@@ -464,7 +590,7 @@ impl<D> RadixTree<D> {
     ///
     /// Panics if `id` refers to a removed node.
     pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.node(id).children.values().copied()
+        self.node(id).children.ids()
     }
 
     /// Iterates over all live non-root node ids, in arena order.
@@ -473,7 +599,10 @@ impl<D> RadixTree<D> {
             .iter()
             .enumerate()
             .skip(1)
-            .filter_map(|(i, s)| s.as_node().map(|_| NodeId(i as u32)))
+            .filter_map(|(i, s)| match s {
+                Slot::Occupied { gen, .. } => Some(NodeId::new(i as u32, *gen)),
+                Slot::Free { .. } => None,
+            })
     }
 
     /// Nodes eligible for eviction: live non-root nodes with ≤ 1 child.
@@ -494,6 +623,49 @@ impl<D> RadixTree<D> {
     #[must_use]
     pub fn eviction_candidate_count(&self) -> usize {
         self.candidates.len()
+    }
+
+    /// Records a recency stamp on a node in O(log candidates).
+    ///
+    /// Stamps order the recency index consulted by
+    /// [`lru_candidates`](RadixTree::lru_candidates): the caller supplies
+    /// monotone stamps (e.g. [`recency_stamp`](crate::recency_stamp) of an
+    /// access clock) and the tree keeps candidates sorted by
+    /// `(stamp, id)`. Touching a non-candidate (e.g. a multi-child branch
+    /// on a hit path) just records the stamp; the node carries it into the
+    /// recency index if it later becomes a candidate. New nodes start at
+    /// stamp 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    pub fn touch(&mut self, id: NodeId, stamp: u64) {
+        let old = self.node(id).stamp;
+        if old == stamp {
+            return;
+        }
+        if self.candidates.contains(id) {
+            self.lru.remove(old, id);
+            self.lru.insert(stamp, id);
+        }
+        self.node_mut(id).stamp = stamp;
+    }
+
+    /// The node's current recency stamp (0 if never touched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` refers to a removed node.
+    #[must_use]
+    pub fn stamp(&self, id: NodeId) -> u64 {
+        self.node(id).stamp
+    }
+
+    /// Eviction candidates in ascending `(stamp, id)` order, each with its
+    /// stamp — the LRU-first victim ordering for α = 0 policies, served
+    /// from the O(log n) recency index with no scan.
+    pub fn lru_candidates(&self) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.lru.iter()
     }
 
     /// Pins `id` for an in-flight request: increments the pin count of
@@ -618,7 +790,7 @@ impl<D> RadixTree<D> {
                     mid_edge_child: None,
                 };
             }
-            match self.node(cur).children.get(&query[pos]).copied() {
+            match self.node(cur).children.get(query[pos]) {
                 None => {
                     return PrefixMatch {
                         path,
@@ -670,11 +842,15 @@ impl<D> RadixTree<D> {
         let mut cur = Some(id);
         while let Some(c) = cur {
             let n = self.node(c);
-            chain.push(&n.edge);
+            chain.push(n.edge);
             cur = n.parent;
         }
         chain.reverse();
-        chain.into_iter().flatten().copied().collect()
+        let mut out = Vec::with_capacity(chain.iter().map(|e| e.len()).sum());
+        for e in chain {
+            out.extend_from_slice(&self.store[e.range()]);
+        }
+        out
     }
 
     /// Removes a node with ≤ 1 child.
@@ -682,7 +858,10 @@ impl<D> RadixTree<D> {
     /// * Leaf: the node and its edge tokens leave the tree.
     /// * Single child: the node is spliced out and its edge label is
     ///   *prepended* to the child's (the child absorbs the KVs; only the
-    ///   node's payload — e.g. its SSM state — is released).
+    ///   node's payload — e.g. its SSM state — is released). When the two
+    ///   edges are adjacent in the store — always true for a split pair —
+    ///   the merge is O(1) range concatenation; otherwise the joined label
+    ///   is appended to the store once.
     ///
     /// # Errors
     ///
@@ -706,14 +885,14 @@ impl<D> RadixTree<D> {
         let parent = node
             .parent
             .expect("invariant: non-root nodes have a parent");
-        let first_tok = node.edge[0];
-        let child = node.children.values().next().copied();
+        let child = node.children.first_id();
+        let first_tok = self.store[node.edge.off as usize];
 
-        self.candidates.remove(id);
+        self.candidate_drop(id);
         match child {
             None => {
                 let node = self.free(id);
-                self.node_mut(parent).children.remove(&first_tok);
+                self.node_mut(parent).children.remove(first_tok);
                 if self.node(parent).children.is_empty() && parent != NodeId::ROOT {
                     // The parent just became a leaf: its freed-bytes shape
                     // changed.
@@ -721,21 +900,41 @@ impl<D> RadixTree<D> {
                 }
                 // Losing a child may have dropped the parent to ≤ 1.
                 self.sync_candidate(parent);
-                self.token_count -= node.edge.len() as u64;
+                self.token_count -= u64::from(node.edge.len);
                 Ok(Removed {
                     data: node.data,
-                    freed_tokens: node.edge.len() as u64,
+                    freed_tokens: u64::from(node.edge.len),
                     merged_into: None,
                 })
             }
             Some(child) => {
                 let node = self.free(id);
                 // Child absorbs the edge: tokens (KVs) stay in the tree.
+                let child_edge = self.node(child).edge;
+                let merged = if node.edge.off + node.edge.len == child_edge.off {
+                    // Adjacent ranges (the split-then-evict hot path):
+                    // concatenation is pure offset arithmetic.
+                    EdgeRef {
+                        off: node.edge.off,
+                        len: node.edge.len + child_edge.len,
+                    }
+                } else {
+                    // Non-adjacent: append the joined label to the store.
+                    let off = self.store.len();
+                    debug_assert!(
+                        off + node.edge.len() + child_edge.len() <= u32::MAX as usize,
+                        "token store exceeds u32 addressing"
+                    );
+                    self.store.extend_from_within(node.edge.range());
+                    self.store.extend_from_within(child_edge.range());
+                    EdgeRef {
+                        off: off as u32,
+                        len: node.edge.len + child_edge.len,
+                    }
+                };
                 let c = self.node_mut(child);
                 c.parent = Some(parent);
-                let mut new_edge = node.edge;
-                new_edge.extend_from_slice(&c.edge);
-                c.edge = new_edge;
+                c.edge = merged;
                 // The child's edge grew (and its parent changed): bump so
                 // memoized per-node costs recompute. Its child count — and
                 // the parent's — are unchanged, so candidacies hold.
@@ -751,18 +950,34 @@ impl<D> RadixTree<D> {
     }
 
     fn free(&mut self, id: NodeId) -> Node<D> {
+        let gen = match &self.slots[id.index()] {
+            Slot::Occupied { gen, .. } => *gen,
+            Slot::Free { .. } => unreachable!("free() called on free slot"),
+        };
+        debug_assert_eq!(gen, id.gen, "free() with a stale id");
+        // Bump the generation on the way out so ids minted for this
+        // occupancy stop resolving once the slot is recycled.
         let slot = std::mem::replace(
             &mut self.slots[id.index()],
             Slot::Free {
+                gen: gen.wrapping_add(1),
                 next: self.free_head,
             },
         );
-        self.free_head = Some(id.0);
+        self.free_head = Some(id.idx);
         self.node_count -= 1;
         match slot {
-            Slot::Occupied(n) => n,
+            Slot::Occupied { node, .. } => node,
             Slot::Free { .. } => unreachable!("free() called on free slot"),
         }
+    }
+
+    /// Enables the injected edge-split fault (cut one token too deep) used
+    /// by the differential harness's self-test to prove the harness catches
+    /// real divergence. Never enable outside tests.
+    #[doc(hidden)]
+    pub fn debug_set_split_off_by_one(&mut self, enabled: bool) {
+        self.split_off_by_one = enabled;
     }
 
     /// Exhaustively checks the structural invariants; for tests.
@@ -778,16 +993,20 @@ impl<D> RadixTree<D> {
         let mut stack = vec![NodeId::ROOT];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
+            assert!(
+                n.edge.off as usize + n.edge.len() <= self.store.len(),
+                "{id}: edge range escapes the token store"
+            );
             if id != NodeId::ROOT {
                 seen_nodes += 1;
                 assert!(!n.edge.is_empty(), "{id}: empty edge on non-root");
                 let p = self.node(n.parent.expect("invariant: non-root nodes have a parent"));
                 assert_eq!(
-                    p.depth + n.edge.len() as u64,
+                    p.depth + u64::from(n.edge.len),
                     n.depth,
                     "{id}: depth mismatch"
                 );
-                seen_tokens += n.edge.len() as u64;
+                seen_tokens += u64::from(n.edge.len);
                 let should_be_candidate = n.children.len() <= 1;
                 assert_eq!(
                     self.candidates.contains(id),
@@ -795,6 +1014,13 @@ impl<D> RadixTree<D> {
                     "{id}: candidate-index membership drift (child_count = {})",
                     n.children.len()
                 );
+                if should_be_candidate {
+                    assert!(
+                        self.lru.contains(n.stamp, id),
+                        "{id}: recency-index entry missing or stale (stamp = {})",
+                        n.stamp
+                    );
+                }
                 seen_candidates += usize::from(should_be_candidate);
                 assert_eq!(
                     self.pinned.contains(id),
@@ -817,10 +1043,19 @@ impl<D> RadixTree<D> {
                 assert_eq!(n.depth, 0, "root depth nonzero");
                 assert_eq!(n.pin_count, 0, "root must never be pinned");
             }
-            for (&tok, &cid) in &n.children {
+            let mut prev_tok: Option<Token> = None;
+            for (tok, cid) in n.children.iter() {
+                assert!(
+                    prev_tok.is_none_or(|p| p < tok),
+                    "{id}: children not strictly sorted by first token"
+                );
+                prev_tok = Some(tok);
                 let c = self.node(cid);
                 assert_eq!(c.parent, Some(id), "{cid}: bad parent pointer");
-                assert_eq!(c.edge[0], tok, "{cid}: child key != first edge token");
+                assert_eq!(
+                    self.store[c.edge.off as usize], tok,
+                    "{cid}: child key != first edge token"
+                );
                 stack.push(cid);
             }
         }
@@ -830,6 +1065,11 @@ impl<D> RadixTree<D> {
             seen_candidates,
             self.candidates.len(),
             "candidate index holds dead or duplicate entries"
+        );
+        assert_eq!(
+            self.lru.len(),
+            self.candidates.len(),
+            "recency index out of sync with the candidate index"
         );
         assert!(
             !self.candidates.contains(NodeId::ROOT),
@@ -855,13 +1095,13 @@ impl<D> RadixTree<D> {
         let mut stack = vec![NodeId::ROOT];
         while let Some(id) = stack.pop() {
             let n = self.node(id);
-            for &cid in n.children.values() {
-                let c = self.node(cid);
-                let label: Vec<String> = if c.edge.len() <= 6 {
-                    c.edge.iter().map(|t| t.to_string()).collect()
+            for (_, cid) in n.children.iter() {
+                let edge = self.edge_tokens(cid);
+                let label: Vec<String> = if edge.len() <= 6 {
+                    edge.iter().map(|t| t.to_string()).collect()
                 } else {
-                    let mut v: Vec<String> = c.edge[..3].iter().map(|t| t.to_string()).collect();
-                    v.push(format!("…(+{})", c.edge.len() - 3));
+                    let mut v: Vec<String> = edge[..3].iter().map(|t| t.to_string()).collect();
+                    v.push(format!("…(+{})", edge.len() - 3));
                     v
                 };
                 let _ = writeln!(out, "  {id} -> {cid} [label=\"{}\"];", label.join(" "));
@@ -1028,10 +1268,14 @@ mod tests {
     fn speculation_never_mutates() {
         let mut t = tree();
         t.insert(&[1, 2, 3, 4]);
-        let before = (t.len(), t.token_count());
+        let before = (t.len(), t.token_count(), t.token_store_len());
         let _ = t.speculate_insert(&[1, 2, 9]);
         let _ = t.speculate_insert(&[1, 2, 3]);
-        assert_eq!((t.len(), t.token_count()), before);
+        assert_eq!(
+            (t.len(), t.token_count(), t.token_store_len()),
+            before,
+            "probes must not mutate, not even the backing store"
+        );
     }
 
     #[test]
@@ -1470,5 +1714,235 @@ mod tests {
             assert_eq!(m.matched_len, cut as u64);
             assert!(!m.ends_mid_edge);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Arena engine specifics: generation tags, the shared token store,
+    // and the O(log n) recency index.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn generation_tags_detect_stale_ids() {
+        let mut t = tree();
+        let a = t.insert(&[1]).end_node;
+        t.remove(a).unwrap();
+        let b = t.insert(&[2]).end_node;
+        assert_eq!(a.index(), b.index(), "slot reused");
+        assert_ne!(
+            a.generation(),
+            b.generation(),
+            "recycling must mint a fresh generation"
+        );
+        // The stale id is dead even though its slot is occupied again.
+        assert!(!t.contains(a));
+        assert!(t.contains(b));
+        assert_eq!(t.remove(a), Err(RemoveError::NotFound));
+        assert!(t.contains(b), "stale-id remove must not hit the new tenant");
+        t.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or freed id")]
+    fn stale_id_access_panics_loudly() {
+        let mut t = tree();
+        let a = t.insert(&[1]).end_node;
+        t.remove(a).unwrap();
+        t.insert(&[2]); // recycles a's slot under a new generation
+        let _ = t.data(a);
+    }
+
+    #[test]
+    fn split_is_zero_copy_and_split_merge_reuses_store() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4, 5, 6]);
+        let stored = t.token_store_len();
+        // Splitting allocates no new store space: both halves alias the
+        // original range.
+        let out = t.insert(&[1, 2, 3, 9]);
+        assert_eq!(
+            t.token_store_len(),
+            stored + 1,
+            "only the new leaf's suffix [9] is appended"
+        );
+        // Removing the split leaf and then the branch merges the two
+        // adjacent halves back — again without growing the store.
+        t.remove(out.new_leaf.unwrap()).unwrap();
+        let before_merge = t.token_store_len();
+        t.remove(out.split_node.unwrap()).unwrap();
+        assert_eq!(
+            t.token_store_len(),
+            before_merge,
+            "adjacent-range merge is O(1) offset arithmetic"
+        );
+        assert_eq!(t.match_prefix(&[1, 2, 3, 4, 5, 6]).matched_len, 6);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn non_adjacent_merge_appends_joined_label() {
+        // An unrelated insertion between [1,2] and its extension [3,4]
+        // separates their store ranges; merging them must copy.
+        let mut t = tree();
+        let a = t.insert(&[1, 2]).end_node;
+        t.insert(&[7]);
+        t.insert(&[1, 2, 3, 4]);
+        let before = t.token_store_len();
+        let removed = t.remove(a).unwrap();
+        let child = removed.merged_into.unwrap();
+        assert_eq!(t.token_store_len(), before + 4, "joined label appended");
+        assert_eq!(t.edge_tokens(child), &[1, 2, 3, 4]);
+        assert_eq!(t.match_prefix(&[1, 2, 3, 4]).matched_len, 4);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn touch_orders_lru_candidates() {
+        let mut t = tree();
+        let a = t.insert(&[1, 1]).end_node;
+        let b = t.insert(&[2, 2]).end_node;
+        let c = t.insert(&[3, 3]).end_node;
+        t.touch(a, 30);
+        t.touch(b, 10);
+        t.touch(c, 20);
+        let order: Vec<NodeId> = t.lru_candidates().map(|(_, id)| id).collect();
+        assert_eq!(order, vec![b, c, a], "ascending stamp order");
+        assert_eq!(t.stamp(a), 30);
+        // Re-touching reorders in O(log n).
+        t.touch(b, 40);
+        let order: Vec<NodeId> = t.lru_candidates().map(|(_, id)| id).collect();
+        assert_eq!(order, vec![c, a, b]);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn lru_tracks_candidate_entry_and_exit() {
+        let mut t = tree();
+        let a = t.insert(&[1, 2, 3, 4]).end_node;
+        t.touch(a, 5);
+        // Splitting makes a branch with 2 children: the branch is not a
+        // candidate, so it must not appear in the recency index.
+        let out = t.insert(&[1, 2, 9, 9]);
+        let branch = out.split_node.unwrap();
+        assert!(t.lru_candidates().all(|(_, id)| id != branch));
+        // Stamps survive candidacy changes: touch the branch while it is
+        // out, then drop it to one child — it re-enters with its stamp.
+        t.touch(branch, 77);
+        t.remove(out.new_leaf.unwrap()).unwrap();
+        assert!(t.lru_candidates().any(|(s, id)| id == branch && s == 77));
+        // Removal drops the entry.
+        t.remove(a).unwrap();
+        assert!(t.lru_candidates().all(|(_, id)| id != a));
+        assert_eq!(t.lru_candidates().count(), t.eviction_candidate_count());
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn ties_break_by_id_in_lru_order() {
+        let mut t = tree();
+        let a = t.insert(&[1, 1]).end_node;
+        let b = t.insert(&[2, 2]).end_node;
+        t.touch(a, 9);
+        t.touch(b, 9);
+        let order: Vec<NodeId> = t.lru_candidates().map(|(_, id)| id).collect();
+        let mut want = vec![a, b];
+        want.sort();
+        assert_eq!(order, want, "equal stamps break ties by id");
+    }
+
+    // ------------------------------------------------------------------
+    // RemoveError rejection paths must leave the tree byte-for-byte
+    // untouched (ISSUE 8 satellite: these paths were under-tested).
+    // ------------------------------------------------------------------
+
+    /// Per-node observable state: id, depth, edge length, structure
+    /// version, stamp, pinned.
+    type NodeState = (NodeId, u64, u64, u32, u64, bool);
+
+    /// Full observable state: counters (live, tokens, store length,
+    /// candidates, pinned), dot export, and every node's [`NodeState`].
+    type Snapshot = (usize, u64, usize, usize, usize, String, Vec<NodeState>);
+
+    /// Full observable state: structure, versions, stamps, counters.
+    fn snapshot(t: &RadixTree<u32>) -> Snapshot {
+        let mut nodes: Vec<(NodeId, u64, u64, u32, u64, bool)> = t
+            .node_ids()
+            .map(|id| {
+                (
+                    id,
+                    t.depth(id),
+                    t.edge_len(id),
+                    t.structure_version(id),
+                    t.stamp(id),
+                    t.is_pinned(id),
+                )
+            })
+            .collect();
+        nodes.sort();
+        (
+            t.len(),
+            t.token_count(),
+            t.token_store_len(),
+            t.eviction_candidate_count(),
+            t.pinned_count(),
+            t.to_dot(),
+            nodes,
+        )
+    }
+
+    #[test]
+    fn rejected_removal_of_root_adjacent_branch_is_a_noop() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4]);
+        let out = t.insert(&[1, 2, 9, 9]);
+        let branch = out.split_node.unwrap();
+        assert_eq!(t.parent(branch), Some(NodeId::ROOT), "root-adjacent");
+        let before = snapshot(&t);
+        assert_eq!(t.remove(branch), Err(RemoveError::HasMultipleChildren));
+        assert_eq!(snapshot(&t), before, "rejected removal must not mutate");
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn rejected_removal_of_pinned_mid_edge_node_is_a_noop() {
+        let mut t = tree();
+        t.insert(&[1, 2, 3, 4, 5, 6]);
+        let deep = t.insert(&[1, 2, 3]).split_node.unwrap(); // mid-edge split
+        let leaf = t.match_prefix(&[1, 2, 3, 4, 5, 6]).deepest().unwrap();
+        t.pin(leaf);
+        assert!(t.is_pinned(deep), "mid-edge ancestor is pin-protected");
+        let before = snapshot(&t);
+        assert_eq!(t.remove(deep), Err(RemoveError::Pinned));
+        assert_eq!(t.remove(leaf), Err(RemoveError::Pinned));
+        assert_eq!(snapshot(&t), before, "rejected removal must not mutate");
+        t.assert_invariants();
+        t.unpin(leaf);
+    }
+
+    #[test]
+    fn rejected_removal_of_multi_child_node_is_a_noop() {
+        let mut t = tree();
+        t.insert(&[5, 1, 1]);
+        t.insert(&[5, 2, 2]);
+        let out = t.insert(&[5, 3, 3]);
+        let hub = t.parent(out.end_node).unwrap();
+        assert_eq!(t.child_count(hub), 3);
+        let before = snapshot(&t);
+        assert_eq!(t.remove(hub), Err(RemoveError::HasMultipleChildren));
+        // Dead ids and the root are also rejected without side effects.
+        let dead = {
+            let x = t.insert(&[9, 9]).end_node;
+            t.remove(x).unwrap();
+            x
+        };
+        let before_dead = snapshot(&t);
+        assert_eq!(t.remove(dead), Err(RemoveError::NotFound));
+        assert_eq!(t.remove(NodeId::ROOT), Err(RemoveError::IsRoot));
+        assert_eq!(snapshot(&t), before_dead);
+        // And the multi-child rejection from before left everything alone
+        // except the probe leaf we added and removed (store grew by 2).
+        let after = snapshot(&t);
+        assert_eq!(after.0, before.0);
+        assert_eq!(after.1, before.1);
+        t.assert_invariants();
     }
 }

@@ -1,0 +1,666 @@
+//! Differential harness: the PR 8 arena engine vs the verbatim pre-refactor
+//! engine ([`marconi_radix::legacy`]).
+//!
+//! Both engines allocate from a LIFO free-list slab, so an identical op
+//! stream produces identical *arena indices* on both sides — that index
+//! correspondence is the harness's id map. After every op the harness
+//! compares the full observable state (returned outcomes, per-node
+//! structure, candidate/pin sets, counters, recency ordering) and fails on
+//! the first divergence.
+//!
+//! The harness itself is validated by a seeded-mutation self-test:
+//! [`RadixTree::debug_set_split_off_by_one`] injects an off-by-one into the
+//! new engine's edge splitting, and the harness must (and does) catch the
+//! resulting divergence — while the same stream passes with the fault off.
+
+use marconi_radix::legacy;
+use marconi_radix::{NodeId, RadixTree, Token};
+use proptest::prelude::*;
+
+/// Per-node payload: distinguishable values prove payloads ride along
+/// correctly through splits, merges, and slot reuse.
+type Payload = u32;
+
+/// One operation replayed against both engines.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `insert(seq)` on both; outcomes compared field-by-field.
+    Insert(Vec<Token>),
+    /// `speculate_insert(seq)` on both; must not mutate either side.
+    Speculate(Vec<Token>),
+    /// `match_prefix(seq)` on both; must not mutate either side.
+    Match(Vec<Token>),
+    /// Remove the `k % live`-th live non-root node (by arena index) on both
+    /// sides; `Ok`/`Err` outcomes compared.
+    Remove(u32),
+    /// Pin the `k % live`-th live non-root node on both sides.
+    Pin(u32),
+    /// Unpin the most recently pinned still-held node pair.
+    Unpin,
+    /// `touch(id, stamp)` on the new engine (the legacy engine has no
+    /// recency index; consistency is checked against the candidate set).
+    Touch(u32, u64),
+}
+
+/// Returns `Err` on the first observable divergence.
+macro_rules! check {
+    ($label:expr, $new:expr, $old:expr) => {
+        let new_v = $new;
+        let old_v = $old;
+        if new_v != old_v {
+            return Err(format!(
+                "{}: new engine = {:?}, legacy = {:?}",
+                $label, new_v, old_v
+            ));
+        }
+    };
+}
+
+/// Both engines plus the harness's correspondence state.
+struct Pair {
+    new_t: RadixTree<Payload>,
+    old_t: legacy::RadixTree<Payload>,
+    /// Pinned `(new, old)` id pairs, released LIFO by [`Op::Unpin`].
+    pins: Vec<(NodeId, legacy::NodeId)>,
+    /// New-engine ids of removed nodes: generation tags must keep reporting
+    /// them dead even after their slots are reused.
+    dead: Vec<NodeId>,
+    /// Monotone payload tag written to each insert's end node.
+    next_payload: Payload,
+    /// Monotone stamp fallback so `Touch` ops always move recency forward.
+    next_stamp: u64,
+}
+
+impl Pair {
+    fn new(inject_split_fault: bool) -> Self {
+        let mut new_t = RadixTree::new();
+        new_t.debug_set_split_off_by_one(inject_split_fault);
+        Pair {
+            new_t,
+            old_t: legacy::RadixTree::new(),
+            pins: Vec::new(),
+            dead: Vec::new(),
+            next_payload: 1,
+            next_stamp: 1,
+        }
+    }
+
+    /// Live non-root arena indices, ascending (identical on both sides as
+    /// long as the engines agree, which `check_state` enforces).
+    fn live_indices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.new_t.node_ids().map(|id| id.index()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn new_id_at(&self, idx: usize) -> NodeId {
+        self.new_t
+            .node_ids()
+            .find(|id| id.index() == idx)
+            .expect("index chosen from live set")
+    }
+
+    fn old_id_at(&self, idx: usize) -> legacy::NodeId {
+        self.old_t
+            .node_ids()
+            .find(|id| id.index() == idx)
+            .expect("index chosen from live set")
+    }
+
+    fn apply(&mut self, op: &Op) -> Result<(), String> {
+        match op {
+            Op::Insert(seq) => {
+                let n = self.new_t.insert(seq);
+                let o = self.old_t.insert(seq);
+                check!("insert end_node", n.end_node.index(), o.end_node.index());
+                check!(
+                    "insert split_node",
+                    n.split_node.map(NodeId::index),
+                    o.split_node.map(legacy::NodeId::index)
+                );
+                check!(
+                    "insert new_leaf",
+                    n.new_leaf.map(NodeId::index),
+                    o.new_leaf.map(legacy::NodeId::index)
+                );
+                check!("insert added_tokens", n.added_tokens, o.added_tokens);
+                // Tag the end node so payloads are distinguishable when the
+                // state check compares them across splits and slot reuse.
+                *self.new_t.data_mut(n.end_node) = self.next_payload;
+                *self.old_t.data_mut(o.end_node) = self.next_payload;
+                self.next_payload += 1;
+            }
+            Op::Speculate(seq) => {
+                let n = self.new_t.speculate_insert(seq);
+                let o = self.old_t.speculate_insert(seq);
+                check!("speculate matched_len", n.matched_len, o.matched_len);
+                check!(
+                    "speculate creates_branch_at",
+                    n.creates_branch_at,
+                    o.creates_branch_at
+                );
+            }
+            Op::Match(seq) => {
+                let n = self.new_t.match_prefix(seq);
+                let o = self.old_t.match_prefix(seq);
+                check!("match matched_len", n.matched_len, o.matched_len);
+                check!("match ends_mid_edge", n.ends_mid_edge, o.ends_mid_edge);
+                check!(
+                    "match path",
+                    n.path.iter().map(|id| id.index()).collect::<Vec<_>>(),
+                    o.path.iter().map(|id| id.index()).collect::<Vec<_>>()
+                );
+                check!(
+                    "match mid_edge_child",
+                    n.mid_edge_child.map(NodeId::index),
+                    o.mid_edge_child.map(legacy::NodeId::index)
+                );
+            }
+            Op::Remove(k) => {
+                let live = self.live_indices();
+                if live.is_empty() {
+                    return Ok(());
+                }
+                let idx = live[*k as usize % live.len()];
+                let new_id = self.new_id_at(idx);
+                let old_id = self.old_id_at(idx);
+                let n = self.new_t.remove(new_id);
+                let o = self.old_t.remove(old_id);
+                match (n, o) {
+                    (Ok(n), Ok(o)) => {
+                        check!("remove data", n.data, o.data);
+                        check!("remove freed_tokens", n.freed_tokens, o.freed_tokens);
+                        check!(
+                            "remove merged_into",
+                            n.merged_into.map(NodeId::index),
+                            o.merged_into.map(legacy::NodeId::index)
+                        );
+                        self.dead.push(new_id);
+                    }
+                    (n, o) => {
+                        check!(
+                            "remove outcome",
+                            format!("{:?}", n.map(|r| r.data)),
+                            format!("{:?}", o.map(|r| r.data))
+                        );
+                    }
+                }
+            }
+            Op::Pin(k) => {
+                let live = self.live_indices();
+                if live.is_empty() {
+                    return Ok(());
+                }
+                let idx = live[*k as usize % live.len()];
+                let new_id = self.new_id_at(idx);
+                let old_id = self.old_id_at(idx);
+                self.new_t.pin(new_id);
+                self.old_t.pin(old_id);
+                self.pins.push((new_id, old_id));
+            }
+            Op::Unpin => {
+                if let Some((new_id, old_id)) = self.pins.pop() {
+                    self.new_t.unpin(new_id);
+                    self.old_t.unpin(old_id);
+                }
+            }
+            Op::Touch(k, stamp) => {
+                let live = self.live_indices();
+                if live.is_empty() {
+                    return Ok(());
+                }
+                let idx = live[*k as usize % live.len()];
+                let id = self.new_id_at(idx);
+                // Mix a monotone component in so repeated touches keep
+                // re-keying the recency index rather than hitting the
+                // equal-stamp fast path every time.
+                self.new_t.touch(id, stamp + self.next_stamp);
+                self.next_stamp += 1;
+            }
+        }
+        self.check_state()
+    }
+
+    /// Compares every piece of observable state; `Err` on first divergence.
+    fn check_state(&self) -> Result<(), String> {
+        check!("len", self.new_t.len(), self.old_t.len());
+        check!("is_empty", self.new_t.is_empty(), self.old_t.is_empty());
+        check!(
+            "token_count",
+            self.new_t.token_count(),
+            self.old_t.token_count()
+        );
+        check!(
+            "candidate_count",
+            self.new_t.eviction_candidate_count(),
+            self.old_t.eviction_candidate_count()
+        );
+        check!(
+            "pinned_count",
+            self.new_t.pinned_count(),
+            self.old_t.pinned_count()
+        );
+        check!("root", self.new_t.root().index(), self.old_t.root().index());
+
+        // Sort both live-id lists by arena index and walk them zipped:
+        // O(n log n) total, so the full-state check stays usable at the
+        // scale replay's 100k–1M live nodes.
+        let mut new_ids: Vec<NodeId> = self.new_t.node_ids().collect();
+        new_ids.sort_unstable_by_key(|id| id.index());
+        let mut old_ids: Vec<legacy::NodeId> = self.old_t.node_ids().collect();
+        old_ids.sort_unstable_by_key(|id| id.index());
+        check!(
+            "live id set",
+            new_ids.iter().map(|id| id.index()).collect::<Vec<_>>(),
+            old_ids.iter().map(|id| id.index()).collect::<Vec<_>>()
+        );
+
+        for (&n_id, &o_id) in new_ids.iter().zip(&old_ids) {
+            let idx = n_id.index();
+            let at = |what: &str| format!("node {idx} {what}");
+            check!(
+                at("parent"),
+                self.new_t.parent(n_id).map(NodeId::index),
+                self.old_t.parent(o_id).map(legacy::NodeId::index)
+            );
+            check!(at("depth"), self.new_t.depth(n_id), self.old_t.depth(o_id));
+            check!(
+                at("edge_len"),
+                self.new_t.edge_len(n_id),
+                self.old_t.edge_len(o_id)
+            );
+            check!(
+                at("child_count"),
+                self.new_t.child_count(n_id),
+                self.old_t.child_count(o_id)
+            );
+            check!(
+                at("is_leaf"),
+                self.new_t.is_leaf(n_id),
+                self.old_t.is_leaf(o_id)
+            );
+            check!(
+                at("structure_version"),
+                self.new_t.structure_version(n_id),
+                self.old_t.structure_version(o_id)
+            );
+            check!(
+                at("is_pinned"),
+                self.new_t.is_pinned(n_id),
+                self.old_t.is_pinned(o_id)
+            );
+            check!(at("data"), self.new_t.data(n_id), self.old_t.data(o_id));
+            check!(
+                at("children"),
+                self.new_t
+                    .children(n_id)
+                    .map(|id| id.index())
+                    .collect::<Vec<_>>(),
+                self.old_t
+                    .children(o_id)
+                    .map(|id| id.index())
+                    .collect::<Vec<_>>()
+            );
+            check!(
+                at("path_tokens"),
+                self.new_t.path_tokens(n_id),
+                self.old_t.path_tokens(o_id)
+            );
+            // The new engine's edge label must equal the tail of the path.
+            let path = self.new_t.path_tokens(n_id);
+            let edge = self.new_t.edge_tokens(n_id);
+            if &path[path.len() - edge.len()..] != edge {
+                return Err(format!(
+                    "node {idx}: edge_tokens {edge:?} is not the tail of path {path:?}"
+                ));
+            }
+        }
+
+        let sorted_indices = |ids: Vec<usize>| {
+            let mut ids = ids;
+            ids.sort_unstable();
+            ids
+        };
+        check!(
+            "candidate set",
+            sorted_indices(
+                self.new_t
+                    .eviction_candidates()
+                    .map(|id| id.index())
+                    .collect()
+            ),
+            sorted_indices(
+                self.old_t
+                    .eviction_candidates()
+                    .map(|id| id.index())
+                    .collect()
+            )
+        );
+        check!(
+            "pinned set",
+            sorted_indices(self.new_t.pinned_ids().map(|id| id.index()).collect()),
+            sorted_indices(self.old_t.pinned_ids().map(|id| id.index()).collect())
+        );
+
+        // Recency index (new engine only; legacy has no equivalent): the
+        // stream must cover exactly the candidate set, ascend strictly by
+        // (stamp, id), and agree with each node's own stamp.
+        let lru: Vec<(u64, NodeId)> = self.new_t.lru_candidates().collect();
+        if lru.len() != self.new_t.eviction_candidate_count() {
+            return Err(format!(
+                "lru stream has {} entries, candidate set has {}",
+                lru.len(),
+                self.new_t.eviction_candidate_count()
+            ));
+        }
+        for pair in lru.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(format!(
+                    "lru stream not strictly ascending: {:?} then {:?}",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        for &(stamp, id) in &lru {
+            if self.new_t.stamp(id) != stamp {
+                return Err(format!(
+                    "lru stream stamp {stamp} disagrees with node {id} stamp {}",
+                    self.new_t.stamp(id)
+                ));
+            }
+        }
+
+        // Generation tags: ids of removed nodes stay dead forever, even
+        // after their arena slots are reused by later inserts.
+        for &d in &self.dead {
+            if self.new_t.contains(d) {
+                return Err(format!(
+                    "removed id {d} (gen {}) reports live again",
+                    d.generation()
+                ));
+            }
+        }
+
+        self.new_t.assert_invariants();
+        self.old_t.assert_invariants();
+        Ok(())
+    }
+
+    /// Releases held pins and runs a final state check.
+    fn finish(mut self) -> Result<(), String> {
+        while let Some((new_id, old_id)) = self.pins.pop() {
+            if self.new_t.contains(new_id) {
+                self.new_t.unpin(new_id);
+                self.old_t.unpin(old_id);
+            }
+        }
+        check!("final pinned_count", self.new_t.pinned_count(), 0);
+        self.check_state()
+    }
+}
+
+/// Replays `ops` through both engines, checking after every op.
+fn run_stream(ops: &[Op], inject_split_fault: bool) -> Result<(), String> {
+    let mut pair = Pair::new(inject_split_fault);
+    pair.check_state()?;
+    for (i, op) in ops.iter().enumerate() {
+        pair.apply(op)
+            .map_err(|e| format!("after op {i} {op:?}: {e}"))?;
+    }
+    pair.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Random-stream property tests (10k cases across the four profiles).
+// ---------------------------------------------------------------------------
+
+/// Weighted op from a dense token alphabet. `alphabet`/`max_len` shape the
+/// sequence pool; `weights[i]` is the relative frequency of op kind `i` in
+/// [insert, speculate, match, remove, pin, unpin, touch] order.
+fn op_strategy(alphabet: u32, max_len: usize, weights: [u32; 7]) -> impl Strategy<Value = Op> {
+    let total: u32 = weights.iter().sum();
+    (
+        0u32..total,
+        prop::collection::vec(0u32..alphabet, 0..max_len),
+        0u32..1 << 30,
+        0u64..1 << 40,
+    )
+        .prop_map(move |(mut roll, seq, k, stamp)| {
+            let mut kind = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if roll < *w {
+                    kind = i;
+                    break;
+                }
+                roll -= w;
+            }
+            match kind {
+                0 => Op::Insert(seq),
+                1 => Op::Speculate(seq),
+                2 => Op::Match(seq),
+                3 => Op::Remove(k),
+                4 => Op::Pin(k),
+                5 => Op::Unpin,
+                _ => Op::Touch(k, stamp),
+            }
+        })
+}
+
+/// Panics (failing the proptest case) on any divergence.
+fn assert_stream_agrees(ops: &[Op]) {
+    if let Err(e) = run_stream(ops, false) {
+        panic!("engines diverged: {e}\nstream: {ops:#?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2500))]
+
+    /// Dense alphabet, short sequences: maximal prefix sharing, constant
+    /// edge splitting and re-branching.
+    #[test]
+    fn differential_dense_streams(
+        ops in prop::collection::vec(op_strategy(4, 10, [4, 1, 2, 2, 1, 1, 2]), 1..32)
+    ) {
+        assert_stream_agrees(&ops);
+    }
+
+    /// Longer sequences over a wider alphabet: deeper paths, mid-edge
+    /// matches, multi-token absorbs on removal.
+    #[test]
+    fn differential_long_streams(
+        ops in prop::collection::vec(op_strategy(8, 24, [4, 1, 2, 2, 1, 1, 2]), 1..24)
+    ) {
+        assert_stream_agrees(&ops);
+    }
+
+    /// Removal-heavy: drives slot reuse, generation bumps, and edge merges
+    /// (including the rejected-removal error paths).
+    #[test]
+    fn differential_removal_heavy_streams(
+        ops in prop::collection::vec(op_strategy(4, 12, [3, 0, 1, 6, 1, 1, 1]), 1..40)
+    ) {
+        assert_stream_agrees(&ops);
+    }
+
+    /// Pin-heavy: long-held pins across splits and rejected removals, with
+    /// recency churn on the pinned candidate set.
+    #[test]
+    fn differential_pin_heavy_streams(
+        ops in prop::collection::vec(op_strategy(5, 12, [3, 1, 1, 3, 4, 3, 3]), 1..40)
+    ) {
+        assert_stream_agrees(&ops);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-mutation self-test.
+// ---------------------------------------------------------------------------
+
+/// The harness must catch a real divergence: with the injected off-by-one
+/// split fault, the new engine cuts edges one token too deep. The same
+/// stream passes with the fault off, proving it is the *differential
+/// comparison* (not an internal panic) doing the catching — the faulted
+/// tree is still internally consistent, just wrong.
+#[test]
+fn harness_catches_injected_split_fault() {
+    // [1,2,3,4,5] then [1,2,9]: shared = 2 on a 5-token edge, so the fault
+    // cuts at 3 instead of 2 and the branch lands one token too deep.
+    let ops = vec![
+        Op::Insert(vec![1, 2, 3, 4, 5]),
+        Op::Insert(vec![1, 2, 9]),
+        Op::Match(vec![1, 2, 9]),
+    ];
+    run_stream(&ops, false).expect("clean engines must agree on the stream");
+    let err =
+        run_stream(&ops, true).expect_err("harness failed to catch the injected split off-by-one");
+    // The divergence must be caught by the mid-stream differential
+    // comparison (the faulted tree is internally consistent, so invariant
+    // checks alone would miss it).
+    assert!(
+        err.contains("after op") && err.contains("new engine"),
+        "divergence should surface as a structural mismatch, got: {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scale replay: 100k live nodes (1M with MARCONI_STRESS_FULL=1).
+// ---------------------------------------------------------------------------
+
+/// splitmix64: deterministic, seedable, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Grows both engines to `target` live nodes with a fork-and-extend trace
+/// (every fork is a mid-edge split; interleaved removals drive edge merges
+/// and slot reuse), checking outcome equality on every op and full state
+/// equality at the end.
+///
+/// This is the regime the in-process `marconi-core` parity suite cannot
+/// reach (its scan-eviction reference is O(live) per victim); here both
+/// engines are O(depth) per op, so 100k–1M live nodes replay in seconds.
+fn scale_replay(seed: u64, target: usize) {
+    let mut rng = Rng(seed);
+    let mut pair = Pair::new(false);
+    // Recently-created end nodes: fork sources and remove/touch targets.
+    // Both engines' ids are kept so removal never needs an O(n) id lookup.
+    type Recent = (Vec<Token>, NodeId, legacy::NodeId);
+    let mut recent: Vec<Recent> = Vec::new();
+    let mut fresh: Token = 1 << 20; // globally unique suffix tokens
+    let mut ops: u64 = 0;
+
+    while pair.new_t.len() < target {
+        ops += 1;
+        let roll = rng.below(100);
+        if roll < 70 || recent.is_empty() {
+            // Fork a prior sequence mid-edge (or start fresh) and extend
+            // with globally-unique tokens so forks never re-merge.
+            let mut seq: Vec<Token> = if recent.is_empty() || rng.below(8) == 0 {
+                vec![(rng.below(64) + 1) as Token]
+            } else {
+                let (base, _, _) = &recent[rng.below(recent.len() as u64) as usize];
+                let cut = 1 + rng.below(base.len() as u64) as usize;
+                base[..cut].to_vec()
+            };
+            let extend = 8 + rng.below(56);
+            for _ in 0..extend {
+                seq.push(fresh);
+                fresh += 1;
+            }
+            let n = pair.new_t.insert(&seq);
+            let o = pair.old_t.insert(&seq);
+            assert_eq!(
+                n.end_node.index(),
+                o.end_node.index(),
+                "end_node @ op {ops}"
+            );
+            assert_eq!(
+                n.split_node.map(NodeId::index),
+                o.split_node.map(legacy::NodeId::index),
+                "split_node @ op {ops}"
+            );
+            assert_eq!(n.added_tokens, o.added_tokens, "added_tokens @ op {ops}");
+            pair.new_t.touch(n.end_node, ops);
+            if recent.len() < 512 {
+                recent.push((seq, n.end_node, o.end_node));
+            } else {
+                recent[rng.below(512) as usize] = (seq, n.end_node, o.end_node);
+            }
+        } else if roll < 90 {
+            // Remove a recent end node if it is still live. The generation
+            // tag makes this probe safe: a stale new-engine id can never
+            // alias the slot's next tenant, so `contains` is authoritative —
+            // and only when it says live is the stored legacy id (which has
+            // no generation to protect it) allowed near the legacy engine.
+            let slot = rng.below(recent.len() as u64) as usize;
+            let (_, new_id, old_id) = recent[slot];
+            if pair.new_t.contains(new_id) {
+                let n = pair.new_t.remove(new_id);
+                let o = pair.old_t.remove(old_id);
+                assert_eq!(
+                    n.as_ref()
+                        .map(|r| (r.freed_tokens, r.merged_into.map(NodeId::index)))
+                        .map_err(|e| format!("{e:?}")),
+                    o.as_ref()
+                        .map(|r| (r.freed_tokens, r.merged_into.map(legacy::NodeId::index)))
+                        .map_err(|e| format!("{e:?}")),
+                    "remove @ op {ops}"
+                );
+            }
+        } else {
+            // Probe: longest prefix of a recent sequence.
+            let slot = rng.below(recent.len() as u64) as usize;
+            let (seq, _, _) = &recent[slot];
+            let cut = 1 + rng.below(seq.len() as u64) as usize;
+            let n = pair.new_t.match_prefix(&seq[..cut]);
+            let o = pair.old_t.match_prefix(&seq[..cut]);
+            assert_eq!(n.matched_len, o.matched_len, "matched_len @ op {ops}");
+            assert_eq!(
+                n.deepest().map(NodeId::index),
+                o.deepest().map(legacy::NodeId::index),
+                "deepest @ op {ops}"
+            );
+        }
+        assert_eq!(pair.new_t.len(), pair.old_t.len(), "len @ op {ops}");
+        assert_eq!(
+            pair.new_t.token_count(),
+            pair.old_t.token_count(),
+            "token_count @ op {ops}"
+        );
+        assert_eq!(
+            pair.new_t.eviction_candidate_count(),
+            pair.old_t.eviction_candidate_count(),
+            "candidate_count @ op {ops}"
+        );
+    }
+
+    assert!(pair.new_t.len() >= target);
+    pair.check_state()
+        .unwrap_or_else(|e| panic!("scale replay diverged at {} live nodes: {e}", target));
+}
+
+/// 100k live nodes by default; 1M with `MARCONI_STRESS_FULL=1`. Both
+/// engines stay O(depth) per op, so even the full run is minutes, not
+/// hours.
+#[test]
+fn scale_replay_matches_legacy() {
+    let target = if std::env::var("MARCONI_STRESS_FULL").is_ok() {
+        1_000_000
+    } else {
+        100_000
+    };
+    scale_replay(0xD1FF8, target);
+}
