@@ -1,0 +1,26 @@
+//! Seeded violation: stdio macros in deterministic lib code.
+//!
+//! The `no-print` rule must flag every one of these — observability goes
+//! through a `TraceSink`, never a terminal. The test module at the bottom
+//! prints on purpose to prove the `#[cfg(test)]` exemption holds.
+
+pub fn narrates_progress(step: u32) {
+    println!("step {step} done"); // must trip `no-print`
+}
+
+pub fn warns_loudly(msg: &str) {
+    eprintln!("warning: {msg}"); // must trip `no-print`
+}
+
+pub fn leftover_debugging(x: u64) -> u64 {
+    dbg!(x + 1) // must trip `no-print`
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("tests narrate freely");
+        eprintln!("even to stderr");
+    }
+}

@@ -14,6 +14,7 @@
 //! | `expect-message` | every `.expect(...)` names the violated contract (`"invariant: …"` or `"lock: …"`) |
 //! | `must-use-handle` | leak-prone handle types (`*Ticket`, `*Guard`, `*Handle`) carry `#[must_use]` |
 //! | `edge-clone` | radix hot paths never materialize edge tokens: no `.clone()`/`.to_vec()` in `crates/radix/src` (the `legacy.rs` oracle is exempt) |
+//! | `no-print` | deterministic lib code never writes to stdio: no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` — observability goes through a `TraceSink` |
 //!
 //! A line can waive a rule with `// check:allow(rule-id): reason` on the
 //! same or the preceding line; the reason is mandatory so waivers stay
@@ -55,12 +56,13 @@ impl std::fmt::Display for Violation {
 /// listed: they legitimately measure wall-clock time
 /// (`eviction_pressure.rs` et al.), which is exactly the allowlist the
 /// rules intend.
-pub const LINTED_CRATES: [&str; 5] = [
+pub const LINTED_CRATES: [&str; 6] = [
     "crates/core",
     "crates/radix",
     "crates/sim",
     "crates/workload",
     "crates/metrics",
+    "crates/trace",
 ];
 
 /// Identifiers banned by the `wall-clock` rule.
@@ -79,6 +81,11 @@ const MUST_USE_SUFFIXES: [&str; 3] = ["Ticket", "Guard", "Handle"];
 /// labels are `(offset, len)` slices of the tree's shared token store, and
 /// these calls are how O(edge) byte copies sneak back in.
 const EDGE_CLONE_METHODS: [&str; 2] = ["clone", "to_vec"];
+
+/// Stdio macros banned by `no-print`: the flight recorder exists precisely
+/// so lib code never narrates to a terminal, and `dbg!` left behind after a
+/// debugging session perturbs timing and pollutes captured output.
+const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
 
 /// Hash-container iteration methods with order-dependent results.
 const HASH_ITER_METHODS: [&str; 7] = [
@@ -131,6 +138,26 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
                 format!(
                     "`{}` breaks determinism: reports must be pure functions of \
                      trace + config (benches in crates/bench may time things)",
+                    t.text
+                ),
+            );
+        }
+        // no-print: lib code must stay silent; tracing goes through sinks.
+        // The bracket check distinguishes `dbg!(x)` from `dbg != x`.
+        if t.kind == TokKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|b| b.is_punct('!'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|b| b.is_punct('(') || b.is_punct('[') || b.is_punct('{'))
+        {
+            push(
+                t.line,
+                "no-print",
+                format!(
+                    "`{}!` writes to stdio from deterministic lib code; emit a \
+                     trace event through the attached `TraceSink` instead (or \
+                     waive with a reason for CLI surfaces)",
                     t.text
                 ),
             );
@@ -269,7 +296,7 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
     out
 }
 
-/// Lints every `src/**/*.rs` file of the five deterministic crates under
+/// Lints every `src/**/*.rs` file of the six deterministic crates under
 /// `root`, plus the tuner-fidelity mirror check on `hybrid.rs`.
 ///
 /// # Errors
@@ -641,6 +668,23 @@ mod tests {
         let src = "// check:allow(edge-clone): dot export, off the hot path\n\
                    fn dump(e: &[u32]) -> Vec<u32> { e.to_vec() }";
         assert!(lint_source(hot, src).is_empty());
+    }
+
+    #[test]
+    fn print_macros_denied_outside_tests() {
+        assert_eq!(rules("fn f() { println!(\"hi\"); }"), ["no-print"]);
+        assert_eq!(rules("fn f() { eprintln!(\"warn\"); }"), ["no-print"]);
+        assert_eq!(rules("fn f() { let v = dbg!(x); }"), ["no-print"]);
+        // `!=` is not a macro bang; writeln! targets a caller's writer.
+        assert!(lint("fn f(x: u32) -> bool { dbg != x }").is_empty());
+        assert!(lint("fn f(w: &mut W) { writeln!(w, \"ok\"); }").is_empty());
+        // Tests may print freely.
+        let src = "#[test]\nfn t() { println!(\"debugging a test\"); }";
+        assert!(lint(src).is_empty());
+        // Waivers carry the usual reason requirement.
+        let src = "// check:allow(no-print): CLI progress line, not lib code\n\
+                   fn f() { println!(\"running\"); }";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

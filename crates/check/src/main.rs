@@ -1,7 +1,7 @@
 //! The `marconi-check` CLI — the CI verification gate.
 //!
 //! ```text
-//! cargo run -p marconi-check -- --workspace    # lint the five deterministic crates
+//! cargo run -p marconi-check -- --workspace    # lint the six deterministic crates
 //! cargo run -p marconi-check -- --self-test    # seeded-violation fixtures must still be rejected
 //! cargo run -p marconi-check -- --model-check  # bounded-interleaving scenario suite
 //! cargo run -p marconi-check --                # all three
@@ -113,6 +113,7 @@ fn run_self_test(root: &Path) -> bool {
             "crates/radix/src/edge_clone.rs",
             &["edge-clone"],
         ),
+        ("print_in_lib.rs", "print_in_lib.rs", &["no-print"]),
     ];
     let dir = root.join("crates/check/fixtures");
     let mut ok = true;

@@ -222,6 +222,23 @@ impl ShardedCache {
             .sum()
     }
 
+    /// Attaches `tracer` to every shard (each shard emits with its own
+    /// decisions; clones share the one sink, so cross-shard events
+    /// interleave in sink-arrival order).
+    ///
+    /// Multi-thread caveat: with more than one shard driven from multiple
+    /// threads, the *relative* order of events from different shards is
+    /// scheduling-dependent — only per-shard order (and everything with a
+    /// single driving thread, which is what the sims do) replays
+    /// byte-identically.
+    pub fn set_tracer(&self, tracer: marconi_trace::Tracer) {
+        for s in &self.shards {
+            s.write()
+                .expect("lock: shard RwLock poisoned by a panicking holder")
+                .set_tracer(tracer.clone());
+        }
+    }
+
     /// Runs `f` against one shard's cache under its read lock (diagnostic
     /// and test access to per-shard state).
     pub fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&HybridPrefixCache) -> R) -> R {

@@ -8,6 +8,10 @@ use crate::tuner::{TunerConfig, TunerState};
 use crate::{PinTicket, PrefixCache};
 use marconi_model::ModelConfig;
 use marconi_radix::{recency_stamp, InsertOutcome, NodeId, PrefixMatch, RadixTree, Token};
+use marconi_trace::{
+    Fingerprint, MissCause, MissLedger, PressureCause, StatCounters, TraceEvent, TraceTier, Tracer,
+    VictimAction, VictimRecord,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -154,6 +158,16 @@ pub struct HybridPrefixCache {
     pin_in_flight: bool,
     /// GDSF inflation clock `L` (monotone, set to each victim's priority).
     gdsf_clock: f64,
+    /// Decision-level flight recorder ([`Tracer::off`] by default — one
+    /// dead branch per emit site). **Not** a behavioral knob: emission is
+    /// read-only with respect to every decision, so it is attached after
+    /// `build()` via [`set_tracer`](Self::set_tracer) and deliberately
+    /// absent from the builder and from tuner replicas.
+    tracer: Tracer,
+    /// Fingerprints of deleted prefixes for miss attribution; written only
+    /// while the tracer is enabled (and never read by any decision), so
+    /// tracing stays off-is-free.
+    miss_ledger: MissLedger,
     /// Victim ids in eviction order; recorded so parity tests can compare
     /// the incremental selection byte-for-byte against the scan reference.
     #[cfg(test)]
@@ -271,6 +285,47 @@ impl HybridPrefixCache {
         self.tree.len()
     }
 
+    /// Attaches a flight recorder: every subsequent decision (lookups with
+    /// miss attribution, admissions, eviction episodes with per-victim
+    /// score breakdowns, demotions/promotions, pins) is emitted through
+    /// it. Recording is read-only — victim selection, admission, and every
+    /// statistic stay byte-identical with any sink attached (the
+    /// off-is-free contract; see `marconi_trace`). Deliberately not a
+    /// builder knob: tuner replicas replay silently regardless.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (a clone can be handed to sibling components so
+    /// one recorder receives the merged stream).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Emits a [`TraceEvent::Gauges`] telemetry snapshot (occupancy per
+    /// tier, pinned nodes, cumulative counters) at virtual time `now`.
+    /// Called automatically after every admission; serving layers may also
+    /// call it on their own cadence. No-op while the tracer is disabled.
+    pub fn emit_gauges(&self, now: f64) {
+        self.tracer.emit(|| TraceEvent::Gauges {
+            ts: now,
+            cache: self.name.clone(),
+            usage_bytes: self.usage(),
+            host_usage_bytes: self.host_usage(),
+            pinned_nodes: self.tree.pinned_count() as u64,
+            counters: StatCounters {
+                lookups: self.stats.lookups,
+                hits: self.stats.hits,
+                input_tokens: self.stats.input_tokens,
+                hit_tokens: self.stats.hit_tokens,
+                host_hit_tokens: self.stats.host_hit_tokens,
+                evictions: self.stats.evictions,
+                demotions: self.stats.demotions,
+            },
+        });
+    }
+
     /// Convenience [`PrefixCache::lookup_at`] using an internal logical
     /// clock.
     pub fn lookup(&mut self, input: &[Token]) -> LookupResult {
@@ -340,20 +395,26 @@ impl HybridPrefixCache {
     /// the path is device-resident again and the following pressure episode
     /// re-decides what to demote. No-op on a host-empty cache — in
     /// particular, byte-identical behavior when `host_capacity = 0`.
-    fn promote_resident_path(&mut self, seq: &[Token]) {
+    /// Returns the tokens whose state moved host → device (trace
+    /// telemetry only).
+    fn promote_resident_path(&mut self, seq: &[Token]) -> u64 {
         if self.host_tokens == 0 {
-            return;
+            return 0;
         }
+        let mut promoted = 0u64;
         let m = self.tree.match_prefix(seq);
         for id in m.path {
             if self.tree.data(id).tier == Tier::Host {
-                self.host_tokens -= self.tree.edge_len(id);
+                let edge = self.tree.edge_len(id);
+                self.host_tokens -= edge;
+                promoted += edge;
                 if self.tree.data(id).has_ssm_state {
                     self.host_ssm_states -= 1;
                 }
                 self.tree.data_mut(id).tier = Tier::Device;
             }
         }
+        promoted
     }
 
     /// Repairs tier attribution after an insertion split an edge: the new
@@ -447,6 +508,99 @@ impl HybridPrefixCache {
             }
         }
         (h_tokens, h_bytes, h_flops)
+    }
+
+    // ------------------------------------------------------------------
+    // Flight-recorder emit helpers. Everything below is read-only with
+    // respect to cache decisions and runs only while the tracer is
+    // enabled (the off-is-free contract).
+    // ------------------------------------------------------------------
+
+    /// Miss-attribution taxonomy for one resolved lookup: `None` for a
+    /// clean full-length device hit, otherwise the dominant cause —
+    /// a raw match forfeited by the SSM all-or-nothing rule, a prefix the
+    /// miss ledger remembers deleting (capacity pressure, or squeezed out
+    /// while other paths were pinned), a degraded host-tier hit, or plain
+    /// cold.
+    fn classify_lookup(&self, input: &[Token], result: &LookupResult) -> Option<MissCause> {
+        let input_len = input.len() as u64;
+        if result.tokens_matched == input_len && result.host_tokens == 0 {
+            return None;
+        }
+        if result.raw_matched > result.tokens_matched {
+            return Some(MissCause::NeverCheckpointedSsm);
+        }
+        if let Some(cause) = self
+            .miss_ledger
+            .deepest_match(input, result.tokens_matched as usize)
+        {
+            return Some(cause);
+        }
+        if result.host_tokens > 0 {
+            return Some(MissCause::DemotedHostHit);
+        }
+        if result.tokens_matched < input_len {
+            return Some(MissCause::Cold);
+        }
+        None
+    }
+
+    /// Assembles the per-victim score breakdown for an eviction-episode
+    /// event. Reads the same memoized inputs the scorer reads; populating
+    /// the memo is invisible to every decision and log.
+    fn victim_record(&mut self, victim: NodeId, action: VictimAction) -> VictimRecord {
+        let (freed, eff) = self.node_costs(victim);
+        let bytes = match action {
+            VictimAction::Evicted => freed,
+            VictimAction::Demoted => self.node_bytes(victim),
+        };
+        VictimRecord {
+            node: victim.index() as u64,
+            depth: self.tree.depth(victim),
+            last_access: self.tree.data(victim).last_access,
+            flop_efficiency: eff,
+            bytes,
+            action,
+        }
+    }
+
+    /// Emits an [`TraceEvent::EdgeSplit`] if `outcome` split an edge.
+    fn emit_split(&self, outcome: &InsertOutcome, now: f64) {
+        if let Some(mid) = outcome.split_node {
+            self.tracer.emit(|| TraceEvent::EdgeSplit {
+                ts: now,
+                cache: self.name.clone(),
+                node: mid.index() as u64,
+                new_leaf: outcome.new_leaf.map(|l| l.index() as u64),
+            });
+        }
+    }
+
+    /// Emits one [`TraceEvent::EvictionEpisode`] for the victims an
+    /// episode took (no-op for an empty episode).
+    fn emit_episode(
+        &self,
+        now: f64,
+        tier: Tier,
+        cause: PressureCause,
+        pool_len: usize,
+        victims: Vec<VictimRecord>,
+    ) {
+        if victims.is_empty() {
+            return;
+        }
+        self.tracer.emit(|| TraceEvent::EvictionEpisode {
+            ts: now,
+            cache: self.name.clone(),
+            tier: match tier {
+                Tier::Device => TraceTier::Device,
+                Tier::Host => TraceTier::Host,
+            },
+            cause,
+            pool_len: pool_len as u64,
+            alpha: self.effective_alpha,
+            victims,
+        });
     }
 
     /// Debug/test-only: the incremental host counters must equal a
@@ -624,12 +778,20 @@ impl HybridPrefixCache {
     /// Pinned nodes are *filtered out* here rather than removed from the
     /// candidate index: removal would swap-reorder the index permanently,
     /// so even a transient pin would perturb the pin-free victim order.
-    /// Filtering leaves the index untouched — with zero pins the pool (and
-    /// its order) is byte-identical to the pre-pinning build.
+    /// Filtering leaves the index untouched — with zero pins the pool is
+    /// byte-identical to the pre-pinning build.
+    ///
+    /// The pool is drawn from the recency index's `lru_candidates()`
+    /// (the PR 8 follow-on): one candidate source for every policy
+    /// family, already in ascending `(stamp, id)` order. The scored
+    /// pickers are pool-order-independent (strict total orders), so this
+    /// only unifies the plumbing; the debug scan assert keeps proving the
+    /// membership.
     fn tier_pool(&self, tier: Tier) -> Vec<NodeId> {
         let leaf_only = self.leaf_only_eviction;
         self.tree
-            .eviction_candidates()
+            .lru_candidates()
+            .map(|(_, id)| id)
             .filter(|&id| self.tree.data(id).tier == tier)
             .filter(|&id| !leaf_only || self.tree.is_leaf(id))
             .filter(|&id| !self.tree.is_pinned(id))
@@ -669,12 +831,26 @@ impl HybridPrefixCache {
                 .filter(|&id| !self.tree.is_pinned(id))
                 .collect();
             let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(rest.len());
+            let pool_len = rest.len();
+            let mut episode: Option<Vec<VictimRecord>> = self.tracer.is_enabled().then(Vec::new);
             while self.usage() > self.capacity {
                 let Some(i) = self.pick_from_pool(&rest, &mut scored) else {
                     break;
                 };
                 let victim = rest.swap_remove(i);
+                if let Some(ep) = episode.as_mut() {
+                    ep.push(self.victim_record(victim, VictimAction::Demoted));
+                }
                 self.demote_victim(victim, report);
+            }
+            if let Some(victims) = episode {
+                self.emit_episode(
+                    self.clock,
+                    Tier::Device,
+                    PressureCause::DeviceFallback,
+                    pool_len,
+                    victims,
+                );
             }
             // In-flight pins are the one legitimate way the fallback can
             // come up short: pinned bytes are unreclaimable until their
@@ -712,13 +888,23 @@ impl HybridPrefixCache {
     }
 
     /// One pressure episode for `tier` through the scored victim pool: the
-    /// PR 2 machinery, verbatim — build the tier's pool once, re-score it
-    /// per victim with memoized cost reads, repair it in place. Device
-    /// episodes demote byte-bearing victims when a host tier exists; host
-    /// episodes (the last tier) always delete.
+    /// PR 2 machinery — build the tier's pool once, re-score it per victim
+    /// with memoized cost reads, repair it in place. Device episodes
+    /// demote byte-bearing victims when a host tier exists; host episodes
+    /// (the last tier) always delete.
+    ///
+    /// Since PR 9 the pool is snapshotted off the tree's O(log n) recency
+    /// index ([`tier_pool`](Self::tier_pool) iterates `lru_candidates()`),
+    /// the same source the LRU fast path consumes — victim choice is
+    /// independent of pool ordering (strict `(score, last_access, id)` /
+    /// GDSF total orders), so selection is byte-identical to the old
+    /// `eviction_candidates()` sourcing, and the debug pool-vs-scan assert
+    /// still re-proves the membership every iteration.
     fn scored_tier_pressure(&mut self, tier: Tier, report: &mut AdmissionReport) {
         let mut pool = self.tier_pool(tier);
         let mut scored: Vec<Candidate<NodeId>> = Vec::with_capacity(pool.len());
+        let pool_len = pool.len();
+        let mut episode: Option<Vec<VictimRecord>> = self.tracer.is_enabled().then(Vec::new);
         loop {
             let pressing = match tier {
                 Tier::Device => self.usage() > self.capacity && !self.tree.is_empty(),
@@ -737,10 +923,23 @@ impl HybridPrefixCache {
             // zero-byte structural nodes (no checkpoint, zero-width KVs)
             // still merge away so the loop always progresses.
             if tier == Tier::Device && self.host_capacity > 0 && self.node_bytes(victim) > 0 {
+                if let Some(ep) = episode.as_mut() {
+                    ep.push(self.victim_record(victim, VictimAction::Demoted));
+                }
                 self.demote_victim(victim, report);
                 continue;
             }
+            if let Some(ep) = episode.as_mut() {
+                ep.push(self.victim_record(victim, VictimAction::Evicted));
+            }
             self.delete_victim(victim, &mut pool, report, tier);
+        }
+        if let Some(victims) = episode {
+            let cause = match tier {
+                Tier::Device => PressureCause::DeviceCapacity,
+                Tier::Host => PressureCause::HostCapacity,
+            };
+            self.emit_episode(self.clock, tier, cause, pool_len, victims);
         }
     }
 
@@ -780,6 +979,8 @@ impl HybridPrefixCache {
         let mut cursor = 0usize;
         let mut promoted: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
         let mut sink: Vec<NodeId> = Vec::new();
+        let pool_len = snapshot.len();
+        let mut episode: Option<Vec<VictimRecord>> = self.tracer.is_enabled().then(Vec::new);
         while over(self) && !self.tree.is_empty() {
             let victim = loop {
                 // Next entry in global (stamp, id) order across the
@@ -828,8 +1029,14 @@ impl HybridPrefixCache {
             #[cfg(debug_assertions)]
             self.assert_lru_victim_matches_scored_pick(victim, tier);
             if tier == Tier::Device && self.host_capacity > 0 && self.node_bytes(victim) > 0 {
+                if let Some(ep) = episode.as_mut() {
+                    ep.push(self.victim_record(victim, VictimAction::Demoted));
+                }
                 self.demote_victim(victim, report);
                 continue;
+            }
+            if let Some(ep) = episode.as_mut() {
+                ep.push(self.victim_record(victim, VictimAction::Evicted));
             }
             // delete_victim pushes any parent that just became eligible
             // for this tier's pool into `sink` — exactly the entries the
@@ -839,6 +1046,13 @@ impl HybridPrefixCache {
             for parent in sink.drain(..) {
                 promoted.push(Reverse((self.tree.stamp(parent), parent)));
             }
+        }
+        if let Some(victims) = episode {
+            let cause = match tier {
+                Tier::Device => PressureCause::DeviceCapacity,
+                Tier::Host => PressureCause::HostCapacity,
+            };
+            self.emit_episode(self.clock, tier, cause, pool_len, victims);
         }
     }
 
@@ -885,6 +1099,29 @@ impl HybridPrefixCache {
     ) {
         let (freed, _) = self.node_costs(victim);
         let victim_edge = self.tree.edge_len(victim);
+        if self.tracer.is_enabled() {
+            // Ledger first, while the path still exists: a later
+            // short-matching lookup turns this entry into its attribution.
+            // Stream the path's fingerprint edge-by-edge — materializing
+            // the token vector per victim dominates recording cost.
+            let mut chain = Vec::new();
+            let mut cur = Some(victim);
+            while let Some(c) = cur {
+                chain.push(c);
+                cur = self.tree.parent(c);
+            }
+            let mut fp = Fingerprint::new();
+            for &id in chain.iter().rev() {
+                fp.update(self.tree.edge_tokens(id));
+            }
+            let cause = if self.tree.pinned_count() > 0 {
+                MissCause::PinnedBystander
+            } else {
+                MissCause::CapacityEvicted
+            };
+            self.miss_ledger
+                .record_fingerprint(fp.finish(), fp.len(), cause);
+        }
         let parent = self
             .tree
             .parent(victim)
@@ -894,6 +1131,15 @@ impl HybridPrefixCache {
             .tree
             .remove(victim)
             .expect("invariant: eviction candidates are unpinned leaves, hence removable");
+        if let Some(child) = removed.merged_into {
+            let victim_id = victim.index() as u64;
+            self.tracer.emit(|| TraceEvent::EdgeMerge {
+                ts: self.clock,
+                cache: self.name.clone(),
+                removed: victim_id,
+                merged_into: child.index() as u64,
+            });
+        }
         if removed.merged_into.is_none() && parent != self.tree.root() {
             let newly_eligible = if self.leaf_only_eviction {
                 parent_children_before == 1
@@ -1215,6 +1461,10 @@ impl HybridPrefixCache {
             leaf_only_eviction: self.leaf_only_eviction,
             pin_in_flight: self.pin_in_flight,
             gdsf_clock: 0.0,
+            // Replicas replay silently: the tuner's grid-search probes are
+            // hypotheticals, not serving decisions, so they never trace.
+            tracer: Tracer::off(),
+            miss_ledger: MissLedger::default(),
             #[cfg(test)]
             eviction_log: Vec::new(),
             #[cfg(test)]
@@ -1363,6 +1613,18 @@ impl PrefixCache for HybridPrefixCache {
                 self.stats.host_hits += 1;
             }
         }
+        if self.tracer.is_enabled() {
+            let attribution = self.classify_lookup(input, &result);
+            self.tracer.emit(|| TraceEvent::Lookup {
+                ts: now,
+                cache: self.name.clone(),
+                input_len: input.len() as u64,
+                matched: result.tokens_matched,
+                host_tokens: result.host_tokens,
+                raw_matched: result.raw_matched,
+                attribution,
+            });
+        }
         result
     }
 
@@ -1385,6 +1647,7 @@ impl PrefixCache for HybridPrefixCache {
                     let outcome = self.tree.insert(&input[..target as usize]);
                     self.inherit_split_tier(&outcome);
                     self.stamp_new_nodes(&outcome, now);
+                    self.emit_split(&outcome, now);
                     let node = outcome.end_node;
                     debug_assert_eq!(self.tree.depth(node), target);
                     admitted += self.checkpoint(node, now);
@@ -1401,6 +1664,7 @@ impl PrefixCache for HybridPrefixCache {
             let outcome = self.tree.insert(&full);
             self.inherit_split_tier(&outcome);
             self.stamp_new_nodes(&outcome, now);
+            self.emit_split(&outcome, now);
             if self.model.has_ssm() {
                 admitted += self.checkpoint(outcome.end_node, now);
             }
@@ -1411,7 +1675,14 @@ impl PrefixCache for HybridPrefixCache {
         // host-resident node along it promotes back to the device tier
         // before pressure is re-resolved below. (No-op while the host tier
         // is empty, so `host_capacity = 0` behavior is untouched.)
-        self.promote_resident_path(&full);
+        let promoted_tokens = self.promote_resident_path(&full);
+        if promoted_tokens > 0 {
+            self.tracer.emit(|| TraceEvent::Promotion {
+                ts: now,
+                cache: self.name.clone(),
+                tokens: promoted_tokens,
+            });
+        }
 
         let kv_added = (self.tree.token_count() - tokens_before) * self.model.kv_bytes_per_token();
         report.ssm_states_admitted = admitted;
@@ -1419,9 +1690,20 @@ impl PrefixCache for HybridPrefixCache {
         self.stats.insertions += 1;
         self.stats.ssm_states_admitted += admitted;
         self.stats.peak_usage_bytes = self.stats.peak_usage_bytes.max(self.usage());
+        self.tracer.emit(|| TraceEvent::Admission {
+            ts: now,
+            cache: self.name.clone(),
+            input_len: input.len() as u64,
+            output_len: output.len() as u64,
+            checkpoints: admitted,
+            new_tokens: self.tree.token_count() - tokens_before,
+        });
 
         self.evict_until_fits(&mut report);
         self.observe_for_tuning(input, output, now);
+        if self.tracer.is_enabled() {
+            self.emit_gauges(now);
+        }
         report
     }
 
@@ -1465,6 +1747,11 @@ impl PrefixCache for HybridPrefixCache {
         };
         if let Some(id) = node {
             self.tree.pin(id);
+            self.tracer.emit(|| TraceEvent::Pin {
+                ts: self.clock,
+                cache: self.name.clone(),
+                node: id.index() as u64,
+            });
         }
         PinTicket { node, shard: 0 }
     }
@@ -1474,6 +1761,11 @@ impl PrefixCache for HybridPrefixCache {
         // `PinTicket::drop` knows the pin was released.
         if let Some(id) = ticket.redeem() {
             self.tree.unpin(id);
+            self.tracer.emit(|| TraceEvent::Unpin {
+                ts: self.clock,
+                cache: self.name.clone(),
+                node: id.index() as u64,
+            });
         }
     }
 
@@ -1620,6 +1912,8 @@ impl HybridPrefixCacheBuilder {
             leaf_only_eviction: self.leaf_only_eviction,
             pin_in_flight: self.pin_in_flight,
             gdsf_clock: 0.0,
+            tracer: Tracer::off(),
+            miss_ledger: MissLedger::default(),
             #[cfg(test)]
             eviction_log: Vec::new(),
             #[cfg(test)]
@@ -2370,6 +2664,113 @@ mod tests {
                 parallel: false,
             }),
             cap,
+            17,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // PR 9: the off-is-free contract. Attaching the NullSink — or even a
+    // live RingRecorder — must leave every observable byte of cache state
+    // identical to an untraced run: the flight recorder watches decisions,
+    // it never participates in them.
+    // ------------------------------------------------------------------
+
+    /// Replays a seeded two-tier trace through three identically-configured
+    /// caches — untraced, NullSink-attached, RingRecorder-attached — and
+    /// demands byte-identical victim logs, stats, occupancy, and tuned α
+    /// across all three. The recorder run must additionally have captured a
+    /// non-empty event stream, so the parity is not vacuous.
+    fn assert_tracing_is_free(policy: EvictionPolicy, trace_seed: u64) {
+        use marconi_trace::{NullSink, RingRecorder, Tracer};
+        use marconi_workload::{DatasetKind, TraceGenerator};
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 9000 * m.kv_bytes_per_token();
+        let trace = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(12)
+            .seed(trace_seed)
+            .generate();
+        let run = |tracer: Option<Tracer>| {
+            let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                .capacity_bytes(capacity)
+                .host_capacity_bytes(capacity / 2)
+                .policy(policy.clone())
+                .build();
+            if let Some(t) = tracer {
+                c.set_tracer(t);
+            }
+            for r in &trace.requests {
+                c.lookup_at(&r.input, r.arrival);
+                c.insert_at(&r.input, &r.output, r.arrival);
+            }
+            c
+        };
+        let bare = run(None);
+        assert!(
+            bare.stats.evictions > 0 && bare.stats.demotions > 0,
+            "off-is-free trace must exercise eviction and demotion ({policy})"
+        );
+        let null = run(Some(Tracer::to_sink(NullSink).0));
+        let (traced, recorder) = Tracer::to_sink(RingRecorder::new(1 << 16));
+        let ring = run(Some(traced));
+        for (label, other) in [("NullSink", &null), ("RingRecorder", &ring)] {
+            assert_eq!(
+                bare.eviction_log, other.eviction_log,
+                "{label} perturbed the victim sequence under {policy}"
+            );
+            assert_eq!(
+                bare.stats, other.stats,
+                "{label} perturbed stats under {policy}"
+            );
+            assert_eq!(bare.usage(), other.usage(), "{label} usage ({policy})");
+            assert_eq!(
+                bare.host_usage_bytes(),
+                other.host_usage_bytes(),
+                "{label} host usage ({policy})"
+            );
+            assert_eq!(
+                bare.effective_alpha, other.effective_alpha,
+                "{label} perturbed the tuned α under {policy}"
+            );
+            assert_eq!(
+                bare.tree.token_count(),
+                other.tree.token_count(),
+                "{label} tree contents ({policy})"
+            );
+        }
+        let rec = recorder.lock().expect("lock: test-local recorder");
+        assert!(
+            rec.recorded() > 0,
+            "recorder must capture events for the parity to mean anything"
+        );
+        assert!(
+            rec.events().any(|e| e.event.kind() == "eviction-episode"),
+            "an eviction-heavy run must log eviction episodes"
+        );
+    }
+
+    #[test]
+    fn tracing_is_free_lru() {
+        assert_tracing_is_free(EvictionPolicy::Lru, 7);
+    }
+
+    #[test]
+    fn tracing_is_free_flop_aware() {
+        assert_tracing_is_free(EvictionPolicy::FlopAware { alpha: 2.0 }, 11);
+    }
+
+    #[test]
+    fn tracing_is_free_gdsf() {
+        assert_tracing_is_free(EvictionPolicy::Gdsf, 13);
+    }
+
+    #[test]
+    fn tracing_is_free_auto_tuned() {
+        assert_tracing_is_free(
+            EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }),
             17,
         );
     }

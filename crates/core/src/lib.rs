@@ -78,6 +78,10 @@ pub use tier::{ReloadPolicy, Tier, TieredPrefix};
 pub use tuner::{TunerConfig, TunerState};
 pub use vanilla::VanillaCache;
 
+/// The flight-recorder crate, re-exported so callers holding only a
+/// `marconi-core` dependency can build sinks and attach tracers.
+pub use marconi_trace as trace;
+
 use marconi_model::ModelConfig;
 use marconi_radix::{NodeId, Token};
 

@@ -31,6 +31,7 @@ use marconi_core::{
 };
 use marconi_metrics::LoadImbalance;
 use marconi_model::ModelConfig;
+use marconi_trace::{ReloadDecision as TraceReload, ReplicaProbe, TraceEvent, Tracer};
 use marconi_workload::{Request, Token, Trace};
 use std::fmt;
 
@@ -268,6 +269,73 @@ impl Router for QueueAware {
     }
 }
 
+/// Snapshot of every replica's router-visible state for a
+/// [`TraceEvent::RouterDecision`], built only while a tracer is enabled.
+/// Uses the same non-mutating probes the routers use, so capturing it
+/// leaves every replica byte-identical.
+pub(crate) fn trace_probes(req: &Request, statuses: &[ReplicaStatus<'_>]) -> Vec<ReplicaProbe> {
+    statuses
+        .iter()
+        .map(|s| {
+            let tiers = s.probe_tiers(&req.input);
+            ReplicaProbe {
+                replica: s.index() as u64,
+                matched_tokens: tiers.tokens,
+                host_tokens: tiers.host_tokens,
+                queued_tokens: s.queued_tokens(),
+                routed_tokens: s.routed_tokens(),
+            }
+        })
+        .collect()
+}
+
+/// Which comparator stage decided a routing choice, replayed
+/// observationally from the probes: the first stage of the
+/// prefix-/queue-aware total order at which a unique survivor remains.
+/// Hash- and rotation-based routers report their policy name; unknown
+/// custom routers report `custom`.
+pub(crate) fn route_tie_break(router: &str, probes: &[ReplicaProbe]) -> &'static str {
+    if probes.len() <= 1 {
+        return "single-replica";
+    }
+    match router {
+        "round-robin" => return "round-robin",
+        "session-affinity" => return "session-affinity",
+        "prefix-aware" | "queue-aware" => {}
+        _ => return "custom",
+    }
+    /// One comparator stage: (label, probe key, whether max survives).
+    type Stage = (&'static str, fn(&ReplicaProbe) -> u64, bool);
+    let mut survivors: Vec<&ReplicaProbe> = probes.iter().collect();
+    let stages: [Stage; 4] = [
+        ("prefix-tokens", |p| p.matched_tokens, true),
+        ("host-tokens", |p| p.host_tokens, false),
+        ("queue-depth", |p| p.queued_tokens, false),
+        ("routed-tokens", |p| p.routed_tokens, false),
+    ];
+    for (label, key, prefer_max) in stages {
+        if label == "queue-depth" && router != "queue-aware" {
+            continue;
+        }
+        let best = survivors
+            .iter()
+            .map(|p| key(p))
+            .fold(None, |acc: Option<u64>, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) if prefer_max => a.max(v),
+                    Some(a) => a.min(v),
+                })
+            });
+        let Some(best) = best else { break };
+        survivors.retain(|p| key(p) == best);
+        if survivors.len() == 1 {
+            return label;
+        }
+    }
+    "replica-index"
+}
+
 /// The built-in routing policies, for sweeps and builders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoutingPolicy {
@@ -343,6 +411,7 @@ pub struct Cluster {
     replicas: Vec<HybridPrefixCache>,
     router: Box<dyn Router>,
     gpu: GpuModel,
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -388,6 +457,13 @@ impl Cluster {
         self.router.name()
     }
 
+    /// Attaches a tracer to the cluster layer's own decisions (routing
+    /// choices with per-replica probes, reload pricing). Replica caches
+    /// stay untraced; trace a single-cache run for cache-level events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Replays `trace`, routing each request as it arrives.
     ///
     /// Mirrors [`Engine::run`](crate::Engine::run) per replica: look up the
@@ -417,6 +493,17 @@ impl Cluster {
                 "router {} picked replica {idx} of {n}",
                 self.router.name()
             );
+            if self.tracer.is_enabled() {
+                let probes = trace_probes(req, &statuses);
+                let tie_break = route_tie_break(self.router.name(), &probes);
+                self.tracer.emit(|| TraceEvent::RouterDecision {
+                    ts: req.arrival,
+                    request: req.id,
+                    chosen: idx as u64,
+                    tie_break,
+                    probes,
+                });
+            }
             let replica = &mut self.replicas[idx];
             let hit = replica.lookup_at(&req.input, req.arrival);
             let model = replica.model().clone();
@@ -425,6 +512,22 @@ impl Cluster {
                 hit.host_bytes,
                 hit.host_reload_flops,
             );
+            if reload != crate::gpu::ReloadDecision::None && self.tracer.is_enabled() {
+                let cache = format!("{}[{idx}]", replica.name());
+                let load_secs = self.gpu.transfer_secs(hit.host_bytes);
+                let recompute_secs = self.gpu.secs_for_flops(hit.host_reload_flops);
+                self.tracer.emit(|| TraceEvent::Reload {
+                    ts: req.arrival,
+                    cache,
+                    host_bytes: hit.host_bytes,
+                    load_secs,
+                    recompute_secs,
+                    decision: match reload {
+                        crate::gpu::ReloadDecision::Recomputed => TraceReload::Recompute,
+                        _ => TraceReload::Load,
+                    },
+                });
+            }
             let ttft_ms = self
                 .gpu
                 .ttft_ms(&model, req.input_len(), hit.tokens_matched)
@@ -575,6 +678,7 @@ impl ClusterBuilder {
                 .router
                 .unwrap_or_else(|| RoutingPolicy::PrefixAware.build()),
             gpu: self.gpu,
+            tracer: Tracer::off(),
         }
     }
 }

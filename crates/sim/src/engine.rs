@@ -1,8 +1,9 @@
 //! The replay engine.
 
-use crate::gpu::GpuModel;
+use crate::gpu::{GpuModel, ReloadDecision};
 use crate::report::{RequestRecord, SimReport};
 use marconi_core::PrefixCache;
+use marconi_trace::{ReloadDecision as TraceReload, TraceEvent, Tracer};
 use marconi_workload::Trace;
 
 /// Replays traces against one cache, mirroring an inference engine's
@@ -41,6 +42,7 @@ use marconi_workload::Trace;
 pub struct Engine<C> {
     cache: C,
     gpu: GpuModel,
+    tracer: Tracer,
 }
 
 impl<C: PrefixCache> Engine<C> {
@@ -49,7 +51,18 @@ impl<C: PrefixCache> Engine<C> {
     /// `C` may be a concrete cache type or `Box<dyn PrefixCache>`.
     #[must_use]
     pub fn new(cache: C, gpu: GpuModel) -> Self {
-        Engine { cache, gpu }
+        Engine {
+            cache,
+            gpu,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Attaches a tracer to the engine's own decisions (the compute-or-load
+    /// pricing of host hits). Cache-level events are attached on the cache
+    /// itself before it is handed to the engine.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Access to the underlying cache (e.g. for baseline-specific
@@ -83,6 +96,19 @@ impl<C: PrefixCache> Engine<C> {
                 hit.host_bytes,
                 hit.host_reload_flops,
             );
+            if reload != ReloadDecision::None {
+                self.tracer.emit(|| TraceEvent::Reload {
+                    ts: req.arrival,
+                    cache: self.cache.name().to_owned(),
+                    host_bytes: hit.host_bytes,
+                    load_secs: self.gpu.transfer_secs(hit.host_bytes),
+                    recompute_secs: self.gpu.secs_for_flops(hit.host_reload_flops),
+                    decision: match reload {
+                        ReloadDecision::Recomputed => TraceReload::Recompute,
+                        _ => TraceReload::Load,
+                    },
+                });
+            }
             let ttft_ms = self
                 .gpu
                 .ttft_ms(&model, req.input_len(), hit.tokens_matched)

@@ -31,7 +31,7 @@
 //! [`RoutingPolicy::QueueAware`] policy finally lets placement trade
 //! prefix locality against real-time queue depth.
 
-use crate::cluster::{ReplicaStatus, Router, RoutingPolicy};
+use crate::cluster::{route_tie_break, trace_probes, ReplicaStatus, Router, RoutingPolicy};
 use crate::executor::{BatchConfig, Executor, ServiceMode};
 use crate::gpu::GpuModel;
 use marconi_core::{
@@ -39,6 +39,7 @@ use marconi_core::{
 };
 use marconi_metrics::{LatencySummary, Percentiles, TierSplit};
 use marconi_model::ModelConfig;
+use marconi_trace::{TraceEvent, Tracer};
 use marconi_workload::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -221,6 +222,7 @@ pub struct EventSim<C> {
     cache: C,
     service: ServiceMode,
     batch: BatchConfig,
+    tracer: Tracer,
 }
 
 impl<C: PrefixCache> EventSim<C> {
@@ -231,6 +233,7 @@ impl<C: PrefixCache> EventSim<C> {
             cache,
             service: ServiceMode::Modeled(gpu),
             batch: BatchConfig::default(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -244,7 +247,15 @@ impl<C: PrefixCache> EventSim<C> {
             cache,
             service: ServiceMode::Instantaneous,
             batch: BatchConfig::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a tracer to the executor's own decisions (queue
+    /// admissions, batch-iteration boundaries, reload pricing).
+    /// Cache-level events are attached on the cache itself.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Overrides the continuous-batching knobs.
@@ -280,7 +291,11 @@ impl<C: PrefixCache> EventSim<C> {
     /// the engine's per-request lookup→insert order in the zero-load
     /// limit). Cache state persists across calls, like `Engine`.
     pub fn run(&mut self, trace: &Trace) -> EventReport {
-        let mut exec = Executor::new(self.batch.clone(), self.service.clone());
+        let mut exec = Executor::new(
+            self.batch.clone(),
+            self.service.clone(),
+            self.tracer.clone(),
+        );
         let mut arrivals = trace.arrivals().peekable();
         loop {
             let arrival = arrivals.peek().map(|r| r.arrival);
@@ -341,6 +356,7 @@ pub struct EventCluster {
     router: Box<dyn Router>,
     service: ServiceMode,
     batch: BatchConfig,
+    tracer: Tracer,
 }
 
 impl EventCluster {
@@ -388,6 +404,14 @@ impl EventCluster {
         self.router.name()
     }
 
+    /// Attaches a tracer to the cluster layer's own decisions (routing
+    /// choices with per-replica probes, queue admissions, batch-iteration
+    /// boundaries, reload pricing). Replica caches stay untraced; trace a
+    /// single-cache run for cache-level events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Replays `trace` event-by-event across all replicas.
     ///
     /// Each arrival routes against live [`ReplicaStatus`]es — prefix probe
@@ -402,7 +426,13 @@ impl EventCluster {
         let n = self.replicas.len();
         let stats_before: Vec<CacheStats> = self.replicas.iter().map(|r| *r.stats()).collect();
         let mut execs: Vec<Executor<'_>> = (0..n)
-            .map(|_| Executor::new(self.batch.clone(), self.service.clone()))
+            .map(|_| {
+                Executor::new(
+                    self.batch.clone(),
+                    self.service.clone(),
+                    self.tracer.clone(),
+                )
+            })
             .collect();
         let mut assignments = Vec::with_capacity(trace.len());
         let mut arrivals = trace.arrivals().peekable();
@@ -436,6 +466,17 @@ impl EventCluster {
                         "router {} picked replica {idx} of {n}",
                         self.router.name()
                     );
+                    if self.tracer.is_enabled() {
+                        let probes = trace_probes(req, &statuses);
+                        let tie_break = route_tie_break(self.router.name(), &probes);
+                        self.tracer.emit(|| TraceEvent::RouterDecision {
+                            ts: ta,
+                            request: req.id,
+                            chosen: idx as u64,
+                            tie_break,
+                            probes,
+                        });
+                    }
                     execs[idx].enqueue(req, &mut self.replicas[idx], ta);
                     assignments.push(idx);
                 }
@@ -599,6 +640,7 @@ impl EventClusterBuilder {
                 .unwrap_or_else(|| RoutingPolicy::QueueAware.build()),
             service: self.service,
             batch: self.batch,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -1147,15 +1189,13 @@ mod tests {
         });
     }
 
-    /// The headline bug this PR fixes, demonstrated end-to-end under the
-    /// modeled clock: a long-decoding request's admission-time hit path is
-    /// reclaimed by eviction pressure from concurrently *completing*
-    /// requests — unless the admission lookup pins it. The two runs
-    /// diverge exactly (and only) at that victim choice: unpinned,
-    /// pressure takes the in-flight path; pinned, it takes the next-best
-    /// victim instead.
-    #[test]
-    fn mid_flight_eviction_is_prevented_by_pinning() {
+    /// Builds the PR 6 mid-decode eviction scenario: session A's chain is
+    /// resumed by a long-decoding request while three completing pressure
+    /// chains overflow the byte budget, and two probes read which chain
+    /// survived before the decode finishes. Returns the model, the byte
+    /// capacity that forces exactly one chain out, and the trace. Shared by
+    /// the pinning test below and the PR 9 miss-attribution test.
+    fn mid_flight_scenario() -> (ModelConfig, u64, Trace) {
         use marconi_workload::Request;
         let m = ModelConfig::hybrid_7b();
         let a_in: Vec<u32> = (0..96).collect();
@@ -1234,7 +1274,19 @@ mod tests {
                 mk(6, t0 + 0.92 * calibrate, resume_c1, (700..704).collect()),
             ],
         };
+        (m, capacity, trace)
+    }
 
+    /// The headline bug PR 6 fixes, demonstrated end-to-end under the
+    /// modeled clock: a long-decoding request's admission-time hit path is
+    /// reclaimed by eviction pressure from concurrently *completing*
+    /// requests — unless the admission lookup pins it. The two runs
+    /// diverge exactly (and only) at that victim choice: unpinned,
+    /// pressure takes the in-flight path; pinned, it takes the next-best
+    /// victim instead.
+    #[test]
+    fn mid_flight_eviction_is_prevented_by_pinning() {
+        let (m, capacity, trace) = mid_flight_scenario();
         let run = |pin: bool| {
             let cache = HybridPrefixCache::builder(m.clone())
                 .capacity_bytes(capacity)
@@ -1278,5 +1330,61 @@ mod tests {
         );
         // All pins were redeemed at completion.
         assert_eq!(pinned.cache_stats.lookups, unpinned.cache_stats.lookups);
+    }
+
+    /// PR 9: the flight recorder tells the two mid-flight outcomes apart
+    /// by miss cause. Unpinned, probe 5's miss is `capacity-evicted` (its
+    /// prefix was reclaimed by ordinary pressure); pinned, the eviction
+    /// routes around the pinned chain and probe 6's miss is
+    /// `pinned-bystander` — the taxonomy localizes PR 6's bug class from
+    /// the trace alone.
+    #[test]
+    fn mid_flight_misses_are_attributed() {
+        use marconi_trace::{MissCause, RingRecorder, TraceEvent, Tracer};
+        let (m, capacity, trace) = mid_flight_scenario();
+        let run = |pin: bool| {
+            let (tracer, recorder) = Tracer::to_sink(RingRecorder::new(1 << 14));
+            let mut cache = HybridPrefixCache::builder(m.clone())
+                .capacity_bytes(capacity)
+                .policy(EvictionPolicy::Lru)
+                .in_flight_pinning(pin)
+                .build();
+            cache.set_tracer(tracer);
+            EventSim::new(cache, GpuModel::a100_x4()).run(&trace);
+            recorder
+        };
+        // The probes are the only lookups with (their input length, zero
+        // matched tokens): request 1 resumes the same 148 tokens as probe 5
+        // but hits the still-cached chain.
+        let attribution =
+            |rec: &std::sync::Arc<std::sync::Mutex<RingRecorder>>, len: u64| -> Option<MissCause> {
+                let rec = rec.lock().expect("lock: test-local recorder");
+                let mut found = rec.events().filter_map(|e| match e.event {
+                    TraceEvent::Lookup {
+                        input_len,
+                        matched: 0,
+                        attribution,
+                        ..
+                    } if input_len == len => Some(attribution),
+                    _ => None,
+                });
+                let att = found
+                    .next()
+                    .expect("invariant: the probe's miss must be traced");
+                assert_eq!(found.next(), None, "exactly one missing lookup of {len}");
+                att
+            };
+        let unpinned = run(false);
+        assert_eq!(
+            attribution(&unpinned, 148),
+            Some(MissCause::CapacityEvicted),
+            "unpinned: the in-flight chain was taken by ordinary capacity pressure"
+        );
+        let pinned = run(true);
+        assert_eq!(
+            attribution(&pinned, 100),
+            Some(MissCause::PinnedBystander),
+            "pinned: the bystander chain was evicted while a pin diverted pressure"
+        );
     }
 }

@@ -18,6 +18,7 @@
 use crate::event::EventRecord;
 use crate::gpu::{GpuModel, ReloadDecision};
 use marconi_core::{PinTicket, PrefixCache};
+use marconi_trace::{ReloadDecision as TraceReload, TraceEvent, Tracer};
 use marconi_workload::Request;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -118,10 +119,11 @@ pub(crate) struct Executor<'a> {
     busy_s: f64,
     iterations: u64,
     records: Vec<EventRecord>,
+    tracer: Tracer,
 }
 
 impl<'a> Executor<'a> {
-    pub(crate) fn new(batch: BatchConfig, service: ServiceMode) -> Self {
+    pub(crate) fn new(batch: BatchConfig, service: ServiceMode, tracer: Tracer) -> Self {
         batch.validate();
         Executor {
             batch,
@@ -133,6 +135,7 @@ impl<'a> Executor<'a> {
             busy_s: 0.0,
             iterations: 0,
             records: Vec::new(),
+            tracer,
         }
     }
 
@@ -141,6 +144,12 @@ impl<'a> Executor<'a> {
     pub(crate) fn enqueue<C: PrefixCache>(&mut self, req: &'a Request, cache: &mut C, now: f64) {
         self.queued_input_tokens += req.input_len();
         self.queue.push_back(req);
+        self.tracer.emit(|| TraceEvent::QueueAdmission {
+            ts: now,
+            request: req.id,
+            queue_depth: self.queue.len() as u64,
+            queued_tokens: self.queued_input_tokens,
+        });
         if self.busy_until.is_none() {
             self.start_iteration(cache, now);
         }
@@ -274,7 +283,25 @@ impl<'a> Executor<'a> {
             let pin = cache.pin_prefix(&req.input);
             let (reload_s, reload) = match &self.service {
                 ServiceMode::Modeled(gpu) => {
-                    gpu.reload_secs(cache.reload_policy(), hit.host_bytes, hit.host_reload_flops)
+                    let priced = gpu.reload_secs(
+                        cache.reload_policy(),
+                        hit.host_bytes,
+                        hit.host_reload_flops,
+                    );
+                    if priced.1 != ReloadDecision::None {
+                        self.tracer.emit(|| TraceEvent::Reload {
+                            ts: now,
+                            cache: cache.name().to_owned(),
+                            host_bytes: hit.host_bytes,
+                            load_secs: gpu.transfer_secs(hit.host_bytes),
+                            recompute_secs: gpu.secs_for_flops(hit.host_reload_flops),
+                            decision: match priced.1 {
+                                ReloadDecision::Recomputed => TraceReload::Recompute,
+                                _ => TraceReload::Load,
+                            },
+                        });
+                    }
+                    priced
                 }
                 // Infinite throughput also means infinite bandwidth: host
                 // hits reload in zero time, but the recorded arm still
@@ -341,6 +368,12 @@ impl<'a> Executor<'a> {
         };
         self.busy_s += duration;
         self.iterations += 1;
+        self.tracer.emit(|| TraceEvent::BatchIteration {
+            ts: now,
+            iteration: self.iterations,
+            running: self.running.len() as u64,
+            queue_depth: self.queue.len() as u64,
+        });
         self.busy_until = Some(now + duration);
     }
 }
@@ -375,6 +408,7 @@ mod tests {
                 prefill_chunk_tokens: 512,
             },
             ServiceMode::Modeled(GpuModel::a100_x4()),
+            Tracer::off(),
         );
         for r in &trace.requests {
             ex.enqueue(r, &mut c, r.arrival);
@@ -405,7 +439,11 @@ mod tests {
             .seed(1)
             .generate();
         let mut c = cache();
-        let mut ex = Executor::new(BatchConfig::default(), ServiceMode::Instantaneous);
+        let mut ex = Executor::new(
+            BatchConfig::default(),
+            ServiceMode::Instantaneous,
+            Tracer::off(),
+        );
         // Bypass `enqueue`'s token bookkeeping to simulate drift, then let
         // admission (via `advance`'s restart path) dequeue the request.
         ex.queue.push_back(&trace.requests[0]);

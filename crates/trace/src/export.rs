@@ -1,0 +1,399 @@
+//! Schema-stable exporters: JSON-lines and Chrome trace-event JSON.
+//!
+//! JSON is hand-formatted (the workspace vendors no JSON serializer);
+//! the golden-snapshot tests in `tests/` pin both schemas, so format
+//! changes must be deliberate.
+
+use crate::event::{SeqEvent, TraceEvent};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |n| n.to_string())
+}
+
+/// The event's fields as a JSON fragment (`"k":v,…`, no braces, no
+/// `seq`/`ts`/`type`) — shared by the JSONL lines and the Chrome `args`.
+fn fields(ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::Lookup {
+            cache,
+            input_len,
+            matched,
+            host_tokens,
+            raw_matched,
+            attribution,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"input_len\":{input_len},\"matched\":{matched},\
+             \"host_tokens\":{host_tokens},\"raw_matched\":{raw_matched},\
+             \"attribution\":{}",
+            esc(cache),
+            attribution.map_or_else(|| "null".to_owned(), |a| format!("\"{}\"", a.label())),
+        ),
+        TraceEvent::Admission {
+            cache,
+            input_len,
+            output_len,
+            checkpoints,
+            new_tokens,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"input_len\":{input_len},\"output_len\":{output_len},\
+             \"checkpoints\":{checkpoints},\"new_tokens\":{new_tokens}",
+            esc(cache),
+        ),
+        TraceEvent::EdgeSplit {
+            cache,
+            node,
+            new_leaf,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"node\":{node},\"new_leaf\":{}",
+            esc(cache),
+            opt(*new_leaf),
+        ),
+        TraceEvent::EdgeMerge {
+            cache,
+            removed,
+            merged_into,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"removed\":{removed},\"merged_into\":{merged_into}",
+            esc(cache),
+        ),
+        TraceEvent::EvictionEpisode {
+            cache,
+            tier,
+            cause,
+            pool_len,
+            alpha,
+            victims,
+            ..
+        } => {
+            let mut vs = String::from("[");
+            for (i, v) in victims.iter().enumerate() {
+                if i > 0 {
+                    vs.push(',');
+                }
+                let _ = write!(
+                    vs,
+                    "{{\"node\":{},\"depth\":{},\"last_access\":{},\
+                     \"flop_efficiency\":{},\"bytes\":{},\"action\":\"{}\"}}",
+                    v.node,
+                    v.depth,
+                    num(v.last_access),
+                    num(v.flop_efficiency),
+                    v.bytes,
+                    v.action.label(),
+                );
+            }
+            vs.push(']');
+            format!(
+                "\"cache\":\"{}\",\"tier\":\"{}\",\"cause\":\"{}\",\
+                 \"pool_len\":{pool_len},\"alpha\":{},\"victims\":{vs}",
+                esc(cache),
+                tier.label(),
+                cause.label(),
+                num(*alpha),
+            )
+        }
+        TraceEvent::Promotion { cache, tokens, .. } => {
+            format!("\"cache\":\"{}\",\"tokens\":{tokens}", esc(cache))
+        }
+        TraceEvent::Pin { cache, node, .. } => {
+            format!("\"cache\":\"{}\",\"node\":{node}", esc(cache))
+        }
+        TraceEvent::Unpin { cache, node, .. } => {
+            format!("\"cache\":\"{}\",\"node\":{node}", esc(cache))
+        }
+        TraceEvent::Reload {
+            cache,
+            host_bytes,
+            load_secs,
+            recompute_secs,
+            decision,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"host_bytes\":{host_bytes},\"load_secs\":{},\
+             \"recompute_secs\":{},\"decision\":\"{}\"",
+            esc(cache),
+            num(*load_secs),
+            num(*recompute_secs),
+            decision.label(),
+        ),
+        TraceEvent::RouterDecision {
+            request,
+            chosen,
+            tie_break,
+            probes,
+            ..
+        } => {
+            let mut ps = String::from("[");
+            for (i, p) in probes.iter().enumerate() {
+                if i > 0 {
+                    ps.push(',');
+                }
+                let _ = write!(
+                    ps,
+                    "{{\"replica\":{},\"matched_tokens\":{},\"host_tokens\":{},\
+                     \"queued_tokens\":{},\"routed_tokens\":{}}}",
+                    p.replica, p.matched_tokens, p.host_tokens, p.queued_tokens, p.routed_tokens,
+                );
+            }
+            ps.push(']');
+            format!(
+                "\"request\":{request},\"chosen\":{chosen},\
+                 \"tie_break\":\"{tie_break}\",\"probes\":{ps}"
+            )
+        }
+        TraceEvent::QueueAdmission {
+            request,
+            queue_depth,
+            queued_tokens,
+            ..
+        } => format!(
+            "\"request\":{request},\"queue_depth\":{queue_depth},\
+             \"queued_tokens\":{queued_tokens}"
+        ),
+        TraceEvent::BatchIteration {
+            iteration,
+            running,
+            queue_depth,
+            ..
+        } => format!(
+            "\"iteration\":{iteration},\"running\":{running},\
+             \"queue_depth\":{queue_depth}"
+        ),
+        TraceEvent::Gauges {
+            cache,
+            usage_bytes,
+            host_usage_bytes,
+            pinned_nodes,
+            counters,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"usage_bytes\":{usage_bytes},\
+             \"host_usage_bytes\":{host_usage_bytes},\"pinned_nodes\":{pinned_nodes},\
+             \"lookups\":{},\"hits\":{},\"input_tokens\":{},\"hit_tokens\":{},\
+             \"host_hit_tokens\":{},\"evictions\":{},\"demotions\":{}",
+            esc(cache),
+            counters.lookups,
+            counters.hits,
+            counters.input_tokens,
+            counters.hit_tokens,
+            counters.host_hit_tokens,
+            counters.evictions,
+            counters.demotions,
+        ),
+    }
+}
+
+/// Exports events as JSON-lines: one object per line, fields
+/// `seq`/`ts`/`type` first, then the event's own fields.
+pub fn to_jsonl<'a>(events: impl IntoIterator<Item = &'a SeqEvent>) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"seq\":{},\"ts\":{},\"type\":\"{}\",{}}}",
+            e.seq,
+            num(e.event.ts()),
+            e.event.kind(),
+            fields(&e.event),
+        );
+    }
+    out
+}
+
+/// Trace-event "thread" lanes grouping related event kinds in the
+/// Perfetto timeline.
+fn lane(ev: &TraceEvent) -> (u64, &'static str) {
+    match ev {
+        TraceEvent::Lookup { .. }
+        | TraceEvent::Admission { .. }
+        | TraceEvent::EdgeSplit { .. }
+        | TraceEvent::EdgeMerge { .. }
+        | TraceEvent::Promotion { .. } => (1, "cache"),
+        TraceEvent::EvictionEpisode { .. } | TraceEvent::Pin { .. } | TraceEvent::Unpin { .. } => {
+            (2, "eviction")
+        }
+        TraceEvent::Reload { .. } => (3, "tiering"),
+        TraceEvent::QueueAdmission { .. } | TraceEvent::BatchIteration { .. } => (4, "sim"),
+        TraceEvent::RouterDecision { .. } => (5, "router"),
+        TraceEvent::Gauges { .. } => (6, "telemetry"),
+    }
+}
+
+/// Exports events as Chrome trace-event JSON (the `traceEvents` array
+/// format), loadable in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`. Decisions become instant events on per-category
+/// lanes; [`TraceEvent::Gauges`] snapshots additionally become counter
+/// tracks (`ph:"C"`) so occupancy plots as a time series. Virtual-clock
+/// seconds map to trace microseconds.
+pub fn to_chrome_trace<'a>(events: impl IntoIterator<Item = &'a SeqEvent>) -> String {
+    let mut body = String::new();
+    let mut lanes_seen: Vec<(u64, &'static str)> = Vec::new();
+    let push = |line: String, body: &mut String| {
+        if !body.is_empty() {
+            body.push_str(",\n");
+        }
+        body.push_str(&line);
+    };
+    for e in events {
+        let (tid, lane_name) = lane(&e.event);
+        if !lanes_seen.contains(&(tid, lane_name)) {
+            lanes_seen.push((tid, lane_name));
+        }
+        let us = e.event.ts() * 1e6;
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"pid\":1,\"tid\":{tid},\"ts\":{},\"args\":{{\"seq\":{},{}}}}}",
+                e.event.kind(),
+                lane_name,
+                num(us),
+                e.seq,
+                fields(&e.event),
+            ),
+            &mut body,
+        );
+        if let TraceEvent::Gauges {
+            usage_bytes,
+            host_usage_bytes,
+            pinned_nodes,
+            ..
+        } = &e.event
+        {
+            push(
+                format!(
+                    "{{\"name\":\"occupancy\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\
+                     \"args\":{{\"device_bytes\":{usage_bytes},\
+                     \"host_bytes\":{host_usage_bytes},\
+                     \"pinned_nodes\":{pinned_nodes}}}}}",
+                    num(us),
+                ),
+                &mut body,
+            );
+        }
+    }
+    let mut meta = String::new();
+    for (tid, name) in lanes_seen {
+        if !meta.is_empty() {
+            meta.push_str(",\n");
+        }
+        let _ = write!(
+            meta,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+    let sep = if meta.is_empty() || body.is_empty() {
+        ""
+    } else {
+        ",\n"
+    };
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{meta}{sep}{body}\n]}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MissCause;
+
+    fn sample() -> Vec<SeqEvent> {
+        vec![
+            SeqEvent {
+                seq: 0,
+                event: TraceEvent::Lookup {
+                    ts: 0.5,
+                    cache: "m".into(),
+                    input_len: 10,
+                    matched: 0,
+                    host_tokens: 0,
+                    raw_matched: 0,
+                    attribution: Some(MissCause::Cold),
+                },
+            },
+            SeqEvent {
+                seq: 1,
+                event: TraceEvent::Gauges {
+                    ts: 1.0,
+                    cache: "m".into(),
+                    usage_bytes: 64,
+                    host_usage_bytes: 0,
+                    pinned_nodes: 0,
+                    counters: crate::StatCounters::default(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let s = to_jsonl(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"ts\":0.5,\"type\":\"lookup\""));
+        assert!(lines[0].contains("\"attribution\":\"cold\""));
+        assert!(lines[1].contains("\"type\":\"gauges\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_counters_and_thread_names() {
+        let s = to_chrome_trace(&sample());
+        assert!(s.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"thread_name\""));
+        assert!(s.contains("\"device_bytes\":64"));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = [SeqEvent {
+            seq: 0,
+            event: TraceEvent::Pin {
+                ts: 0.0,
+                cache: "we\"ird\\name".into(),
+                node: 3,
+            },
+        }];
+        let s = to_jsonl(&e);
+        assert!(s.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(0.25), "0.25");
+    }
+}

@@ -1,0 +1,251 @@
+//! The bounded in-memory recorder and its telemetry views.
+
+use crate::event::{MissCause, SeqEvent, StatCounters, TraceEvent};
+use crate::export;
+use crate::sink::TraceSink;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded ring of recorded events with live telemetry accessors.
+///
+/// Keeps the most recent `cap` events (oldest dropped first, with a
+/// [`dropped`](RingRecorder::dropped) counter so truncation is visible),
+/// assigns the monotone sequence numbers that order the merged stream,
+/// and derives counter/gauge views — latest occupancy, windowed hit rate
+/// between successive [`TraceEvent::Gauges`] snapshots, and the
+/// [miss-attribution report](MissReport).
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<SeqEvent>,
+}
+
+impl RingRecorder {
+    /// A recorder retaining at most `cap` events.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        RingRecorder {
+            cap: cap.max(1),
+            next_seq: 0,
+            dropped: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SeqEvent> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted from the ring by the bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The most recent [`TraceEvent::Gauges`] snapshot, if any — the
+    /// "current occupancy" view.
+    #[must_use]
+    pub fn latest_gauges(&self) -> Option<&SeqEvent> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| matches!(e.event, TraceEvent::Gauges { .. }))
+    }
+
+    /// Token hit rate over the window between the two most recent
+    /// [`TraceEvent::Gauges`] snapshots — the same subtraction
+    /// `CacheStats::delta_since` performs, applied to the snapshot
+    /// counters. `None` until two snapshots exist or if the window saw no
+    /// input tokens.
+    #[must_use]
+    pub fn windowed_hit_rate(&self) -> Option<f64> {
+        let mut it = self.events.iter().rev().filter_map(|e| match &e.event {
+            TraceEvent::Gauges { counters, .. } => Some(*counters),
+            _ => None,
+        });
+        let late: StatCounters = it.next()?;
+        let early: StatCounters = it.next()?;
+        let input = late.input_tokens.checked_sub(early.input_tokens)?;
+        let hit = late.hit_tokens.checked_sub(early.hit_tokens)?;
+        if input == 0 {
+            return None;
+        }
+        Some(hit as f64 / input as f64)
+    }
+
+    /// Aggregates the retained [`TraceEvent::Lookup`] events into the
+    /// per-request miss-attribution report.
+    #[must_use]
+    pub fn miss_attribution(&self) -> MissReport {
+        let mut r = MissReport::default();
+        for e in &self.events {
+            if let TraceEvent::Lookup { attribution, .. } = &e.event {
+                r.lookups += 1;
+                match attribution {
+                    None => r.clean_hits += 1,
+                    Some(MissCause::Cold) => r.cold += 1,
+                    Some(MissCause::CapacityEvicted) => r.capacity_evicted += 1,
+                    Some(MissCause::PinnedBystander) => r.pinned_bystander += 1,
+                    Some(MissCause::DemotedHostHit) => r.demoted_host_hit += 1,
+                    Some(MissCause::NeverCheckpointedSsm) => r.never_checkpointed_ssm += 1,
+                }
+            }
+        }
+        r
+    }
+
+    /// Exports the retained events as JSON-lines (see
+    /// [`to_jsonl`](crate::to_jsonl)).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        export::to_jsonl(self.events.iter())
+    }
+
+    /// Exports the retained events as Chrome trace-event JSON (see
+    /// [`to_chrome_trace`](crate::to_chrome_trace)).
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        export::to_chrome_trace(self.events.iter())
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, event: TraceEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(SeqEvent { seq, event });
+    }
+}
+
+/// Lookup outcomes bucketed by the miss-attribution taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissReport {
+    /// Lookup events seen.
+    pub lookups: u64,
+    /// Clean full-length device hits (no cause).
+    pub clean_hits: u64,
+    /// Prefix was never cached.
+    pub cold: u64,
+    /// Prefix was cached but deleted under capacity pressure.
+    pub capacity_evicted: u64,
+    /// Prefix was deleted while other nodes were pinned.
+    pub pinned_bystander: u64,
+    /// Prefix hit from the host tier after demotion.
+    pub demoted_host_hit: u64,
+    /// Raw match forfeited by a missing SSM checkpoint.
+    pub never_checkpointed_ssm: u64,
+}
+
+impl fmt::Display for MissReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups: {} clean, {} cold, {} capacity-evicted, \
+             {} pinned-bystander, {} demoted-then-host-hit, {} never-checkpointed-ssm",
+            self.lookups,
+            self.clean_hits,
+            self.cold,
+            self.capacity_evicted,
+            self.pinned_bystander,
+            self.demoted_host_hit,
+            self.never_checkpointed_ssm,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauges(ts: f64, input_tokens: u64, hit_tokens: u64) -> TraceEvent {
+        TraceEvent::Gauges {
+            ts,
+            cache: "m".into(),
+            usage_bytes: 0,
+            host_usage_bytes: 0,
+            pinned_nodes: 0,
+            counters: StatCounters {
+                input_tokens,
+                hit_tokens,
+                ..StatCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut r = RingRecorder::new(2);
+        for i in 0..5u64 {
+            r.record(TraceEvent::Pin {
+                ts: i as f64,
+                cache: "m".into(),
+                node: i,
+            });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 3);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [3, 4]);
+    }
+
+    #[test]
+    fn windowed_hit_rate_needs_two_snapshots() {
+        let mut r = RingRecorder::new(8);
+        assert_eq!(r.windowed_hit_rate(), None);
+        r.record(gauges(1.0, 100, 10));
+        assert_eq!(r.windowed_hit_rate(), None);
+        r.record(gauges(2.0, 300, 110));
+        let rate = r.windowed_hit_rate().expect("two snapshots recorded");
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_report_buckets_lookups() {
+        let mut r = RingRecorder::new(8);
+        let mk = |attribution| TraceEvent::Lookup {
+            ts: 0.0,
+            cache: "m".into(),
+            input_len: 4,
+            matched: 0,
+            host_tokens: 0,
+            raw_matched: 0,
+            attribution,
+        };
+        r.record(mk(None));
+        r.record(mk(Some(MissCause::Cold)));
+        r.record(mk(Some(MissCause::PinnedBystander)));
+        r.record(mk(Some(MissCause::PinnedBystander)));
+        let rep = r.miss_attribution();
+        assert_eq!(rep.lookups, 4);
+        assert_eq!(rep.clean_hits, 1);
+        assert_eq!(rep.cold, 1);
+        assert_eq!(rep.pinned_bystander, 2);
+        assert!(rep.to_string().contains("2 pinned-bystander"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The sink contract and the [`Tracer`] handle every emit site goes
+//! through.
+
+use crate::event::TraceEvent;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Receives structured events from a [`Tracer`].
+///
+/// `record` is called once per emitted event, in emission order; the sink
+/// owns sequence numbering (see
+/// [`RingRecorder`](crate::RingRecorder)). `is_enabled` is sampled **once,
+/// at attach time**: a sink that returns `false` (the [`NullSink`])
+/// disables the tracer outright, so emit sites never even construct the
+/// event — this is what makes the off-is-free contract cheap to honor.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Whether attaching this sink should enable emission. Defaults to
+    /// `true`; the [`NullSink`] returns `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The do-nothing sink. Attaching it is indistinguishable from attaching
+/// no sink at all: [`TraceSink::is_enabled`] returns `false`, the tracer
+/// caches that, and every emit site reduces to one branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Recovers a (possibly poisoned) mutex guard: a panicking recorder must
+/// not take the serving path down with it.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The cloneable emission handle held by every instrumented component.
+///
+/// The default ([`Tracer::off`]) carries no sink; `emit` is then a single
+/// branch on a cached `bool` and the event-constructing closure never
+/// runs. Clones share the underlying sink, so one recorder can receive a
+/// merged stream from a cache, its engine, and the router (the sink's
+/// sequence numbers give the merged stream its total order).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<Mutex<dyn TraceSink + Send>>>,
+    enabled: bool,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The detached tracer: emits nothing, costs one branch per site.
+    #[must_use]
+    pub fn off() -> Self {
+        Tracer::default()
+    }
+
+    /// Attaches an already-shared sink. Emission is enabled iff the sink
+    /// reports [`TraceSink::is_enabled`] at this moment (sampled once).
+    #[must_use]
+    pub fn attached(sink: Arc<Mutex<dyn TraceSink + Send>>) -> Self {
+        let enabled = lock(&sink).is_enabled();
+        Tracer {
+            sink: Some(sink),
+            enabled,
+        }
+    }
+
+    /// Wraps `sink` for attachment, returning the tracer and a shared
+    /// handle for reading the sink back after the run:
+    ///
+    /// ```
+    /// use marconi_trace::{RingRecorder, Tracer};
+    /// let (tracer, recorder) = Tracer::to_sink(RingRecorder::new(1024));
+    /// // … attach `tracer` to a cache / engine, run …
+    /// # drop(tracer);
+    /// let events = recorder.lock().unwrap().recorded();
+    /// # assert_eq!(events, 0);
+    /// ```
+    #[must_use]
+    pub fn to_sink<S: TraceSink + Send + 'static>(sink: S) -> (Self, Arc<Mutex<S>>) {
+        let shared = Arc::new(Mutex::new(sink));
+        let dynamic: Arc<Mutex<dyn TraceSink + Send>> = shared.clone();
+        (Tracer::attached(dynamic), shared)
+    }
+
+    /// Whether emit sites should bother constructing events. Instrumented
+    /// code may consult this to skip *preparatory* work (e.g. assembling
+    /// per-victim breakdowns) — never to change a decision.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits the event produced by `make` — which runs only if the tracer
+    /// is enabled, keeping disabled emission allocation-free.
+    pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(sink) = &self.sink {
+            lock(sink).record(make());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RingRecorder;
+
+    #[test]
+    fn off_tracer_never_runs_the_closure() {
+        let t = Tracer::off();
+        let mut ran = false;
+        t.emit(|| {
+            ran = true;
+            TraceEvent::Pin {
+                ts: 0.0,
+                cache: String::new(),
+                node: 0,
+            }
+        });
+        assert!(!ran);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn null_sink_disables_at_attach_time() {
+        let (t, _sink) = Tracer::to_sink(NullSink);
+        assert!(!t.is_enabled());
+        let mut ran = false;
+        t.emit(|| {
+            ran = true;
+            TraceEvent::Pin {
+                ts: 0.0,
+                cache: String::new(),
+                node: 0,
+            }
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn clones_share_one_sequence() {
+        let (t, rec) = Tracer::to_sink(RingRecorder::new(16));
+        let t2 = t.clone();
+        t.emit(|| TraceEvent::Pin {
+            ts: 1.0,
+            cache: "a".into(),
+            node: 1,
+        });
+        t2.emit(|| TraceEvent::Unpin {
+            ts: 2.0,
+            cache: "a".into(),
+            node: 1,
+        });
+        let r = rec.lock().unwrap();
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1]);
+    }
+}

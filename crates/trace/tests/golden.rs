@@ -1,0 +1,206 @@
+//! Golden-snapshot tests pinning both exporter schemas.
+//!
+//! The JSONL and Chrome-trace formats are consumed outside this workspace
+//! (scripts, Perfetto), so format drift must be deliberate: these tests
+//! compare exporter output byte-for-byte against checked-in goldens. To
+//! bless an intentional schema change, run
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p marconi-trace --test golden
+//! ```
+//!
+//! and review the diff of `tests/golden/` like any other code change.
+
+use marconi_trace::{
+    MissCause, PressureCause, ReloadDecision, ReplicaProbe, RingRecorder, StatCounters, TraceEvent,
+    TraceTier, Tracer, VictimAction, VictimRecord,
+};
+use std::path::PathBuf;
+
+/// One of every event kind, with fixed values, pushed through a real
+/// recorder so sequence numbering is exercised too.
+fn seeded_recording() -> RingRecorder {
+    let (tracer, recorder) = Tracer::to_sink(RingRecorder::new(64));
+    let cache = || "marconi[flop-aware]".to_owned();
+    tracer.emit(|| TraceEvent::Lookup {
+        ts: 0.25,
+        cache: cache(),
+        input_len: 96,
+        matched: 0,
+        host_tokens: 0,
+        raw_matched: 0,
+        attribution: Some(MissCause::Cold),
+    });
+    tracer.emit(|| TraceEvent::Admission {
+        ts: 0.25,
+        cache: cache(),
+        input_len: 96,
+        output_len: 32,
+        checkpoints: 2,
+        new_tokens: 128,
+    });
+    tracer.emit(|| TraceEvent::EdgeSplit {
+        ts: 0.5,
+        cache: cache(),
+        node: 3,
+        new_leaf: Some(4),
+    });
+    tracer.emit(|| TraceEvent::Pin {
+        ts: 0.75,
+        cache: cache(),
+        node: 4,
+    });
+    tracer.emit(|| TraceEvent::EvictionEpisode {
+        ts: 1.0,
+        cache: cache(),
+        tier: TraceTier::Device,
+        cause: PressureCause::DeviceCapacity,
+        pool_len: 5,
+        alpha: 2.0,
+        victims: vec![
+            VictimRecord {
+                node: 2,
+                depth: 128,
+                last_access: 0.25,
+                flop_efficiency: 0.5,
+                bytes: 4096,
+                action: VictimAction::Demoted,
+            },
+            VictimRecord {
+                node: 5,
+                depth: 64,
+                last_access: 0.125,
+                flop_efficiency: 0.25,
+                bytes: 2048,
+                action: VictimAction::Evicted,
+            },
+        ],
+    });
+    tracer.emit(|| TraceEvent::EdgeMerge {
+        ts: 1.0,
+        cache: cache(),
+        removed: 5,
+        merged_into: 6,
+    });
+    tracer.emit(|| TraceEvent::Unpin {
+        ts: 1.25,
+        cache: cache(),
+        node: 4,
+    });
+    tracer.emit(|| TraceEvent::Promotion {
+        ts: 1.5,
+        cache: cache(),
+        tokens: 64,
+    });
+    tracer.emit(|| TraceEvent::Reload {
+        ts: 1.5,
+        cache: cache(),
+        host_bytes: 1 << 20,
+        load_secs: 0.004,
+        recompute_secs: 0.001,
+        decision: ReloadDecision::Recompute,
+    });
+    tracer.emit(|| TraceEvent::Lookup {
+        ts: 1.75,
+        cache: cache(),
+        input_len: 96,
+        matched: 64,
+        host_tokens: 0,
+        raw_matched: 80,
+        attribution: Some(MissCause::NeverCheckpointedSsm),
+    });
+    tracer.emit(|| TraceEvent::RouterDecision {
+        ts: 2.0,
+        request: 7,
+        chosen: 1,
+        tie_break: "prefix-tokens",
+        probes: vec![
+            ReplicaProbe {
+                replica: 0,
+                matched_tokens: 0,
+                host_tokens: 0,
+                queued_tokens: 96,
+                routed_tokens: 512,
+            },
+            ReplicaProbe {
+                replica: 1,
+                matched_tokens: 64,
+                host_tokens: 0,
+                queued_tokens: 0,
+                routed_tokens: 256,
+            },
+        ],
+    });
+    tracer.emit(|| TraceEvent::QueueAdmission {
+        ts: 2.0,
+        request: 7,
+        queue_depth: 2,
+        queued_tokens: 192,
+    });
+    tracer.emit(|| TraceEvent::BatchIteration {
+        ts: 2.25,
+        iteration: 3,
+        running: 2,
+        queue_depth: 1,
+    });
+    tracer.emit(|| TraceEvent::Gauges {
+        ts: 2.25,
+        cache: cache(),
+        usage_bytes: 1 << 16,
+        host_usage_bytes: 1 << 12,
+        pinned_nodes: 0,
+        counters: StatCounters {
+            lookups: 2,
+            hits: 1,
+            input_tokens: 192,
+            hit_tokens: 64,
+            host_hit_tokens: 0,
+            evictions: 1,
+            demotions: 1,
+        },
+    });
+    let rec = recorder.lock().expect("lock: test-local recorder");
+    rec.clone()
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, actual).expect("invariant: goldens dir is writable on regen");
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); regenerate with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "exporter output drifted from {}; if the schema change is \
+         deliberate, bless it with GOLDEN_REGEN=1 and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn jsonl_matches_golden() {
+    let rec = seeded_recording();
+    check_golden("trace.jsonl", &rec.to_jsonl());
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let rec = seeded_recording();
+    check_golden("trace.chrome.json", &rec.to_chrome_trace());
+}
+
+#[test]
+fn exports_are_deterministic() {
+    let a = seeded_recording();
+    let b = seeded_recording();
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+}

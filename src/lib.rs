@@ -58,6 +58,7 @@
 //! | [`workload`] | seeded LMSys/ShareGPT/SWEBench-like trace generators |
 //! | [`sim`] | trace-driven serving simulator with a GPU timing model |
 //! | [`metrics`] | percentiles, CDFs, box stats, histograms |
+//! | [`trace`] | deterministic flight recorder: structured decision events, miss attribution, exporters |
 //!
 //! [`HybridPrefixCache`]: cache::HybridPrefixCache
 
@@ -66,6 +67,7 @@ pub use marconi_metrics as metrics;
 pub use marconi_model as model;
 pub use marconi_radix as radix;
 pub use marconi_sim as sim;
+pub use marconi_trace as trace;
 pub use marconi_workload as workload;
 
 /// Convenience re-exports of the most commonly used types.
@@ -79,10 +81,13 @@ pub mod prelude {
         FlopBreakdown, LayerKind, MemoryBandwidths, ModelConfig, StateFootprint,
     };
     pub use marconi_radix::{RadixTree, Token};
+    // `marconi_trace::ReloadDecision` (the trace-event payload) stays out
+    // of the prelude: `sim::ReloadDecision` below owns the short name.
     pub use marconi_sim::{
         BatchConfig, Cluster, ClusterReport, Comparison, Engine, EventCluster, EventReport,
         EventSim, GpuModel, ReloadDecision, RequestRecord, Router, RoutingPolicy, SimReport,
     };
+    pub use marconi_trace::{MissReport, NullSink, RingRecorder, TraceEvent, TraceSink, Tracer};
     pub use marconi_workload::{
         ArrivalConfig, DatasetKind, RateSchedule, Request, Trace, TraceGenerator,
     };
