@@ -16,15 +16,20 @@
 //!   prints the measured speedup.
 //! * `cache_eviction_storm` — end to end: `HybridPrefixCache` in steady
 //!   state at ≥ 10k live nodes, every insertion forcing evictions.
-//! * `engine_replay` — PR 8's arena engine vs the verbatim pre-refactor
-//!   engine (`marconi_radix::legacy`) on an identical pre-baked at-capacity
-//!   op stream (90/10 insert/match, every insert evicting the coldest
-//!   candidates back down to the node budget) at 10k and 100k live nodes
-//!   (1M with `EVICTION_PRESSURE_FULL=1`). The arena engine pops victims
-//!   from its O(log n) recency index; the legacy engine — which has none —
-//!   min-scans all candidates per victim, as the cache did before PR 8.
-//!   Writes the measured curve to `BENCH_8.json` at the repo root (the
-//!   `event_sim` bench merges its section into the same file).
+//! * `engine_replay` — the arena engine's O(log n) recency-index victim
+//!   pops vs the pre-PR 8 selection pattern (stamp in the payload, one
+//!   O(candidates) min-scan per victim) on an identical pre-baked
+//!   at-capacity op stream (90/10 insert/match, every insert evicting the
+//!   coldest candidates back down to the node budget) at 10k and 100k
+//!   live nodes (1M with `EVICTION_PRESSURE_FULL=1`). Both arms run on
+//!   the arena engine — the verbatim `legacy` oracle was retired in PR 10
+//!   once the differential safety net had served its purpose — so the
+//!   curve isolates the victim-selection asymptotics alone. A second
+//!   probe pair compares root-walk matches against cursor-resumed
+//!   matches ([`cursor_at`](RadixTree::cursor_at) + `match_prefix_from`)
+//!   over the same probe set. Writes the measured curve to
+//!   `BENCH_8.json` at the repo root (the `event_sim` bench merges its
+//!   section into the same file).
 //!
 //! Sizes default to 10k nodes so the CI smoke run stays fast; set
 //! `EVICTION_PRESSURE_FULL=1` to sweep 10k–100k (and 10k–1M for
@@ -33,7 +38,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use marconi_core::{EvictionPolicy, HybridPrefixCache, PrefixCache};
 use marconi_model::ModelConfig;
-use marconi_radix::{legacy, NodeId, RadixTree, Token};
+use marconi_radix::{NodeId, RadixTree, Token};
 use std::time::Instant;
 
 fn sizes() -> Vec<usize> {
@@ -253,14 +258,14 @@ enum ReplayOp {
     Match(Vec<Token>),
 }
 
-/// The two radix engines behind one replay interface, exercising each
-/// engine's own recency machinery:
+/// Two victim-selection strategies behind one replay interface, both on
+/// the arena engine:
 ///
-/// * the arena engine `touch`es its O(log n) recency index and evicts by
+/// * the indexed arm `touch`es the O(log n) recency index and evicts by
 ///   popping the index's coldest entry;
-/// * the pre-refactor engine has no recency structure — exactly like the
-///   pre-PR 8 cache, it stores the stamp in the payload and selects each
-///   victim with an O(candidates) min-scan.
+/// * the scan arm reproduces the pre-PR 8 shape — the stamp lives in the
+///   payload and every victim costs an O(candidates) min-scan (the
+///   retired `legacy` oracle had no recency structure at all).
 trait Engine: Default {
     type Id: Copy;
     fn insert_seq(&mut self, seq: &[Token]) -> (Self::Id, u64);
@@ -297,34 +302,42 @@ impl Engine for RadixTree<()> {
     }
 }
 
-impl Engine for legacy::RadixTree<u64> {
-    type Id = legacy::NodeId;
+/// The scan arm: an arena tree whose payload carries the recency stamp,
+/// with victims selected by a per-victim min-scan — byte-identical victim
+/// order to the indexed arm (stamps are unique, so the `(stamp, index)`
+/// key totally orders candidates the same way the recency index does).
+#[derive(Default)]
+struct ScanEvictTree(RadixTree<u64>);
 
-    fn insert_seq(&mut self, seq: &[Token]) -> (legacy::NodeId, u64) {
-        let out = self.insert(seq);
+impl Engine for ScanEvictTree {
+    type Id = NodeId;
+
+    fn insert_seq(&mut self, seq: &[Token]) -> (NodeId, u64) {
+        let out = self.0.insert(seq);
         (out.end_node, out.added_tokens)
     }
 
-    fn touch_node(&mut self, id: legacy::NodeId, stamp: u64) {
-        *self.data_mut(id) = stamp;
+    fn touch_node(&mut self, id: NodeId, stamp: u64) {
+        *self.0.data_mut(id) = stamp;
     }
 
     fn evict_coldest(&mut self) -> Option<usize> {
-        // Pre-refactor victim selection: no recency index exists, so every
-        // victim costs a full min-scan over the candidate set (the shape of
+        // Pre-refactor victim selection: ignore the recency index and pay
+        // a full min-scan over the candidate set per victim (the shape of
         // the cache's scored pool loop before PR 8's LRU fast path).
         let id = self
+            .0
             .eviction_candidates()
-            .min_by_key(|&id| (*self.data(id), id.index()))?;
-        self.remove(id).ok().map(|_| id.index())
+            .min_by_key(|&id| (*self.0.data(id), id.index()))?;
+        self.0.remove(id).ok().map(|_| id.index())
     }
 
     fn match_len(&self, seq: &[Token]) -> u64 {
-        self.match_prefix(seq).matched_len
+        self.0.match_prefix(seq).matched_len
     }
 
     fn live(&self) -> usize {
-        self.len()
+        self.0.len()
     }
 }
 
@@ -444,37 +457,37 @@ fn replay_sizes() -> Vec<usize> {
 
 const REPLAY_SEED: u64 = 0xBE8;
 
-/// Measured-segment length, scaled down as the tree grows so the legacy
-/// engine's O(candidates)-per-victim scan keeps the sweep bounded (~2e9
+/// Measured-segment length, scaled down as the tree grows so the scan
+/// arm's O(candidates)-per-victim cost keeps the sweep bounded (~2e9
 /// candidate visits per size regardless of n).
 fn replay_measured_ops(n: usize) -> usize {
     (2_000_000_000 / n).clamp(2_000, 20_000)
 }
 
-/// One-shot sweep: measures both engines at each size, prints `[ratio]`
-/// lines, and writes the curve to `BENCH_8.json` (hand-formatted; the
-/// `event_sim` bench appends its section to the same file).
+/// One-shot sweep: measures both victim-selection arms at each size,
+/// prints `[ratio]` lines, and writes the curve to `BENCH_8.json`
+/// (hand-formatted; the `event_sim` bench appends its section to the
+/// same file).
 fn run_replay_sweep_and_write_json() {
     let mut rows = Vec::new();
     for &n in &replay_sizes() {
         let measured_ops = replay_measured_ops(n);
         let (build, measured) = engine_replay_trace(REPLAY_SEED, n, measured_ops);
-        let (legacy_ops, legacy_live, legacy_sum) =
-            measure_engine::<legacy::RadixTree<u64>>(&build, &measured);
+        let (scan_ops, scan_live, scan_sum) = measure_engine::<ScanEvictTree>(&build, &measured);
         let (arena_ops, arena_live, arena_sum) = measure_engine::<RadixTree<()>>(&build, &measured);
         assert_eq!(
             (arena_live, arena_sum),
-            (legacy_live, legacy_sum),
-            "engines diverged on the bench trace at n={n}"
+            (scan_live, scan_sum),
+            "victim-selection arms diverged on the bench trace at n={n}"
         );
-        let speedup = arena_ops / legacy_ops.max(f64::MIN_POSITIVE);
+        let speedup = arena_ops / scan_ops.max(f64::MIN_POSITIVE);
         println!(
             "engine_replay/[ratio] n={n} ({arena_live} live nodes): \
-             arena {arena_ops:.0} ops/s / legacy {legacy_ops:.0} ops/s = {speedup:.1}x"
+             indexed {arena_ops:.0} ops/s / scan {scan_ops:.0} ops/s = {speedup:.1}x"
         );
         rows.push(format!(
             "    {{ \"live_nodes\": {arena_live}, \"ops\": {measured_ops}, \
-             \"legacy_ops_per_sec\": {legacy_ops:.0}, \
+             \"scan_ops_per_sec\": {scan_ops:.0}, \
              \"arena_ops_per_sec\": {arena_ops:.0}, \"speedup\": {speedup:.2} }}"
         ));
     }
@@ -496,17 +509,18 @@ fn run_replay_sweep_and_write_json() {
 fn bench_engine_replay(c: &mut Criterion) {
     run_replay_sweep_and_write_json();
 
-    // Criterion-tracked non-mutating probes on identical 10k-node trees,
-    // so ordinary bench comparisons catch lookup-path regressions in
-    // either engine without rebuilding state per iteration.
+    // Criterion-tracked non-mutating probes on one 10k-node tree: each
+    // probe extends a previously-inserted sequence by a fresh suffix, the
+    // follow-up-turn shape the PR 10 session cursor exists for. The
+    // rootwalk arm matches from the root (O(prompt)); the cursor arm
+    // resumes from a cursor minted at the base sequence's end node
+    // (O(suffix)), so ordinary bench comparisons catch regressions in
+    // either walk without rebuilding state per iteration.
     let (build, _) = engine_replay_trace(REPLAY_SEED, 10_000, 0);
     let mut stamp = 0u64;
     let mut arena: RadixTree<()> = RadixTree::default();
     replay(&mut arena, &build, usize::MAX, &mut stamp);
-    let mut stamp = 0u64;
-    let mut old: legacy::RadixTree<u64> = legacy::RadixTree::default();
-    replay(&mut old, &build, usize::MAX, &mut stamp);
-    let probes: Vec<Vec<Token>> = {
+    let probes: Vec<(marconi_radix::MatchCursor, Vec<Token>)> = {
         let mut rng = Rng(REPLAY_SEED ^ 0xABCD);
         let seqs: Vec<&Vec<Token>> = build
             .iter()
@@ -518,23 +532,60 @@ fn bench_engine_replay(c: &mut Criterion) {
         (0..256)
             .map(|_| {
                 let base = seqs[rng.below(seqs.len() as u64) as usize];
-                let cut = 1 + rng.below(base.len() as u64) as usize;
-                base[..cut].to_vec()
+                let m = arena.match_prefix(base);
+                assert_eq!(
+                    m.matched_len as usize,
+                    base.len(),
+                    "build tree is unevicted"
+                );
+                let end = m.deepest().expect("non-empty sequences end at a node");
+                let cursor = arena.cursor_at(end).expect("live node mints a cursor");
+                let mut probe = base.clone();
+                probe.extend((0..8).map(|_| (rng.next() % 50_000) as Token));
+                (cursor, probe)
             })
             .collect()
     };
+    let rootwalk_sum: u64 = probes
+        .iter()
+        .map(|(_, p)| arena.match_prefix(p).matched_len)
+        .sum();
+    let cursor_sum: u64 = probes
+        .iter()
+        .map(|(c, p)| {
+            arena
+                .match_prefix_from(c, p)
+                .expect("fresh cursor")
+                .matched_len
+        })
+        .sum();
+    assert_eq!(
+        rootwalk_sum, cursor_sum,
+        "cursor resume must match the root walk"
+    );
 
     let mut group = c.benchmark_group("engine_replay");
     group.sample_size(10);
-    group.bench_function("arena_probe_10k_x256", |b| {
+    group.bench_function("match_rootwalk_10k_x256", |b| {
         b.iter(|| {
-            let sum: u64 = probes.iter().map(|p| arena.match_len(p)).sum();
+            let sum: u64 = probes
+                .iter()
+                .map(|(_, p)| arena.match_prefix(p).matched_len)
+                .sum();
             black_box(sum)
         })
     });
-    group.bench_function("legacy_probe_10k_x256", |b| {
+    group.bench_function("match_cursor_10k_x256", |b| {
         b.iter(|| {
-            let sum: u64 = probes.iter().map(|p| old.match_len(p)).sum();
+            let sum: u64 = probes
+                .iter()
+                .map(|(c, p)| {
+                    arena
+                        .match_prefix_from(c, p)
+                        .expect("fresh cursor")
+                        .matched_len
+                })
+                .sum();
             black_box(sum)
         })
     });

@@ -1,0 +1,190 @@
+//! Price of the session-cursor fast path (PR 10).
+//!
+//! Multi-turn sessions extend the previous prompt, so without cursors
+//! every turn re-walks the radix tree from the root for the lookup match,
+//! the pin match, the speculative probe, and the full insert — four
+//! O(prompt) walks per request, quadratic over a session. With the
+//! engine's per-session [`CursorTable`] each turn resumes from the
+//! previous admission's end node and walks only the delta tokens.
+//!
+//! The sweep replays seeded session traces of 8, 32, and 128 turns
+//! (128-token turns over a 256-token opener) through two identically
+//! configured engines at capacity — cursors disabled (`rootwalk`, the
+//! pre-PR behavior via a zero-capacity table) and enabled (`cursor`) —
+//! and reports engine requests/sec plus the speedup. Results are
+//! byte-identical across arms (asserted per sweep, and pinned by the
+//! parity suite in `marconi-core`); only the walk cost changes. Written
+//! machine-readably to `BENCH_10.json`; CI gates `speedup_128_turns ≥ 5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marconi_core::{EvictionPolicy, HybridPrefixCache, PrefixCache};
+use marconi_model::ModelConfig;
+use marconi_sim::{Engine, GpuModel};
+use marconi_workload::{Request, Trace};
+use std::time::Instant;
+
+/// Concurrent sessions per trace.
+const SESSIONS: u64 = 8;
+/// Tokens in each session's opening prompt.
+const OPENER_TOKENS: u32 = 256;
+/// New tokens per turn (split half input extension, half decoded output).
+const TURN_TOKENS: u32 = 128;
+/// Turn counts swept; the last is the headline (CI gates its speedup).
+const TURN_SWEEP: [u32; 3] = [8, 32, 128];
+/// Best-of repetitions per arm, interleaved so warmup hits both alike.
+const REPS: usize = 3;
+
+/// SplitMix64 — deterministic token stream, no RNG state to carry.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A multi-turn chat trace: every request's input is the full history
+/// (previous input + previous output + this turn's new user tokens), the
+/// access pattern the session fast path exists for. Sessions interleave
+/// round-robin, like concurrent conversations hitting one engine.
+fn session_trace(turns: u32, seed: u64) -> Trace {
+    let token = |s: u64, i: u64| (mix(seed ^ (s << 32) ^ i) % 50_000) as u32;
+    let mut histories: Vec<Vec<u32>> = (0..SESSIONS)
+        .map(|s| (0..u64::from(OPENER_TOKENS)).map(|i| token(s, i)).collect())
+        .collect();
+    let mut requests = Vec::with_capacity((SESSIONS * u64::from(turns)) as usize);
+    let mut id = 0u64;
+    for turn in 0..turns {
+        for (s, history) in histories.iter_mut().enumerate() {
+            let base = history.len() as u64;
+            let new_user: Vec<u32> = (0..u64::from(TURN_TOKENS) / 2)
+                .map(|i| token(s as u64, base + i))
+                .collect();
+            history.extend(&new_user);
+            let input = history.clone();
+            let output: Vec<u32> = (0..u64::from(TURN_TOKENS) / 2)
+                .map(|i| token(s as u64, base + 1_000_000 + i))
+                .collect();
+            history.extend(&output);
+            requests.push(Request {
+                id,
+                session_id: s as u64,
+                tenant_id: 0,
+                turn,
+                arrival: id as f64,
+                input,
+                output,
+            });
+            id += 1;
+        }
+    }
+    Trace {
+        name: format!("session-fastpath-{turns}t"),
+        requests,
+    }
+}
+
+fn cache_with_capacity(capacity: u64) -> HybridPrefixCache {
+    HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+        .capacity_bytes(capacity)
+        .policy(EvictionPolicy::FlopAware { alpha: 2.0 })
+        .build()
+}
+
+/// Capacity that saturates by the end of the replay: the trace's full
+/// footprint (KVs plus every speculated SSM checkpoint, measured by an
+/// uncapped calibration replay) shaved by ~1.5%, so occupancy climbs to
+/// 100% and the tail runs real eviction episodes in both arms. Naive
+/// token-count sizing would undercount the checkpoints and leave the
+/// cache permanently over capacity, turning every insert into an
+/// O(nodes) victim scan that swamps the walk cost the bench isolates
+/// (an evicted resume path just falls back — parity either way).
+fn at_capacity_bytes(trace: &Trace) -> u64 {
+    let mut engine = Engine::new(cache_with_capacity(u64::MAX / 2), GpuModel::a100_x4());
+    engine.run(trace);
+    let footprint = engine.cache().stats().peak_usage_bytes;
+    footprint - footprint / 64
+}
+
+/// Engine requests/sec replaying `trace` once from a cold cache, with the
+/// session table sized by `cursor_capacity` (0 = root-walk baseline).
+/// Returns the rate and the final token hit count (the parity probe).
+fn engine_ops_per_sec(trace: &Trace, capacity: u64, cursor_capacity: usize) -> (f64, u64) {
+    let mut engine = Engine::new(cache_with_capacity(capacity), GpuModel::a100_x4());
+    engine.set_session_cursor_capacity(cursor_capacity);
+    let start = Instant::now();
+    let report = engine.run(trace);
+    let rate = trace.len() as f64 / start.elapsed().as_secs_f64();
+    drop(report);
+    (rate, engine.cache().stats().hit_tokens)
+}
+
+fn run_sweep_and_write_json() {
+    let mut lines = String::new();
+    let mut headline_speedup = 0.0f64;
+    for turns in TURN_SWEEP {
+        let trace = session_trace(turns, 7);
+        let capacity = at_capacity_bytes(&trace);
+        // Off-the-books warmup (allocator, page cache, predictors).
+        engine_ops_per_sec(&trace, capacity, 0);
+        let mut rootwalk = 0.0f64;
+        let mut cursor = 0.0f64;
+        let mut parity = (0, 0);
+        for _ in 0..REPS {
+            let (r, hr) = engine_ops_per_sec(&trace, capacity, 0);
+            rootwalk = rootwalk.max(r);
+            let (c, hc) = engine_ops_per_sec(&trace, capacity, 4096);
+            cursor = cursor.max(c);
+            parity = (hr, hc);
+        }
+        assert_eq!(
+            parity.0, parity.1,
+            "cursor arm must hit exactly the tokens the root walk hits ({turns} turns)"
+        );
+        let speedup = cursor / rootwalk.max(f64::MIN_POSITIVE);
+        if turns == TURN_SWEEP[TURN_SWEEP.len() - 1] {
+            headline_speedup = speedup;
+        }
+        println!(
+            "session_fastpath/{turns}_turns: rootwalk {rootwalk:.0} ops/sec, \
+             cursor {cursor:.0} ops/sec ({speedup:.2}x)"
+        );
+        lines.push_str(&format!(
+            "  \"rootwalk_ops_per_sec_{turns}_turns\": {rootwalk:.0},\n  \
+             \"cursor_ops_per_sec_{turns}_turns\": {cursor:.0},\n  \
+             \"speedup_{turns}_turns\": {speedup:.2},\n"
+        ));
+    }
+    // Hand-formatted snapshot (serde_json is not vendored); flat schema
+    // for the CI trend tooling. CI gates speedup_128_turns >= 5.
+    let json = format!(
+        "{{\n  \"bench\": \"session_fastpath\",\n  \"model\": \"hybrid_7b\",\n  \
+         \"sessions\": {SESSIONS},\n  \"opener_tokens\": {OPENER_TOKENS},\n  \
+         \"turn_tokens\": {TURN_TOKENS},\n{lines}  \
+         \"headline_speedup\": {headline_speedup:.2}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("session_fastpath: wrote {path}"),
+        Err(e) => eprintln!("session_fastpath: could not write {path}: {e}"),
+    }
+}
+
+fn bench_session_fastpath(c: &mut Criterion) {
+    run_sweep_and_write_json();
+
+    let turns = TURN_SWEEP[1];
+    let trace = session_trace(turns, 7);
+    let capacity = at_capacity_bytes(&trace);
+    let mut group = c.benchmark_group("session_fastpath");
+    group.sample_size(10);
+    group.bench_function("replay_rootwalk_32_turns", |b| {
+        b.iter(|| engine_ops_per_sec(&trace, capacity, 0));
+    });
+    group.bench_function("replay_cursor_32_turns", |b| {
+        b.iter(|| engine_ops_per_sec(&trace, capacity, 4096));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_fastpath);
+criterion_main!(benches);

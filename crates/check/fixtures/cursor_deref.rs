@@ -1,0 +1,32 @@
+//! Seeded violation: dereferencing a session cursor's node id without the
+//! generation check. The id may point at a freed or recycled arena slot —
+//! the only sound path to the node is `RadixTree::resume` / `cursor_at`,
+//! which compare slot generations first. `marconi-check --self-test` must
+//! reject this file with a `cursor-deref` finding.
+
+#[must_use]
+pub struct StaleCursor {
+    pub node: u32,
+    pub matched_len: u64,
+}
+
+pub fn resume_unchecked(cursor: &StaleCursor) -> u32 {
+    // Skips straight past the generation check — exactly the aliasing bug
+    // the rule exists to catch.
+    cursor.node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests may dissect cursors freely; no finding may point here.
+    #[test]
+    fn tests_are_exempt() {
+        let cursor = StaleCursor {
+            node: 3,
+            matched_len: 0,
+        };
+        assert_eq!(cursor.node, 3);
+    }
+}

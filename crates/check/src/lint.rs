@@ -12,9 +12,10 @@
 //! | `hash-iter` | no iteration over `HashMap`/`HashSet` (nondeterministic order) in the deterministic crates |
 //! | `unwrap` | no `.unwrap()` in non-test lib code |
 //! | `expect-message` | every `.expect(...)` names the violated contract (`"invariant: …"` or `"lock: …"`) |
-//! | `must-use-handle` | leak-prone handle types (`*Ticket`, `*Guard`, `*Handle`) carry `#[must_use]` |
-//! | `edge-clone` | radix hot paths never materialize edge tokens: no `.clone()`/`.to_vec()` in `crates/radix/src` (the `legacy.rs` oracle is exempt) |
+//! | `must-use-handle` | leak-prone handle types (`*Ticket`, `*Guard`, `*Handle`, `*Cursor`) carry `#[must_use]` |
+//! | `edge-clone` | radix hot paths never materialize edge tokens: no `.clone()`/`.to_vec()` in `crates/radix/src` |
 //! | `no-print` | deterministic lib code never writes to stdio: no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` — observability goes through a `TraceSink` |
+//! | `cursor-deref` | a cursor's node id is only meaningful after its generation check: no `<cursor>.node` outside the `resume` validators (PR 10) |
 //!
 //! A line can waive a rule with `// check:allow(rule-id): reason` on the
 //! same or the preceding line; the reason is mandatory so waivers stay
@@ -74,8 +75,9 @@ const EXPECT_PREFIXES: [&str; 2] = ["invariant:", "lock:"];
 
 /// Handle-type name suffixes that must carry `#[must_use]` (dropping one
 /// on the floor leaks the resource it tracks — e.g. a `PinTicket` leak
-/// pins a cache path forever).
-const MUST_USE_SUFFIXES: [&str; 3] = ["Ticket", "Guard", "Handle"];
+/// pins a cache path forever, and a dropped `MatchCursor` silently
+/// forfeits the session fast path back to O(prompt) root walks).
+const MUST_USE_SUFFIXES: [&str; 4] = ["Ticket", "Guard", "Handle", "Cursor"];
 
 /// Methods banned by `edge-clone` in radix hot paths: since PR 8 edge
 /// labels are `(offset, len)` slices of the tree's shared token store, and
@@ -159,6 +161,28 @@ pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
                      trace event through the attached `TraceSink` instead (or \
                      waive with a reason for CLI surfaces)",
                     t.text
+                ),
+            );
+        }
+        // cursor-deref: a cursor's `node` is a generation-tagged id whose
+        // slot may have been freed or recycled; the only sound dereference
+        // is through the `resume*` validators (which carry the waiver).
+        // Flags `cursor.node` field reads and `.node()` calls alike on any
+        // receiver whose name contains "cursor".
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("node"))
+            && i > 0
+            && toks[i - 1].kind == TokKind::Ident
+            && toks[i - 1].text.to_ascii_lowercase().contains("cursor")
+        {
+            push(
+                t.line,
+                "cursor-deref",
+                format!(
+                    "`{}.node` reads a cursor's node id without the generation \
+                     check; resume through `RadixTree::resume`/`cursor_at` (or \
+                     waive with a reason inside a validator)",
+                    toks[i - 1].text
                 ),
             );
         }
@@ -331,11 +355,12 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
 }
 
 /// `true` for files the `edge-clone` rule constrains: the arena engine's
-/// sources under `crates/radix/src`, minus the verbatim pre-refactor
-/// oracle `legacy.rs` (whose `Vec<Token>` edges clone by design).
+/// sources under `crates/radix/src`. (The verbatim pre-refactor oracle
+/// `legacy.rs`, whose `Vec<Token>` edges cloned by design, was the sole
+/// exemption until its retirement in PR 10.)
 fn is_radix_hot_path(file: &Path) -> bool {
     let p = file.to_string_lossy().replace('\\', "/");
-    p.contains("crates/radix/src/") && !p.ends_with("legacy.rs")
+    p.contains("crates/radix/src/")
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -647,6 +672,36 @@ mod tests {
         // A struct merely *named* Handle (no prefix) is not a handle type.
         assert!(lint("pub struct Handle;").is_empty());
         assert!(lint("pub struct Plain { x: u32 }").is_empty());
+        // Cursors are handles since PR 10: dropping one forfeits the fast
+        // path, so the suffix list covers them too.
+        assert_eq!(
+            rules("pub struct MatchCursor { node: u32 }"),
+            ["must-use-handle"]
+        );
+        assert!(lint("#[must_use]\npub struct MatchCursor { node: u32 }").is_empty());
+    }
+
+    #[test]
+    fn cursor_node_deref_needs_generation_check() {
+        assert_eq!(
+            rules("fn f(cursor: &C) -> u32 { cursor.node }"),
+            ["cursor-deref"]
+        );
+        // Method-call form and compound receiver names are caught too.
+        assert_eq!(
+            rules("fn f() { let id = my_cursor.node(); }"),
+            ["cursor-deref"]
+        );
+        // Non-cursor receivers and other cursor fields are fine.
+        assert!(lint("fn f(tree: &T) -> u32 { tree.node }").is_empty());
+        assert!(lint("fn f(cursor: &C) -> u64 { cursor.matched_len }").is_empty());
+        // The resume validators waive the rule with a reason.
+        let src = "// check:allow(cursor-deref): this IS the generation check\n\
+                   fn resume(cursor: &C) -> u32 { cursor.node }";
+        assert!(lint(src).is_empty());
+        // Tests dissect cursors freely.
+        let src = "#[test]\nfn t() { assert_eq!(cursor.node, expected); }";
+        assert!(lint(src).is_empty());
     }
 
     #[test]
@@ -658,9 +713,13 @@ mod tests {
         assert_eq!(found[0].rule, "edge-clone");
         let src = "fn snap(edge: &Vec<u32>) -> Vec<u32> { edge.clone() }";
         assert_eq!(lint_source(hot, src)[0].rule, "edge-clone");
-        // The legacy oracle and other crates clone freely.
-        assert!(lint_source(Path::new("crates/radix/src/legacy.rs"), src).is_empty());
+        // Other crates clone freely; every radix source is a hot path now
+        // that the `legacy.rs` oracle is retired.
         assert!(lint_source(Path::new("crates/core/src/hybrid.rs"), src).is_empty());
+        assert_eq!(
+            lint_source(Path::new("crates/radix/src/legacy.rs"), src)[0].rule,
+            "edge-clone"
+        );
         // Test spans inside radix sources are exempt.
         let src = "#[cfg(test)]\nmod tests {\n fn f(v: &[u32]) { v.to_vec(); }\n}";
         assert!(lint_source(hot, src).is_empty());

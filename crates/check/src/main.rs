@@ -114,6 +114,7 @@ fn run_self_test(root: &Path) -> bool {
             &["edge-clone"],
         ),
         ("print_in_lib.rs", "print_in_lib.rs", &["no-print"]),
+        ("cursor_deref.rs", "cursor_deref.rs", &["cursor-deref"]),
     ];
     let dir = root.join("crates/check/fixtures");
     let mut ok = true;

@@ -298,7 +298,9 @@ impl PrefixCache for BlockCache {
 
     fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
         self.clock = self.clock.max(now);
-        let full: Vec<Token> = input.iter().chain(output.iter()).copied().collect();
+        let mut full: Vec<Token> = Vec::with_capacity(input.len() + output.len());
+        full.extend_from_slice(input);
+        full.extend_from_slice(output);
         let b = self.block_size as usize;
         let mut report = AdmissionReport::default();
         let mut parent: Option<u32> = None;

@@ -26,6 +26,7 @@
 //! borrows), so the existing sim layers can drive the concurrent front-end
 //! unchanged.
 
+use crate::cursor::SessionCursor;
 use crate::hybrid::{HybridPrefixCache, HybridPrefixCacheBuilder};
 use crate::result::{AdmissionReport, LookupResult};
 use crate::stats::CacheStats;
@@ -107,21 +108,71 @@ impl ShardedCache {
         &self.shards[idx]
     }
 
+    /// Translates a caller's session hint into the owning shard's frame.
+    ///
+    /// Session cursors are shard-local by construction: the inner
+    /// (unsharded) caches mint and honor shard-0 handles only, and this
+    /// front-end re-stamps outbound cursors with the minting shard's
+    /// index. A hint whose stamp does not match the shard the input routes
+    /// to is re-stamped with a nonzero sentinel, which the inner cache
+    /// classifies as a cross-shard rejection — root walk plus a
+    /// `CursorFallback` event — rather than ever resuming in a foreign
+    /// tree.
+    fn local_hint(idx: usize, hint: Option<SessionCursor>) -> Option<SessionCursor> {
+        hint.map(|h| SessionCursor {
+            cursor: h.cursor,
+            shard: if h.shard == idx { 0 } else { usize::MAX },
+        })
+    }
+
     /// [`PrefixCache::lookup_at`] on the owning shard (write lock: hits
     /// refresh recency and stats).
     pub fn lookup_at(&self, input: &[Token], now: f64) -> LookupResult {
-        self.shard(self.shard_of(input))
+        self.lookup_at_with(input, now, None)
+    }
+
+    /// [`PrefixCache::lookup_at_with`] on the owning shard (write lock).
+    pub fn lookup_at_with(
+        &self,
+        input: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> LookupResult {
+        let idx = self.shard_of(input);
+        self.shard(idx)
             .write()
             .expect("lock: shard RwLock poisoned by a panicking holder")
-            .lookup_at(input, now)
+            .lookup_at_with(input, now, Self::local_hint(idx, hint))
     }
 
     /// [`PrefixCache::insert_at`] on the owning shard (write lock).
     pub fn insert_at(&self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
-        self.shard(self.shard_of(input))
+        self.insert_at_with(input, output, now, None).0
+    }
+
+    /// [`PrefixCache::insert_at_with`] on the owning shard (write lock);
+    /// the returned resume cursor is stamped with the owning shard so a
+    /// later turn routed elsewhere is rejected instead of mis-resumed.
+    pub fn insert_at_with(
+        &self,
+        input: &[Token],
+        output: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> (AdmissionReport, Option<SessionCursor>) {
+        let idx = self.shard_of(input);
+        let (report, next) = self
+            .shard(idx)
             .write()
             .expect("lock: shard RwLock poisoned by a panicking holder")
-            .insert_at(input, output, now)
+            .insert_at_with(input, output, now, Self::local_hint(idx, hint));
+        (
+            report,
+            next.map(|mut c| {
+                c.shard = idx;
+                c
+            }),
+        )
     }
 
     /// [`PrefixCache::longest_cached_prefix_len`] on the owning shard.
@@ -149,12 +200,17 @@ impl ShardedCache {
     /// remembers the shard so [`unpin`](ShardedCache::unpin) releases on
     /// the same tree.
     pub fn pin_prefix(&self, input: &[Token]) -> PinTicket {
+        self.pin_prefix_with(input, None)
+    }
+
+    /// [`PrefixCache::pin_prefix_with`] on the owning shard (write lock).
+    pub fn pin_prefix_with(&self, input: &[Token], hint: Option<SessionCursor>) -> PinTicket {
         let idx = self.shard_of(input);
         let mut ticket = self
             .shard(idx)
             .write()
             .expect("lock: shard RwLock poisoned by a panicking holder")
-            .pin_prefix(input);
+            .pin_prefix_with(input, Self::local_hint(idx, hint));
         ticket.shard = idx;
         ticket
     }
@@ -294,7 +350,16 @@ impl PrefixCache for ShardedCacheHandle {
     }
 
     fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
-        let r = self.inner.lookup_at(input, now);
+        self.lookup_at_with(input, now, None)
+    }
+
+    fn lookup_at_with(
+        &mut self,
+        input: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> LookupResult {
+        let r = self.inner.lookup_at_with(input, now, hint);
         self.refresh_stats();
         r
     }
@@ -304,7 +369,17 @@ impl PrefixCache for ShardedCacheHandle {
     }
 
     fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
-        let r = self.inner.insert_at(input, output, now);
+        self.insert_at_with(input, output, now, None).0
+    }
+
+    fn insert_at_with(
+        &mut self,
+        input: &[Token],
+        output: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> (AdmissionReport, Option<SessionCursor>) {
+        let r = self.inner.insert_at_with(input, output, now, hint);
         self.refresh_stats();
         r
     }
@@ -327,6 +402,10 @@ impl PrefixCache for ShardedCacheHandle {
 
     fn pin_prefix(&mut self, input: &[Token]) -> PinTicket {
         self.inner.pin_prefix(input)
+    }
+
+    fn pin_prefix_with(&mut self, input: &[Token], hint: Option<SessionCursor>) -> PinTicket {
+        self.inner.pin_prefix_with(input, hint)
     }
 
     fn unpin(&mut self, ticket: PinTicket) {

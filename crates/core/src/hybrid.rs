@@ -1,5 +1,6 @@
 //! The Marconi prefix cache (and, with LRU eviction, the SGLang+ baseline).
 
+use crate::cursor::{CursorHint, SessionCursor};
 use crate::policy::{pick_victim_index, Candidate, EvictionPolicy};
 use crate::result::{AdmissionReport, LookupResult};
 use crate::stats::CacheStats;
@@ -7,13 +8,16 @@ use crate::tier::{ReloadPolicy, Tier, TieredPrefix};
 use crate::tuner::{TunerConfig, TunerState};
 use crate::{PinTicket, PrefixCache};
 use marconi_model::ModelConfig;
-use marconi_radix::{recency_stamp, InsertOutcome, NodeId, PrefixMatch, RadixTree, Token};
+use marconi_radix::{
+    recency_stamp, CursorFault, InsertOutcome, MatchCursor, NodeId, PrefixMatch, RadixTree, Token,
+};
 use marconi_trace::{
-    Fingerprint, MissCause, MissLedger, PressureCause, StatCounters, TraceEvent, TraceTier, Tracer,
-    VictimAction, VictimRecord,
+    CursorFallbackCause, Fingerprint, MissCause, MissLedger, PressureCause, StatCounters,
+    TraceEvent, TraceTier, Tracer, VictimAction, VictimRecord,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Per-node cache metadata: edge KVs are implicit (the edge's tokens); the
 /// node additionally records SSM-checkpoint presence, the memory tier the
@@ -121,7 +125,9 @@ enum Tuner {
 /// See the [crate docs](crate) for the policy description and an example.
 #[derive(Debug, Clone)]
 pub struct HybridPrefixCache {
-    name: String,
+    /// Refcounted so every trace event clones a pointer, not a heap
+    /// string (the live-recording hot path).
+    name: Arc<str>,
     model: ModelConfig,
     capacity: u64,
     /// Host-DRAM tier budget in bytes. 0 disables tiering entirely: every
@@ -156,6 +162,13 @@ pub struct HybridPrefixCache {
     /// A/B-ing the headline mid-decode-reclaim bug. A behavioral knob
     /// mirrored by tuner replicas.
     pin_in_flight: bool,
+    /// Honor session-cursor hints (PR 10): hinted lookups, insertions,
+    /// and pins resume their walk from the hinted node instead of the
+    /// root. Results are byte-identical either way (the parity contract),
+    /// so the knob is behavioral only in that it decides whether
+    /// `insert_at_with` mints cursors at all; mirrored by tuner replicas
+    /// like every other knob.
+    session_cursors: bool,
     /// GDSF inflation clock `L` (monotone, set to each victim's priority).
     gdsf_clock: f64,
     /// Decision-level flight recorder ([`Tracer::off`] by default — one
@@ -196,6 +209,7 @@ impl HybridPrefixCache {
             refresh_ancestors: false,
             leaf_only_eviction: false,
             pin_in_flight: true,
+            session_cursors: true,
         }
     }
 
@@ -389,30 +403,40 @@ impl HybridPrefixCache {
         bytes
     }
 
-    /// Promotes every host-resident node on `seq`'s fully-matched path back
-    /// to the device tier. Called after admission: prefilling (or
-    /// reloading) the sequence materialized those states on the device, so
-    /// the path is device-resident again and the following pressure episode
-    /// re-decides what to demote. No-op on a host-empty cache — in
+    /// Promotes every host-resident node on the path ending at `end` back
+    /// to the device tier. Called after admission with the admitted
+    /// sequence's end node: prefilling (or reloading) the sequence
+    /// materialized those states on the device, so the path is
+    /// device-resident again and the following pressure episode re-decides
+    /// what to demote. Walks the parent chain (O(path nodes)) rather than
+    /// re-matching from the root (O(prompt tokens)) — the node set is
+    /// identical because the admitted sequence's fully-matched path *is*
+    /// the end node's root path. No-op on a host-empty cache — in
     /// particular, byte-identical behavior when `host_capacity = 0`.
     /// Returns the tokens whose state moved host → device (trace
     /// telemetry only).
-    fn promote_resident_path(&mut self, seq: &[Token]) -> u64 {
+    fn promote_resident_path(&mut self, end: Option<NodeId>) -> u64 {
         if self.host_tokens == 0 {
             return 0;
         }
+        let Some(end) = end else {
+            return 0;
+        };
         let mut promoted = 0u64;
-        let m = self.tree.match_prefix(seq);
-        for id in m.path {
-            if self.tree.data(id).tier == Tier::Host {
-                let edge = self.tree.edge_len(id);
+        let mut cur = end;
+        // The loop visits every node on the path except the root (which
+        // carries no edge or payload).
+        while let Some(parent) = self.tree.parent(cur) {
+            if self.tree.data(cur).tier == Tier::Host {
+                let edge = self.tree.edge_len(cur);
                 self.host_tokens -= edge;
                 promoted += edge;
-                if self.tree.data(id).has_ssm_state {
+                if self.tree.data(cur).has_ssm_state {
                     self.host_ssm_states -= 1;
                 }
-                self.tree.data_mut(id).tier = Tier::Device;
+                self.tree.data_mut(cur).tier = Tier::Device;
             }
+            cur = parent;
         }
         promoted
     }
@@ -508,6 +532,138 @@ impl HybridPrefixCache {
             }
         }
         (h_tokens, h_bytes, h_flops)
+    }
+
+    // ------------------------------------------------------------------
+    // Session-cursor fast path (PR 10). A hint is *only* a shortcut: any
+    // validation failure falls back to the root walk, and a resumed walk
+    // is byte-identical to the root walk by the radix layer's
+    // path-invariance contract. See docs/session-fastpath.md.
+    // ------------------------------------------------------------------
+
+    /// Validates a radix cursor against this cache's state: the tree-level
+    /// checks (generation, structure version, token divergence) plus the
+    /// cache-level rule that the resume node's state must still be
+    /// device-resident (a demoted resume path means the session has gone
+    /// cold; distrust the hint). Returns the live resume node.
+    fn resolve_cursor(
+        &self,
+        cursor: &MatchCursor,
+        query: &[Token],
+    ) -> Result<NodeId, CursorFallbackCause> {
+        let node = self.tree.resume(cursor, query).map_err(|f| match f {
+            CursorFault::StaleGeneration => CursorFallbackCause::StaleGeneration,
+            CursorFault::StructureChanged => CursorFallbackCause::StructureChanged,
+            CursorFault::QueryTooShort | CursorFault::EdgeDivergence => {
+                CursorFallbackCause::QueryDiverged
+            }
+        })?;
+        if self.tree.data(node).tier != Tier::Device {
+            return Err(CursorFallbackCause::ResumeDemoted);
+        }
+        Ok(node)
+    }
+
+    /// Resolves a hint and produces the prefix match for `query`: resumed
+    /// from the hinted node when the hint validates, the root walk
+    /// otherwise. The second value is the telemetry outcome for
+    /// [`emit_cursor_outcome`](Self::emit_cursor_outcome).
+    fn match_with_hint(&self, query: &[Token], hint: CursorHint) -> (PrefixMatch, HintOutcome) {
+        if !self.session_cursors {
+            return (self.tree.match_prefix(query), HintOutcome::Cold);
+        }
+        let cursor = match hint {
+            CursorHint::Cold => return (self.tree.match_prefix(query), HintOutcome::Cold),
+            CursorHint::Rejected(cause) => {
+                return (self.tree.match_prefix(query), HintOutcome::Fallback(cause));
+            }
+            CursorHint::Hint(c) => c,
+        };
+        match self.resolve_cursor(&cursor, query) {
+            Ok(node) => {
+                let m = self
+                    .tree
+                    .match_prefix_from(&cursor, query)
+                    .expect("invariant: the cursor was validated against this query");
+                let outcome = HintOutcome::Resumed {
+                    node,
+                    resumed_len: cursor.matched_len(),
+                };
+                (m, outcome)
+            }
+            Err(cause) => (self.tree.match_prefix(query), HintOutcome::Fallback(cause)),
+        }
+    }
+
+    /// Emits the one cursor telemetry event a hinted operation produces
+    /// (nothing for unhinted operations). Inside `emit(|| ...)` closures,
+    /// so off stays free.
+    fn emit_cursor_outcome(&self, outcome: &HintOutcome, query_len: usize, now: f64) {
+        match *outcome {
+            HintOutcome::Cold => {}
+            HintOutcome::Resumed { node, resumed_len } => {
+                self.tracer.emit(|| TraceEvent::CursorResumed {
+                    ts: now,
+                    cache: self.name.clone(),
+                    node: node.index() as u64,
+                    resumed_len,
+                    delta_tokens: query_len as u64 - resumed_len,
+                });
+            }
+            HintOutcome::Fallback(cause) => {
+                self.tracer.emit(|| TraceEvent::CursorFallback {
+                    ts: now,
+                    cache: self.name.clone(),
+                    cause,
+                });
+            }
+        }
+    }
+
+    /// Maps the public `Option<SessionCursor>` hint into the internal
+    /// [`CursorHint`]. An unsharded cache only honors shard-0 handles: a
+    /// hint minted by a sharded front-end surfaces as a cross-shard
+    /// fallback instead of silently resuming in the wrong tree.
+    fn hint_from(hint: Option<SessionCursor>) -> CursorHint {
+        match hint {
+            None => CursorHint::Cold,
+            Some(h) if h.shard == 0 => CursorHint::Hint(h.cursor),
+            Some(_) => CursorHint::Rejected(CursorFallbackCause::CrossShard),
+        }
+    }
+
+    /// Inserts `tokens`, resuming from the validated `resume` node when a
+    /// fresh cursor can be captured there and `tokens` still extends its
+    /// prefix; falls back to the root insert otherwise. Both paths produce
+    /// byte-identical trees by the radix differential contract — the
+    /// resume is purely a walk shortcut.
+    ///
+    /// A *fresh* cursor is captured per insert (rather than reusing the
+    /// caller's) because earlier inserts in the same admission may have
+    /// bumped the resume node's version (leaf flip, new child). The node
+    /// itself cannot die mid-admission — inserts never remove nodes and
+    /// eviction only runs after all of them — and its depth is
+    /// path-invariant, so `cursor_at` always re-captures a valid resume
+    /// point; `insert_from`'s own validation covers the rest (e.g. a
+    /// checkpoint prefix shorter than the resume depth).
+    /// The sequence arrives as the virtual concatenation `head ‖ tail`
+    /// (callers with a single slice pass an empty tail), so admitting an
+    /// input + output pair never allocates or copies the joined prompt —
+    /// the seam-aware tree walks read the segments in place.
+    fn insert_via(
+        &mut self,
+        resume: Option<NodeId>,
+        head: &[Token],
+        tail: &[Token],
+    ) -> InsertOutcome {
+        if let Some(id) = resume {
+            if let Some(c) = self.tree.cursor_at(id) {
+                if let Ok(outcome) = self.tree.insert_parts_from(&c, head, tail) {
+                    return outcome;
+                }
+            }
+        }
+        self.tree.insert_parts(head, tail)
     }
 
     // ------------------------------------------------------------------
@@ -1442,7 +1598,7 @@ impl HybridPrefixCache {
         let mut tree = snapshot.tree.clone();
         tree.clear_pins();
         HybridPrefixCache {
-            name: "replica".to_owned(),
+            name: "replica".into(),
             model: self.model.clone(),
             capacity: self.capacity,
             host_capacity: self.host_capacity,
@@ -1460,6 +1616,7 @@ impl HybridPrefixCache {
             refresh_ancestors: self.refresh_ancestors,
             leaf_only_eviction: self.leaf_only_eviction,
             pin_in_flight: self.pin_in_flight,
+            session_cursors: self.session_cursors,
             gdsf_clock: 0.0,
             // Replicas replay silently: the tuner's grid-search probes are
             // hypotheticals, not serving decisions, so they never trace.
@@ -1516,6 +1673,26 @@ fn grid_search(
         .expect("invariant: the α grid is non-empty")
 }
 
+/// How a hinted operation obtained its prefix match — the telemetry
+/// currency between hint resolution and the single
+/// `CursorResumed`/`CursorFallback` event each hinted operation emits.
+/// Never consulted for cache decisions: hinted and unhinted paths are
+/// byte-identical apart from these events.
+#[derive(Debug, Clone, Copy)]
+enum HintOutcome {
+    /// No hint offered (or session cursors disabled): silent root walk.
+    Cold,
+    /// The hint validated; the walk resumed from `node`.
+    Resumed {
+        /// The validated resume node.
+        node: NodeId,
+        /// Tokens the resume skipped (the cursor's matched length).
+        resumed_len: u64,
+    },
+    /// The hint failed validation; root walk plus a fallback event.
+    Fallback(CursorFallbackCause),
+}
+
 impl PrefixCache for HybridPrefixCache {
     fn name(&self) -> &str {
         &self.name
@@ -1534,8 +1711,18 @@ impl PrefixCache for HybridPrefixCache {
     }
 
     fn lookup_at(&mut self, input: &[Token], now: f64) -> LookupResult {
+        self.lookup_at_with(input, now, None)
+    }
+
+    fn lookup_at_with(
+        &mut self,
+        input: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> LookupResult {
         self.clock = self.clock.max(now);
-        let m = self.tree.match_prefix(input);
+        let (m, hint_outcome) = self.match_with_hint(input, Self::hint_from(hint));
+        self.emit_cursor_outcome(&hint_outcome, input.len(), now);
         let mut result = if self.model.has_ssm() {
             // All-or-nothing: reuse stops at the deepest checkpointed node.
             let hit = m
@@ -1629,22 +1816,61 @@ impl PrefixCache for HybridPrefixCache {
     }
 
     fn insert_at(&mut self, input: &[Token], output: &[Token], now: f64) -> AdmissionReport {
+        self.insert_at_with(input, output, now, None).0
+    }
+
+    fn insert_at_with(
+        &mut self,
+        input: &[Token],
+        output: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> (AdmissionReport, Option<SessionCursor>) {
         self.clock = self.clock.max(now);
         let mut report = AdmissionReport::default();
         let tokens_before = self.tree.token_count();
         let mut admitted = 0u64;
 
+        // Resolve the hint once, against the input prefix the session
+        // extends. The validated node stays a correct resume anchor for
+        // every walk below (`insert_via` re-captures fresh cursors there).
+        let (resume, hint_outcome) = if !self.session_cursors {
+            (None, HintOutcome::Cold)
+        } else {
+            match Self::hint_from(hint) {
+                CursorHint::Cold => (None, HintOutcome::Cold),
+                CursorHint::Rejected(cause) => (None, HintOutcome::Fallback(cause)),
+                CursorHint::Hint(c) => match self.resolve_cursor(&c, input) {
+                    Ok(node) => (
+                        Some(node),
+                        HintOutcome::Resumed {
+                            node,
+                            resumed_len: c.matched_len(),
+                        },
+                    ),
+                    Err(cause) => (None, HintOutcome::Fallback(cause)),
+                },
+            }
+        };
+        self.emit_cursor_outcome(&hint_outcome, input.len(), now);
+
         // Purely-input reuse (§4.1): speculative insertion of the input
         // segment; a predicted intermediate node marks a shared prefix
         // whose SSM state is checkpointed during prefill.
         if self.model.has_ssm() && !input.is_empty() {
-            let spec = self.tree.speculate_insert(input);
+            let spec = match resume.and_then(|id| self.tree.cursor_at(id)) {
+                Some(c) => self
+                    .tree
+                    .speculate_insert_from(&c, input)
+                    .unwrap_or_else(|_| self.tree.speculate_insert(input)),
+                None => self.tree.speculate_insert(input),
+            };
             if let Some(branch_depth) = spec.creates_branch_at {
                 // Chunked state passing can only materialize states at
                 // chunk boundaries; two-pass/exact hits the branch itself.
                 let target = self.checkpoint_mode.checkpoint_depth(branch_depth);
                 if target > 0 {
-                    let outcome = self.tree.insert(&input[..target as usize]);
+                    let outcome = self.insert_via(resume, &input[..target as usize], &[]);
                     self.inherit_split_tier(&outcome);
                     self.stamp_new_nodes(&outcome, now);
                     self.emit_split(&outcome, now);
@@ -1658,16 +1884,22 @@ impl PrefixCache for HybridPrefixCache {
 
         // Input-and-output reuse (§4.1): the full sequence's KVs are cached
         // along the path and the state at the last decoded token is always
-        // checkpointed (conversations resume from it).
-        let full: Vec<Token> = input.iter().chain(output.iter()).copied().collect();
-        if !full.is_empty() {
-            let outcome = self.tree.insert(&full);
+        // checkpointed (conversations resume from it). The sequence is the
+        // virtual concatenation input ‖ output, handed to the seam-aware
+        // tree inserts as two slices: materializing the join cost an
+        // O(prompt) allocate-and-copy per admission — the last full read
+        // of the prompt left on the cursor-resumed path — and dominated
+        // the session-replay profile at long prompt lengths.
+        let mut end_node = None;
+        if !input.is_empty() || !output.is_empty() {
+            let outcome = self.insert_via(resume, input, output);
             self.inherit_split_tier(&outcome);
             self.stamp_new_nodes(&outcome, now);
             self.emit_split(&outcome, now);
             if self.model.has_ssm() {
                 admitted += self.checkpoint(outcome.end_node, now);
             }
+            end_node = Some(outcome.end_node);
         }
 
         // Serving this request (re)materialized its whole path's states on
@@ -1675,7 +1907,7 @@ impl PrefixCache for HybridPrefixCache {
         // host-resident node along it promotes back to the device tier
         // before pressure is re-resolved below. (No-op while the host tier
         // is empty, so `host_capacity = 0` behavior is untouched.)
-        let promoted_tokens = self.promote_resident_path(&full);
+        let promoted_tokens = self.promote_resident_path(end_node);
         if promoted_tokens > 0 {
             self.tracer.emit(|| TraceEvent::Promotion {
                 ts: now,
@@ -1704,7 +1936,20 @@ impl PrefixCache for HybridPrefixCache {
         if self.tracer.is_enabled() {
             self.emit_gauges(now);
         }
-        report
+
+        // Mint the next turn's cursor only now: eviction and demotion have
+        // settled, so a handed-out cursor always points at a live,
+        // device-resident end node (and is still revalidated on return).
+        let next = if self.session_cursors {
+            end_node.and_then(|id| {
+                let cursor = self.tree.cursor_at(id)?;
+                (self.tree.data(id).tier == Tier::Device)
+                    .then_some(SessionCursor { cursor, shard: 0 })
+            })
+        } else {
+            None
+        };
+        (report, next)
     }
 
     fn stats(&self) -> &CacheStats {
@@ -1724,6 +1969,10 @@ impl PrefixCache for HybridPrefixCache {
     }
 
     fn pin_prefix(&mut self, input: &[Token]) -> PinTicket {
+        self.pin_prefix_with(input, None)
+    }
+
+    fn pin_prefix_with(&mut self, input: &[Token], hint: Option<SessionCursor>) -> PinTicket {
         if !self.pin_in_flight {
             return PinTicket::default();
         }
@@ -1733,7 +1982,8 @@ impl PrefixCache for HybridPrefixCache {
         // in-flight request reads while decoding. No recency, stats, or
         // GDSF state moves: pinning composes with the non-mutating-probe
         // discipline even though it needs `&mut` for the refcounts.
-        let m = self.tree.match_prefix(input);
+        let (m, hint_outcome) = self.match_with_hint(input, Self::hint_from(hint));
+        self.emit_cursor_outcome(&hint_outcome, input.len(), self.clock);
         let node = if self.model.has_ssm() {
             m.path
                 .iter()
@@ -1788,6 +2038,7 @@ pub struct HybridPrefixCacheBuilder {
     refresh_ancestors: bool,
     leaf_only_eviction: bool,
     pin_in_flight: bool,
+    session_cursors: bool,
 }
 
 impl HybridPrefixCacheBuilder {
@@ -1870,6 +2121,19 @@ impl HybridPrefixCacheBuilder {
         self
     }
 
+    /// Honor session-cursor hints ([`PrefixCache::lookup_at_with`] /
+    /// [`PrefixCache::insert_at_with`] / [`PrefixCache::pin_prefix_with`]):
+    /// a valid hint resumes the walk from the session's deep node in
+    /// O(new tokens). Default on. Results are byte-identical with the
+    /// knob off (hints are ignored and no cursors are minted) — the
+    /// switch exists for the root-walk baseline in benches and the parity
+    /// tests that pin that contract.
+    #[must_use]
+    pub fn session_cursors(mut self, enabled: bool) -> Self {
+        self.session_cursors = enabled;
+        self
+    }
+
     /// Builds the cache.
     pub fn build(self) -> HybridPrefixCache {
         let (tuner, effective_alpha) = match &self.policy {
@@ -1893,7 +2157,7 @@ impl HybridPrefixCacheBuilder {
             .to_owned()
         });
         HybridPrefixCache {
-            name,
+            name: name.into(),
             model: self.model,
             capacity: self.capacity,
             host_capacity: self.host_capacity,
@@ -1911,6 +2175,7 @@ impl HybridPrefixCacheBuilder {
             refresh_ancestors: self.refresh_ancestors,
             leaf_only_eviction: self.leaf_only_eviction,
             pin_in_flight: self.pin_in_flight,
+            session_cursors: self.session_cursors,
             gdsf_clock: 0.0,
             tracer: Tracer::off(),
             miss_ledger: MissLedger::default(),
@@ -2393,6 +2658,7 @@ mod tests {
         assert_eq!(replica.checkpoint_mode, parent.checkpoint_mode);
         assert_eq!(replica.refresh_ancestors, parent.refresh_ancestors);
         assert_eq!(replica.leaf_only_eviction, parent.leaf_only_eviction);
+        assert_eq!(replica.session_cursors, parent.session_cursors);
         assert_eq!(replica.effective_alpha, 1.5);
     }
 
@@ -2850,7 +3116,7 @@ mod tests {
     fn assert_scale_replay_parity(policy: EvictionPolicy, trace_seed: u64) {
         // The binding cost is the *scan reference*: O(live nodes) per
         // victim, so full-scale runs are opt-in. (The 100k–1M-node regime
-        // is exercised against the verbatim legacy engine in
+        // is exercised by the cursor-vs-root-walk scale replay in
         // `crates/radix/tests/differential.rs`, where both sides are
         // O(depth) per op.)
         let requests = if std::env::var("MARCONI_STRESS_FULL").is_ok() {
@@ -3657,5 +3923,138 @@ mod tests {
         };
         assert_eq!(run(false), 0, "unpinned: device pressure demotes A to host");
         assert_eq!(run(true), 128, "pinned: A's path stays device-resident");
+    }
+
+    // ------------------------------------------------------------------
+    // PR 10: session-cursor byte parity. Replaying a multi-turn trace with
+    // session hints must leave every observable byte — victim logs, stats,
+    // occupancy, tuned α, tree contents — identical to the unhinted replay
+    // (and to a hinted replay with the knob off): a cursor is a walk
+    // shortcut, never a semantic input.
+    // ------------------------------------------------------------------
+
+    /// Drives a seeded two-tier trace the way the engine does (lookup, pin,
+    /// unpin, insert per request; a per-session cursor table when hinted)
+    /// through three identically-configured caches: unhinted, hinted, and
+    /// hinted-with-cursors-disabled. Demands byte-identical end state across
+    /// all three, and that the hinted run actually resumed (so the parity
+    /// is not vacuous).
+    fn assert_session_cursor_parity(policy: EvictionPolicy, trace_seed: u64) {
+        use crate::CursorTable;
+        use marconi_trace::{RingRecorder, Tracer};
+        use marconi_workload::{DatasetKind, TraceGenerator};
+        let m = ModelConfig::hybrid_7b();
+        let capacity = 9000 * m.kv_bytes_per_token();
+        let trace = TraceGenerator::new(DatasetKind::Lmsys)
+            .sessions(12)
+            .seed(trace_seed)
+            .generate();
+        let run = |hinted: bool, knob: bool, tracer: Option<Tracer>| {
+            let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+                .capacity_bytes(capacity)
+                .host_capacity_bytes(capacity / 2)
+                .policy(policy.clone())
+                .session_cursors(knob)
+                .build();
+            if let Some(t) = tracer {
+                c.set_tracer(t);
+            }
+            let mut table = CursorTable::new(64);
+            for r in &trace.requests {
+                let hint = if hinted {
+                    table.take(r.session_id)
+                } else {
+                    None
+                };
+                c.lookup_at_with(&r.input, r.arrival, hint);
+                let ticket = c.pin_prefix_with(&r.input, hint);
+                let (_, next) = c.insert_at_with(&r.input, &r.output, r.arrival, hint);
+                c.unpin(ticket);
+                if let Some(cursor) = next {
+                    table.put(r.session_id, cursor);
+                }
+            }
+            c
+        };
+        let cold = run(false, true, None);
+        assert!(
+            cold.stats.evictions > 0 && cold.stats.demotions > 0,
+            "parity trace must exercise eviction and demotion ({policy})"
+        );
+        let (traced, recorder) = Tracer::to_sink(RingRecorder::new(1 << 16));
+        let hinted = run(true, true, Some(traced));
+        let knob_off = run(true, false, None);
+        for (label, other) in [("hinted", &hinted), ("knob-off", &knob_off)] {
+            assert_eq!(
+                cold.eviction_log, other.eviction_log,
+                "{label} run perturbed the victim sequence under {policy}"
+            );
+            assert_eq!(
+                cold.stats, other.stats,
+                "{label} run perturbed stats under {policy}"
+            );
+            assert_eq!(cold.usage(), other.usage(), "{label} usage ({policy})");
+            assert_eq!(
+                cold.host_usage_bytes(),
+                other.host_usage_bytes(),
+                "{label} host usage ({policy})"
+            );
+            assert_eq!(
+                cold.effective_alpha, other.effective_alpha,
+                "{label} run perturbed the tuned α under {policy}"
+            );
+            assert_eq!(
+                cold.tree.token_count(),
+                other.tree.token_count(),
+                "{label} tree contents ({policy})"
+            );
+        }
+        let rec = recorder.lock().expect("lock: test-local recorder");
+        let resumed = rec
+            .events()
+            .filter(|e| e.event.kind() == "cursor-resumed")
+            .count();
+        assert!(
+            resumed > 0,
+            "a multi-turn trace must resume at least once for the parity to bite ({policy})"
+        );
+    }
+
+    #[test]
+    fn session_cursor_parity_lru() {
+        assert_session_cursor_parity(EvictionPolicy::Lru, 7);
+    }
+
+    #[test]
+    fn session_cursor_parity_flop_aware() {
+        assert_session_cursor_parity(EvictionPolicy::FlopAware { alpha: 2.0 }, 11);
+    }
+
+    #[test]
+    fn session_cursor_parity_gdsf() {
+        assert_session_cursor_parity(EvictionPolicy::Gdsf, 13);
+    }
+
+    #[test]
+    fn session_cursor_parity_auto_tuned() {
+        assert_session_cursor_parity(
+            EvictionPolicy::AutoTuned(TunerConfig {
+                bootstrap_multiplier: 5.0,
+                alpha_grid: vec![0.0, 1.0, 4.0],
+                parallel: false,
+            }),
+            17,
+        );
+    }
+
+    /// With the knob off the cache neither mints cursors nor honors hints.
+    #[test]
+    fn disabled_session_cursors_mint_nothing() {
+        let mut c = HybridPrefixCache::builder(ModelConfig::hybrid_7b())
+            .capacity_bytes(1 << 40)
+            .session_cursors(false)
+            .build();
+        let (_, next) = c.insert_at_with(&seq(0..64), &seq(500..532), 0.0, None);
+        assert!(next.is_none(), "knob off: no cursor minted");
     }
 }

@@ -59,6 +59,7 @@
 
 mod block;
 mod concurrent;
+mod cursor;
 mod hybrid;
 pub mod oracle;
 mod policy;
@@ -70,6 +71,7 @@ mod vanilla;
 
 pub use block::{BlockCache, BlockReuseReport};
 pub use concurrent::{ShardedCache, ShardedCacheHandle};
+pub use cursor::{CursorTable, SessionCursor};
 pub use hybrid::{CheckpointMode, HybridPrefixCache, HybridPrefixCacheBuilder};
 pub use policy::EvictionPolicy;
 pub use result::{AdmissionReport, LookupResult};
@@ -228,6 +230,44 @@ pub trait PrefixCache {
     fn pinned_bytes(&self) -> u64 {
         0
     }
+
+    /// [`lookup_at`](PrefixCache::lookup_at) with an optional session
+    /// hint: a cache that supports session cursors resumes the match walk
+    /// from the hinted node in O(new tokens), falling back to the
+    /// byte-identical root walk when the hint fails validation. The
+    /// default implementation ignores the hint — results are identical
+    /// either way; hints are purely a shortcut.
+    fn lookup_at_with(
+        &mut self,
+        input: &[Token],
+        now: f64,
+        _hint: Option<SessionCursor>,
+    ) -> LookupResult {
+        self.lookup_at(input, now)
+    }
+
+    /// [`insert_at`](PrefixCache::insert_at) with an optional session
+    /// hint, returning the session's next cursor — a resume handle at the
+    /// admitted sequence's end node — when the cache supports cursors and
+    /// the node survived the admission's own eviction pressure on the
+    /// device tier. The default ignores the hint and mints nothing.
+    fn insert_at_with(
+        &mut self,
+        input: &[Token],
+        output: &[Token],
+        now: f64,
+        _hint: Option<SessionCursor>,
+    ) -> (AdmissionReport, Option<SessionCursor>) {
+        (self.insert_at(input, output, now), None)
+    }
+
+    /// [`pin_prefix`](PrefixCache::pin_prefix) with an optional session
+    /// hint (same fallback contract as
+    /// [`lookup_at_with`](PrefixCache::lookup_at_with)). The default
+    /// ignores the hint.
+    fn pin_prefix_with(&mut self, input: &[Token], _hint: Option<SessionCursor>) -> PinTicket {
+        self.pin_prefix(input)
+    }
 }
 
 impl PrefixCache for Box<dyn PrefixCache> {
@@ -277,5 +317,28 @@ impl PrefixCache for Box<dyn PrefixCache> {
 
     fn pinned_bytes(&self) -> u64 {
         self.as_ref().pinned_bytes()
+    }
+
+    fn lookup_at_with(
+        &mut self,
+        input: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> LookupResult {
+        self.as_mut().lookup_at_with(input, now, hint)
+    }
+
+    fn insert_at_with(
+        &mut self,
+        input: &[Token],
+        output: &[Token],
+        now: f64,
+        hint: Option<SessionCursor>,
+    ) -> (AdmissionReport, Option<SessionCursor>) {
+        self.as_mut().insert_at_with(input, output, now, hint)
+    }
+
+    fn pin_prefix_with(&mut self, input: &[Token], hint: Option<SessionCursor>) -> PinTicket {
+        self.as_mut().pin_prefix_with(input, hint)
     }
 }

@@ -1,0 +1,301 @@
+//! Session-cursor invalidation contract (PR 10, see
+//! `docs/session-fastpath.md`).
+//!
+//! Every way a cursor can go stale — its resume node evicted
+//! (stale-generation), a split landing under it (structure-changed), the
+//! next query diverging inside the resume edge (query-diverged), the
+//! resume path demoted off the device tier (resume-demoted), or a hint
+//! presented to the wrong shard (cross-shard) — must (a) fall back to the
+//! root walk with results byte-identical to never having offered the
+//! hint, and (b) name its cause in a `CursorFallback` trace event. The
+//! closing property test replays random session interleavings, randomly
+//! dropping and spending hints, and demands hinted and unhinted runs
+//! agree on every per-request result and all end-state counters.
+
+use marconi_core::{
+    HybridPrefixCache, HybridPrefixCacheBuilder, PrefixCache, SessionCursor, ShardedCache,
+};
+use marconi_model::ModelConfig;
+use marconi_radix::Token;
+use marconi_trace::{RingRecorder, TraceEvent, Tracer};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn seq(range: std::ops::Range<u32>) -> Vec<Token> {
+    range.collect()
+}
+
+fn builder(capacity: u64) -> HybridPrefixCacheBuilder {
+    HybridPrefixCache::builder(ModelConfig::hybrid_7b()).capacity_bytes(capacity)
+}
+
+/// Capacity fitting exactly two 128-token single-checkpoint sequences.
+fn two_seq_capacity() -> u64 {
+    let m = ModelConfig::hybrid_7b();
+    2 * (128 * m.kv_bytes_per_token() + m.ssm_checkpoint_bytes()) + 1
+}
+
+fn recorded(capacity: u64) -> (HybridPrefixCache, Arc<Mutex<RingRecorder>>) {
+    let (tracer, recorder) = Tracer::to_sink(RingRecorder::new(1 << 12));
+    let mut c = builder(capacity).build();
+    c.set_tracer(tracer);
+    (c, recorder)
+}
+
+fn fallback_causes(recorder: &Arc<Mutex<RingRecorder>>) -> Vec<&'static str> {
+    recorder
+        .lock()
+        .expect("lock: test-local recorder")
+        .events()
+        .filter_map(|e| match &e.event {
+            TraceEvent::CursorFallback { cause, .. } => Some(cause.label()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn resumed_count(recorder: &Arc<Mutex<RingRecorder>>) -> usize {
+    recorder
+        .lock()
+        .expect("lock: test-local recorder")
+        .events()
+        .filter(|e| e.event.kind() == "cursor-resumed")
+        .count()
+}
+
+/// Mints a cursor by admitting `input ⧺ output` at `now`.
+fn mint(c: &mut HybridPrefixCache, input: &[Token], output: &[Token], now: f64) -> SessionCursor {
+    let (_, next) = c.insert_at_with(input, output, now, None);
+    next.expect("admission at spare capacity mints a cursor")
+}
+
+/// Asserts the hinted lookup on `hinted_cache` equals the unhinted lookup
+/// on a twin cache that saw the exact same operation stream.
+fn assert_lookup_parity(
+    hinted_cache: &mut HybridPrefixCache,
+    cold_cache: &mut HybridPrefixCache,
+    query: &[Token],
+    now: f64,
+    hint: SessionCursor,
+) {
+    let hinted = hinted_cache.lookup_at_with(query, now, Some(hint));
+    let cold = cold_cache.lookup_at(query, now);
+    assert_eq!(hinted, cold, "fallback must be byte-identical to root walk");
+    assert_eq!(*hinted_cache.stats(), *cold_cache.stats(), "stats parity");
+}
+
+#[test]
+fn evicted_resume_node_falls_back_as_stale_generation() {
+    let (mut c, rec) = recorded(two_seq_capacity());
+    let mut cold = builder(two_seq_capacity()).build();
+    let drive = |c: &mut HybridPrefixCache| {
+        // Single-tier cache at two-sequence capacity: admitting B and C
+        // deletes session A's whole path, freeing its arena slots.
+        c.insert_at(&seq(10_000..10_096), &seq(10_500..10_532), 1.0);
+        c.insert_at(&seq(20_000..20_096), &seq(20_500..20_532), 2.0);
+    };
+    let cursor = mint(&mut c, &seq(0..96), &seq(500..532), 0.0);
+    cold.insert_at(&seq(0..96), &seq(500..532), 0.0);
+    drive(&mut c);
+    drive(&mut cold);
+    let mut resume: Vec<Token> = seq(0..96);
+    resume.extend(seq(500..532));
+    resume.push(42);
+    assert_lookup_parity(&mut c, &mut cold, &resume, 3.0, cursor);
+    assert_eq!(fallback_causes(&rec), ["stale-generation"]);
+    assert_eq!(resumed_count(&rec), 0);
+}
+
+#[test]
+fn split_under_cursor_falls_back_as_structure_changed() {
+    let (mut c, rec) = recorded(1 << 40);
+    let mut cold = builder(1 << 40).build();
+    let cursor = mint(&mut c, &seq(0..96), &seq(500..532), 0.0);
+    cold.insert_at(&seq(0..96), &seq(500..532), 0.0);
+    // A shorter replay of the same conversation ends mid-edge of A's path,
+    // splitting the resume node's own edge — its version bumps even though
+    // the node (and its full root-path tokens) survive.
+    c.insert_at(&seq(0..96), &seq(500..516), 1.0);
+    cold.insert_at(&seq(0..96), &seq(500..516), 1.0);
+    let mut resume: Vec<Token> = seq(0..96);
+    resume.extend(seq(500..532));
+    resume.push(42);
+    assert_lookup_parity(&mut c, &mut cold, &resume, 2.0, cursor);
+    assert_eq!(fallback_causes(&rec), ["structure-changed"]);
+}
+
+#[test]
+fn diverged_query_falls_back_as_query_diverged() {
+    let (mut c, rec) = recorded(1 << 40);
+    let mut cold = builder(1 << 40).build();
+    let cursor = mint(&mut c, &seq(0..96), &seq(500..532), 0.0);
+    cold.insert_at(&seq(0..96), &seq(500..532), 0.0);
+    // Same session id, different history: one token inside the resume edge
+    // flipped (edge divergence) …
+    let mut diverged: Vec<Token> = seq(0..96);
+    diverged.extend(seq(500..532));
+    diverged[100] = 9_999;
+    diverged.push(42);
+    assert_lookup_parity(&mut c, &mut cold, &diverged, 1.0, cursor);
+    // … and a query shorter than the memoized prefix.
+    let short: Vec<Token> = seq(0..64);
+    assert_lookup_parity(&mut c, &mut cold, &short, 2.0, cursor);
+    assert_eq!(fallback_causes(&rec), ["query-diverged", "query-diverged"]);
+}
+
+#[test]
+fn demoted_resume_path_falls_back_as_resume_demoted() {
+    let capacity = two_seq_capacity();
+    let mk = || {
+        builder(capacity)
+            .host_capacity_bytes(1 << 40)
+            .policy(marconi_core::EvictionPolicy::Lru)
+            .build()
+    };
+    let (tracer, rec) = Tracer::to_sink(RingRecorder::new(1 << 12));
+    let mut c = mk();
+    c.set_tracer(tracer);
+    let mut cold = mk();
+    let cursor = mint(&mut c, &seq(0..96), &seq(500..532), 0.0);
+    cold.insert_at(&seq(0..96), &seq(500..532), 0.0);
+    let drive = |c: &mut HybridPrefixCache| {
+        // Device pressure demotes A's path to the host tier (it survives in
+        // the tree, so the tree-level checks all pass).
+        c.insert_at(&seq(10_000..10_096), &seq(10_500..10_532), 1.0);
+        c.insert_at(&seq(20_000..20_096), &seq(20_500..20_532), 2.0);
+    };
+    drive(&mut c);
+    drive(&mut cold);
+    assert!(c.stats().demotions > 0, "pressure must demote A");
+    let mut resume: Vec<Token> = seq(0..96);
+    resume.extend(seq(500..532));
+    resume.push(42);
+    assert_lookup_parity(&mut c, &mut cold, &resume, 3.0, cursor);
+    assert_eq!(fallback_causes(&rec), ["resume-demoted"]);
+}
+
+#[test]
+fn demotion_suppresses_cursor_minting() {
+    // If the admission itself ends with the end node off-device, no cursor
+    // is handed out: a fresh hint must always point at device-resident
+    // state.
+    let m = ModelConfig::hybrid_7b();
+    let tiny = 64 * m.kv_bytes_per_token();
+    let mut c = builder(tiny).host_capacity_bytes(1 << 40).build();
+    let (_, next) = c.insert_at_with(&seq(0..96), &seq(500..532), 0.0, None);
+    assert!(
+        next.is_none(),
+        "a 128-token path cannot stay device-resident under a 64-token cap"
+    );
+}
+
+#[test]
+fn cross_shard_hint_is_rejected_not_resumed() {
+    let sharded = ShardedCache::new(builder(1 << 40), 4);
+    let (tracer, rec) = Tracer::to_sink(RingRecorder::new(1 << 12));
+    sharded.set_tracer(tracer);
+    // Two session roots on different shards.
+    let a_root = 100u32;
+    let b_root = (101..10_000)
+        .find(|&t| sharded.shard_of(&[t]) != sharded.shard_of(&[a_root]))
+        .expect("some token routes elsewhere among 4 shards");
+    let a: Vec<Token> = std::iter::once(a_root).chain(0..95).collect();
+    let b: Vec<Token> = std::iter::once(b_root).chain(0..95).collect();
+    let (_, cursor) = sharded.insert_at_with(&a, &seq(500..532), 0.0, None);
+    let cursor = cursor.expect("shard admission mints a cursor");
+    assert_eq!(
+        cursor.shard(),
+        sharded.shard_of(&a),
+        "cursor carries its minting shard"
+    );
+    sharded.insert_at(&b, &seq(600..632), 1.0);
+    // Spend A's cursor on B's session (routes to a different shard): the
+    // owning shard must reject it and root-walk, byte-identical to no hint.
+    let mut b_resume = b.clone();
+    b_resume.extend(seq(600..632));
+    b_resume.push(42);
+    let hinted = sharded.lookup_at_with(&b_resume, 2.0, Some(cursor));
+    let reference = ShardedCache::new(builder(1 << 40), 4);
+    reference.insert_at(&a, &seq(500..532), 0.0);
+    reference.insert_at(&b, &seq(600..632), 1.0);
+    let cold = reference.lookup_at(&b_resume, 2.0);
+    assert_eq!(hinted, cold, "cross-shard fallback must match root walk");
+    assert_eq!(sharded.stats(), reference.stats());
+    assert_eq!(fallback_causes(&rec), ["cross-shard"]);
+    // A hint on its own shard still resumes.
+    let mut a_resume = a.clone();
+    a_resume.extend(seq(500..532));
+    let (_, again) = sharded.insert_at_with(&a_resume, &seq(700..716), 3.0, None);
+    let again = again.expect("cursor re-minted");
+    let mut a_next = a_resume.clone();
+    a_next.extend(seq(700..716));
+    a_next.push(43);
+    sharded.lookup_at_with(&a_next, 4.0, Some(again));
+    assert_eq!(resumed_count(&rec), 1, "same-shard hint resumes");
+}
+
+/// One logical session: a growing conversation that each turn extends.
+#[derive(Debug, Clone)]
+struct Session {
+    history: Vec<Token>,
+    cursor: Option<SessionCursor>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleavings of N sessions, each turn randomly spending or
+    /// dropping its hint (and occasionally diverging its history so stale
+    /// cursors meet foreign queries): the hinted cache must agree with an
+    /// unhinted twin on every lookup result, every admission report, and
+    /// all end-state counters.
+    #[test]
+    fn random_interleavings_keep_hinted_and_unhinted_runs_identical(
+        roots in prop::collection::vec(0u32..6, 2..5),
+        turns in prop::collection::vec((0usize..4, 0u32..3, 1usize..24, 0u8..2), 1..40),
+    ) {
+        let m = ModelConfig::hybrid_7b();
+        // Tight enough that long runs overflow and evict mid-stream.
+        let capacity = 600 * m.kv_bytes_per_token();
+        let mut hinted_cache = builder(capacity).build();
+        let mut cold_cache = builder(capacity).build();
+        let mut sessions: Vec<Session> = roots
+            .iter()
+            .map(|&r| Session { history: vec![r * 50_000], cursor: None })
+            .collect();
+        for (i, (which, kind, len, spend)) in turns.iter().enumerate() {
+            let now = i as f64;
+            let idx = which % sessions.len();
+            let s = &mut sessions[idx];
+            match kind {
+                // Extend the conversation (the fast-path case).
+                0 | 1 => {}
+                // Diverge: rewrite the tail so a live cursor meets a
+                // different continuation than it memoized.
+                _ => {
+                    let keep = s.history.len() / 2;
+                    s.history.truncate(keep.max(1));
+                }
+            }
+            let input = s.history.clone();
+            let output: Vec<Token> = (0..*len as u32).map(|t| 30_000 + t).collect();
+            let hint = if *spend == 1 { s.cursor.take() } else { None };
+            let a = hinted_cache.lookup_at_with(&input, now, hint);
+            let b = cold_cache.lookup_at(&input, now);
+            prop_assert_eq!(a, b, "lookup diverged at turn {}", i);
+            let (ra, next) = hinted_cache.insert_at_with(&input, &output, now, hint);
+            let rb = cold_cache.insert_at(&input, &output, now);
+            prop_assert_eq!(ra, rb, "admission diverged at turn {}", i);
+            s.cursor = next;
+            s.history.extend(output);
+        }
+        prop_assert_eq!(*hinted_cache.stats(), *cold_cache.stats());
+        prop_assert_eq!(hinted_cache.usage_bytes(), cold_cache.usage_bytes());
+        for s in &sessions {
+            prop_assert_eq!(
+                hinted_cache.longest_cached_prefix_len(&s.history),
+                cold_cache.longest_cached_prefix_len(&s.history)
+            );
+        }
+    }
+}

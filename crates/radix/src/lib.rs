@@ -28,10 +28,18 @@
 //! generation-tagged nodes, sorted-vec children probed by binary search,
 //! edge labels as `(offset, len)` slices of one shared append-only token
 //! store (O(1) splits), and an O(log n) recency index over the candidate
-//! set ([`RadixTree::touch`] / [`RadixTree::lru_candidates`]). The
-//! pre-refactor engine survives verbatim in the hidden [`legacy`] module
-//! as the oracle for `tests/differential.rs` and the `engine_replay`
-//! bench; see `docs/radix-engine.md` for design and measurements.
+//! set ([`RadixTree::touch`] / [`RadixTree::lru_candidates`]); see
+//! `docs/radix-engine.md` for design and measurements. (The pre-refactor
+//! oracle engine, retired after two parity-holding PRs, lives on only in
+//! git history; `tests/differential.rs` now replays cursor-resumed walks
+//! against root walks instead.)
+//!
+//! PR 10 adds the *session fast path*: [`RadixTree::cursor_at`] takes a
+//! generation-tagged [`MatchCursor`] at a node, and
+//! [`RadixTree::match_prefix_from`] / [`RadixTree::insert_from`] /
+//! [`RadixTree::speculate_insert_from`] resume from it in O(new tokens),
+//! falling back to the root walk on any [`CursorFault`]; see
+//! `docs/session-fastpath.md`.
 //!
 //! # Examples
 //!
@@ -54,15 +62,16 @@
 #![warn(missing_docs)]
 
 mod index;
-#[doc(hidden)]
-pub mod legacy;
 mod node;
 mod recency;
 mod tree;
 
 pub use node::NodeId;
 pub use recency::recency_stamp;
-pub use tree::{InsertOutcome, PrefixMatch, RadixTree, RemoveError, Removed, Speculation};
+pub use tree::{
+    CursorFault, InsertOutcome, MatchCursor, PrefixMatch, RadixTree, RemoveError, Removed,
+    Speculation,
+};
 
 /// A token identifier, as produced by a tokenizer.
 ///

@@ -1,7 +1,7 @@
 //! The radix tree implementation (arena engine).
 //!
 //! Engine layout (see `docs/radix-engine.md` for the design rationale and
-//! measured speedups over the owned-`Vec` engine kept in [`crate::legacy`]):
+//! measured speedups over the retired owned-`Vec` oracle engine):
 //!
 //! * nodes live in a free-list slab arena of generation-tagged slots, so
 //!   ids are dense `u32` indices and stale ids are detected, not aliased;
@@ -100,6 +100,67 @@ impl PrefixMatch {
     #[must_use]
     pub fn deepest(&self) -> Option<NodeId> {
         self.path.last().copied()
+    }
+}
+
+/// A generation-tagged resume handle for the session fast path
+/// ([`RadixTree::cursor_at`]): follow-up matches/inserts/speculations for
+/// a sequence extending the cursor's resume the walk from its node,
+/// consuming only the delta tokens.
+///
+/// The node id is deliberately private: the only way to dereference it is
+/// [`RadixTree::resume`], which performs the generation check (enforced
+/// workspace-wide by `marconi-check`'s `cursor-deref` rule). A cursor is a
+/// pure value — holding one pins nothing and never blocks eviction; a
+/// stale cursor simply fails validation.
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchCursor {
+    /// Resume node; dereferenced only via the gen-checked [`RadixTree::resume`].
+    node: NodeId,
+    /// The node's token depth when the cursor was taken — the length of
+    /// the already-matched prefix a resumed walk skips.
+    matched_len: u64,
+    /// The node's [`RadixTree::structure_version`] when the cursor was
+    /// taken; any bump (edge split, leaf-status flip) invalidates.
+    structure_version: u32,
+}
+
+impl MatchCursor {
+    /// Length of the already-matched prefix this cursor resumes after.
+    #[must_use]
+    pub fn matched_len(&self) -> u64 {
+        self.matched_len
+    }
+}
+
+/// Why a [`MatchCursor`] could not be resumed ([`RadixTree::resume`]).
+/// Every fault is recoverable: fall back to the root walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorFault {
+    /// The resume node was removed (its slot is free or recycled under a
+    /// newer generation).
+    StaleGeneration,
+    /// The resume node's structure version or depth changed — an edge
+    /// split landed on it, or its leaf status flipped — since the cursor
+    /// was taken.
+    StructureChanged,
+    /// The query is shorter than the cursor's matched prefix, so it cannot
+    /// extend it.
+    QueryTooShort,
+    /// The query tokens under the resume node's own edge diverge from it —
+    /// the cursor was replayed against a foreign query.
+    EdgeDivergence,
+}
+
+impl fmt::Display for CursorFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorFault::StaleGeneration => write!(f, "resume node was removed"),
+            CursorFault::StructureChanged => write!(f, "resume node's structure changed"),
+            CursorFault::QueryTooShort => write!(f, "query does not extend the cursor"),
+            CursorFault::EdgeDivergence => write!(f, "query diverges on the resume edge"),
+        }
     }
 }
 
@@ -221,12 +282,87 @@ impl<D: Default> RadixTree<D> {
     /// structurally (the returned `end_node` is the existing node; for the
     /// empty sequence it is the root).
     pub fn insert(&mut self, seq: &[Token]) -> InsertOutcome {
-        let mut cur = NodeId::ROOT;
-        let mut pos: usize = 0;
+        self.insert_at_node(NodeId::ROOT, 0, seq, &[])
+    }
+
+    /// Inserts the virtual concatenation `head ‖ tail` without
+    /// materializing it — byte-identical to
+    /// [`insert`](RadixTree::insert) of the concatenated sequence.
+    ///
+    /// Callers holding a sequence in two segments (a prompt and its
+    /// decoded output, say) would otherwise pay an O(total) allocate-and-
+    /// copy per insert just to satisfy the single-slice signature; the
+    /// seam-aware walk reads each segment in place instead, so a resumed
+    /// insert touches only the resume edge and the new suffix.
+    pub fn insert_parts(&mut self, head: &[Token], tail: &[Token]) -> InsertOutcome {
+        self.insert_at_node(NodeId::ROOT, 0, head, tail)
+    }
+
+    /// Resumes an insert of `head ‖ tail` from `cursor`: the two-segment
+    /// counterpart of [`insert_from`](RadixTree::insert_from), with the
+    /// same contract and validation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CursorFault`] from [`resume`](RadixTree::resume); the tree is
+    /// untouched on error.
+    pub fn insert_parts_from(
+        &mut self,
+        cursor: &MatchCursor,
+        head: &[Token],
+        tail: &[Token],
+    ) -> Result<InsertOutcome, CursorFault> {
+        let start = self.resume_parts(cursor, head, tail)?;
+        let pos = cursor.matched_len() as usize;
+        Ok(self.insert_at_node(start, pos, head, tail))
+    }
+
+    /// Resumes an insert of `seq` from `cursor` — the walk starts at the
+    /// cursor's node and only consumes `seq[cursor.matched_len()..]`, so an
+    /// insert extending a previously-inserted sequence costs O(new tokens)
+    /// instead of O(seq).
+    ///
+    /// The outcome is byte-identical to [`insert`](RadixTree::insert) of the
+    /// same `seq` **provided** `seq[..cursor.matched_len()]` equals the
+    /// cursor node's root path — guaranteed whenever `seq` extends the
+    /// sequence the cursor was taken from (see [`cursor_at`]'s contract).
+    /// Validation ([`resume`](RadixTree::resume)) rejects stale cursors; on
+    /// `Err` the caller falls back to the root walk.
+    ///
+    /// [`cursor_at`]: RadixTree::cursor_at
+    ///
+    /// # Errors
+    ///
+    /// Any [`CursorFault`] from [`resume`](RadixTree::resume); the tree is
+    /// untouched on error.
+    pub fn insert_from(
+        &mut self,
+        cursor: &MatchCursor,
+        seq: &[Token],
+    ) -> Result<InsertOutcome, CursorFault> {
+        let start = self.resume(cursor, seq)?;
+        let pos = cursor.matched_len() as usize;
+        Ok(self.insert_at_node(start, pos, seq, &[]))
+    }
+
+    /// The insert walk from an arbitrary resume point over the virtual
+    /// sequence `head ‖ tail`. `start`'s root path must equal the virtual
+    /// sequence's first `start_pos` tokens (trivially true for the root at
+    /// 0). Single-slice callers pass an empty `tail`.
+    fn insert_at_node(
+        &mut self,
+        start: NodeId,
+        start_pos: usize,
+        head: &[Token],
+        tail: &[Token],
+    ) -> InsertOutcome {
+        let total = head.len() + tail.len();
+        let mut cur = start;
+        let mut pos = start_pos;
         let mut split_node = None;
 
         loop {
-            if pos == seq.len() {
+            if pos == total {
                 return InsertOutcome {
                     end_node: cur,
                     split_node,
@@ -234,14 +370,18 @@ impl<D: Default> RadixTree<D> {
                     added_tokens: 0,
                 };
             }
-            let next_tok = seq[pos];
+            let next_tok = if pos < head.len() {
+                head[pos]
+            } else {
+                tail[pos - head.len()]
+            };
             match self.node(cur).children.get(next_tok) {
                 None => {
                     // No child shares the next token: append a fresh leaf.
                     // The suffix is appended once to the shared store; the
                     // leaf's edge is a slice of it.
-                    let added = (seq.len() - pos) as u64;
-                    let edge = self.push_tokens(&seq[pos..]);
+                    let added = (total - pos) as u64;
+                    let edge = self.push_tokens_parts(head, tail, pos);
                     let depth = self.node(cur).depth + added;
                     let leaf = self.alloc(Node {
                         parent: Some(cur),
@@ -271,7 +411,7 @@ impl<D: Default> RadixTree<D> {
                     };
                 }
                 Some(child) => {
-                    let shared = self.shared_edge_len(child, &seq[pos..]);
+                    let shared = self.shared_edge_len_parts(child, head, tail, pos);
                     let edge_len = self.node(child).edge.len();
                     if shared == edge_len {
                         // Whole edge matched: descend.
@@ -318,17 +458,25 @@ impl<D: Default> RadixTree<D> {
         }
     }
 
-    /// Appends `toks` to the shared store, returning the covering slice.
-    fn push_tokens(&mut self, toks: &[Token]) -> EdgeRef {
+    /// Appends the suffix of the virtual sequence `head ‖ tail` starting
+    /// at `pos` to the shared store (one or two `extend_from_slice`
+    /// memcpys, depending on whether the suffix straddles the seam).
+    fn push_tokens_parts(&mut self, head: &[Token], tail: &[Token], pos: usize) -> EdgeRef {
         let off = self.store.len();
+        let len = head.len() + tail.len() - pos;
         debug_assert!(
-            off + toks.len() <= u32::MAX as usize,
+            off + len <= u32::MAX as usize,
             "token store exceeds u32 addressing"
         );
-        self.store.extend_from_slice(toks);
+        if pos < head.len() {
+            self.store.extend_from_slice(&head[pos..]);
+            self.store.extend_from_slice(tail);
+        } else {
+            self.store.extend_from_slice(&tail[pos - head.len()..]);
+        }
         EdgeRef {
             off: off as u32,
-            len: toks.len() as u32,
+            len: len as u32,
         }
     }
 
@@ -456,6 +604,37 @@ impl<D> RadixTree<D> {
             .zip(rest.iter())
             .take_while(|(a, b)| a == b)
             .count()
+    }
+
+    /// [`shared_edge_len`](RadixTree::shared_edge_len) against the virtual
+    /// sequence `head ‖ tail` starting at `pos`: the edge is compared
+    /// piecewise against the segment(s) it overlaps, so a compare
+    /// straddling the seam never materializes the concatenation.
+    fn shared_edge_len_parts(
+        &self,
+        child: NodeId,
+        head: &[Token],
+        tail: &[Token],
+        pos: usize,
+    ) -> usize {
+        let edge = &self.store[self.node(child).edge.range()];
+        let mut shared = 0usize;
+        if pos < head.len() {
+            let h = &head[pos..];
+            let n = edge.len().min(h.len());
+            shared = edge[..n].iter().zip(h).take_while(|(a, b)| a == b).count();
+            if shared < n || shared == edge.len() {
+                return shared;
+            }
+        }
+        let t = &tail[pos + shared - head.len()..];
+        let n = (edge.len() - shared).min(t.len());
+        shared
+            + edge[shared..shared + n]
+                .iter()
+                .zip(t)
+                .take_while(|(a, b)| a == b)
+                .count()
     }
 
     /// The root node id.
@@ -778,9 +957,165 @@ impl<D> RadixTree<D> {
     /// Finds the longest stored prefix of `query`.
     #[must_use]
     pub fn match_prefix(&self, query: &[Token]) -> PrefixMatch {
+        self.match_from(NodeId::ROOT, query)
+    }
+
+    /// Takes a resume cursor at a live node: a generation-tagged snapshot
+    /// of `(node, depth, structure_version)` that a later
+    /// [`match_prefix_from`] / [`insert_from`] / [`speculate_insert_from`]
+    /// can resume from in O(new tokens).
+    ///
+    /// **Contract:** resumed operations are byte-identical to their
+    /// root-walk counterparts only for queries whose first
+    /// `matched_len()` tokens equal the node's root path. Callers must
+    /// therefore only reuse a cursor for queries *extending* the sequence
+    /// it was taken at. Validation catches every structural hazard
+    /// (generation mismatch, version bump, resume-edge divergence) and
+    /// falls back cheaply; full-prefix verification is deliberately not
+    /// performed — it would restore the O(prompt) cost the cursor exists
+    /// to avoid.
+    ///
+    /// Returns `None` for a dead id.
+    ///
+    /// [`match_prefix_from`]: RadixTree::match_prefix_from
+    /// [`insert_from`]: RadixTree::insert_from
+    /// [`speculate_insert_from`]: RadixTree::speculate_insert_from
+    #[must_use]
+    pub fn cursor_at(&self, id: NodeId) -> Option<MatchCursor> {
+        let n = self.get_node(id)?;
+        Some(MatchCursor {
+            node: id,
+            matched_len: n.depth,
+            structure_version: n.version,
+        })
+    }
+
+    /// Validates `cursor` against the live tree and `query`, returning the
+    /// resume node. The checks, in order:
+    ///
+    /// 1. **generation** — the slot is live under the cursor's generation
+    ///    (a freed or recycled slot fails, never aliases);
+    /// 2. **structure version** — unchanged since the cursor was taken, so
+    ///    no split landed on the node's edge and its leaf status is as
+    ///    captured (conservative: any bump invalidates);
+    /// 3. **depth** — still equals the cursor's `matched_len` (an internal
+    ///    consistency check; a live node's depth is path-invariant);
+    /// 4. **query length** — `query` is long enough to extend the cursor;
+    /// 5. **resume edge** — the query tokens under the node's own edge
+    ///    match it (O(edge) divergence check against the `(offset, len)`
+    ///    slice; catches cursors replayed against a foreign query).
+    ///
+    /// # Errors
+    ///
+    /// The first failing check as a [`CursorFault`].
+    pub fn resume(&self, cursor: &MatchCursor, query: &[Token]) -> Result<NodeId, CursorFault> {
+        // check:allow(cursor-deref): this IS the generation check (get_node compares slot generations)
+        let id = cursor.node;
+        let n = self.get_node(id).ok_or(CursorFault::StaleGeneration)?;
+        if n.version != cursor.structure_version || n.depth != cursor.matched_len {
+            return Err(CursorFault::StructureChanged);
+        }
+        let len = cursor.matched_len as usize;
+        if query.len() < len {
+            return Err(CursorFault::QueryTooShort);
+        }
+        let edge = &self.store[n.edge.range()];
+        if query[len - edge.len()..len] != *edge {
+            return Err(CursorFault::EdgeDivergence);
+        }
+        Ok(id)
+    }
+
+    /// [`resume`](RadixTree::resume) against the virtual query
+    /// `head ‖ tail`: identical checks, with the resume-edge compare done
+    /// piecewise across the seam.
+    fn resume_parts(
+        &self,
+        cursor: &MatchCursor,
+        head: &[Token],
+        tail: &[Token],
+    ) -> Result<NodeId, CursorFault> {
+        // check:allow(cursor-deref): generation-checked via get_node, like the single-slice resume
+        let id = cursor.node;
+        let n = self.get_node(id).ok_or(CursorFault::StaleGeneration)?;
+        if n.version != cursor.structure_version || n.depth != cursor.matched_len {
+            return Err(CursorFault::StructureChanged);
+        }
+        let len = cursor.matched_len as usize;
+        if head.len() + tail.len() < len {
+            return Err(CursorFault::QueryTooShort);
+        }
+        let edge = &self.store[n.edge.range()];
+        let start = len - edge.len();
+        let diverged = edge.iter().enumerate().any(|(i, &e)| {
+            let p = start + i;
+            let q = if p < head.len() {
+                head[p]
+            } else {
+                tail[p - head.len()]
+            };
+            q != e
+        });
+        if diverged {
+            return Err(CursorFault::EdgeDivergence);
+        }
+        Ok(id)
+    }
+
+    /// Resumes [`match_prefix`](RadixTree::match_prefix) from `cursor`:
+    /// walks only `query[cursor.matched_len()..]` and reconstructs the
+    /// fully-matched path by walking parent pointers (O(path nodes), no
+    /// token comparisons), so the returned [`PrefixMatch`] — path order
+    /// included — is byte-identical to the root walk's under the
+    /// [`cursor_at`](RadixTree::cursor_at) contract.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CursorFault`] from [`resume`](RadixTree::resume).
+    pub fn match_prefix_from(
+        &self,
+        cursor: &MatchCursor,
+        query: &[Token],
+    ) -> Result<PrefixMatch, CursorFault> {
+        let start = self.resume(cursor, query)?;
+        Ok(self.match_from(start, query))
+    }
+
+    /// Resumes [`speculate_insert`](RadixTree::speculate_insert) from
+    /// `cursor`; non-mutating like its root-walk counterpart.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CursorFault`] from [`resume`](RadixTree::resume).
+    pub fn speculate_insert_from(
+        &self,
+        cursor: &MatchCursor,
+        seq: &[Token],
+    ) -> Result<Speculation, CursorFault> {
+        let m = self.match_prefix_from(cursor, seq)?;
+        Ok(Speculation {
+            matched_len: m.matched_len,
+            creates_branch_at: m.ends_mid_edge.then_some(m.matched_len),
+        })
+    }
+
+    /// The match walk from an arbitrary resume point, with the
+    /// fully-matched path reconstructed via parent pointers. `start`'s
+    /// root path must equal `query[..depth(start)]` (trivially true for
+    /// the root).
+    fn match_from(&self, start: NodeId, query: &[Token]) -> PrefixMatch {
         let mut path = Vec::new();
-        let mut cur = NodeId::ROOT;
-        let mut pos: usize = 0;
+        let mut chain = Some(start);
+        while let Some(c) = chain {
+            if c == NodeId::ROOT {
+                break;
+            }
+            path.push(c);
+            chain = self.node(c).parent;
+        }
+        path.reverse();
+        let mut cur = start;
+        let mut pos = self.node(start).depth as usize;
         loop {
             if pos == query.len() {
                 return PrefixMatch {
@@ -1944,5 +2279,250 @@ mod tests {
         assert_eq!(after.0, before.0);
         assert_eq!(after.1, before.1);
         t.assert_invariants();
+    }
+
+    // -- session cursors -------------------------------------------------
+
+    #[test]
+    fn resumed_match_equals_root_walk() {
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let end = t.insert(&[1, 2, 3, 4]).end_node;
+        t.insert(&[1, 2, 9]); // split at depth 2 (above the cursor node)
+        let cur = t.cursor_at(end).expect("end node is live");
+        assert_eq!(cur.matched_len(), 4);
+
+        for query in [
+            vec![1, 2, 3, 4],
+            vec![1, 2, 3, 4, 5, 6],
+            vec![1, 2, 3, 4, 9],
+        ] {
+            let resumed = t.match_prefix_from(&cur, &query).expect("cursor is fresh");
+            let root = t.match_prefix(&query);
+            assert_eq!(resumed, root, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn resumed_insert_equals_root_insert() {
+        // Two trees, same history; one extends via the cursor.
+        let mut a: RadixTree<u32> = RadixTree::new();
+        let mut b: RadixTree<u32> = RadixTree::new();
+        let end_a = a.insert(&[5, 6, 7]).end_node;
+        b.insert(&[5, 6, 7]);
+        let cur = a.cursor_at(end_a).expect("live");
+
+        let seq = [5, 6, 7, 8, 9];
+        let via_cursor = a.insert_from(&cur, &seq).expect("cursor is fresh");
+        let via_root = b.insert(&seq);
+        assert_eq!(via_cursor.end_node, via_root.end_node);
+        assert_eq!(via_cursor.split_node, via_root.split_node);
+        assert_eq!(via_cursor.new_leaf, via_root.new_leaf);
+        assert_eq!(via_cursor.added_tokens, via_root.added_tokens);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.token_count(), b.token_count());
+        for (ia, ib) in a.node_ids().zip(b.node_ids()) {
+            assert_eq!(a.path_tokens(ia), b.path_tokens(ib));
+        }
+        a.assert_invariants();
+
+        // The resumed speculation agrees with the root walk too.
+        let spec_c = a.speculate_insert_from(
+            &a.cursor_at(via_cursor.end_node).unwrap(),
+            &[5, 6, 7, 8, 9, 1],
+        );
+        let spec_r = a.speculate_insert(&[5, 6, 7, 8, 9, 1]);
+        assert_eq!(spec_c.expect("fresh"), spec_r);
+    }
+
+    #[test]
+    fn stale_generation_is_rejected() {
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let end = t.insert(&[1, 2, 3]).end_node;
+        let cur = t.cursor_at(end).expect("live");
+        t.remove(end).expect("leaf removal");
+        // Recycle the slot so the generation tag does the rejecting.
+        t.insert(&[7, 8, 9]);
+        assert_eq!(
+            t.resume(&cur, &[1, 2, 3, 4]),
+            Err(CursorFault::StaleGeneration)
+        );
+        assert!(t.cursor_at(end).is_none());
+    }
+
+    #[test]
+    fn split_under_cursor_is_rejected() {
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let end = t.insert(&[1, 2, 3, 4]).end_node;
+        let cur = t.cursor_at(end).expect("live");
+        // Splits the cursor node's own edge -> version bump -> fault.
+        t.insert(&[1, 2, 3]);
+        assert_eq!(
+            t.resume(&cur, &[1, 2, 3, 4, 5]),
+            Err(CursorFault::StructureChanged)
+        );
+        // A fresh cursor at the same node works again.
+        let fresh = t.cursor_at(end).expect("live");
+        let m = t
+            .match_prefix_from(&fresh, &[1, 2, 3, 4, 5])
+            .expect("fresh");
+        assert_eq!(m, t.match_prefix(&[1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn leaf_flip_under_cursor_is_rejected() {
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let end = t.insert(&[1, 2]).end_node;
+        let cur = t.cursor_at(end).expect("live");
+        // A deeper insert gives the cursor node its first child: version
+        // bump (leaf-status flip), so the old cursor conservatively fails.
+        t.insert(&[1, 2, 3]);
+        assert_eq!(
+            t.resume(&cur, &[1, 2, 3]),
+            Err(CursorFault::StructureChanged)
+        );
+    }
+
+    #[test]
+    fn non_extending_queries_are_rejected() {
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let end = t.insert(&[1, 2, 3, 4]).end_node;
+        let cur = t.cursor_at(end).expect("live");
+        assert_eq!(t.resume(&cur, &[1, 2]), Err(CursorFault::QueryTooShort));
+        // Divergence within the resume edge is caught...
+        assert_eq!(
+            t.resume(&cur, &[1, 2, 3, 9, 5]),
+            Err(CursorFault::EdgeDivergence)
+        );
+        // ...and a matching resume edge passes.
+        assert_eq!(t.resume(&cur, &[1, 2, 3, 4, 5]), Ok(end));
+    }
+
+    #[test]
+    fn merge_preserving_path_keeps_cursor_valid() {
+        // Removing a single-child ancestor merges its edge into *its*
+        // child; any strictly deeper node keeps its path, depth, and
+        // version, so a cursor below the merge point stays valid.
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let top = t.insert(&[1, 2]).end_node;
+        t.insert(&[1, 2, 3]);
+        let deep = t.insert(&[1, 2, 3, 4, 5]).end_node;
+        let cur = t.cursor_at(deep).expect("live");
+        // `top` has a single child (the [1,2,3] node), which absorbs its
+        // edge; `deep` — one level further down — is untouched.
+        t.remove(top).expect("single-child merge");
+        let m = t
+            .match_prefix_from(&cur, &[1, 2, 3, 4, 5, 6])
+            .expect("path-invariant");
+        assert_eq!(m, t.match_prefix(&[1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn root_cursor_resumes_from_scratch() {
+        let mut t: RadixTree<u32> = RadixTree::new();
+        t.insert(&[4, 5, 6]);
+        let cur = t.cursor_at(NodeId::ROOT).expect("root is always live");
+        assert_eq!(cur.matched_len(), 0);
+        let m = t.match_prefix_from(&cur, &[4, 5]).expect("root cursor");
+        assert_eq!(m, t.match_prefix(&[4, 5]));
+    }
+
+    /// Deterministic token stream for the parts-equivalence sweeps.
+    fn mix(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn assert_trees_equal(a: &RadixTree<u32>, b: &RadixTree<u32>) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.token_count(), b.token_count());
+        for (ia, ib) in a.node_ids().zip(b.node_ids()) {
+            assert_eq!(a.path_tokens(ia), b.path_tokens(ib));
+        }
+    }
+
+    #[test]
+    fn parts_insert_equals_single_slice_insert_at_every_seam() {
+        // Every split point of every sequence in a small workload: the
+        // two-segment insert must be outcome- and structure-identical to
+        // the single-slice insert of the concatenation, wherever the seam
+        // lands (inside a matched edge, at a node boundary, inside the
+        // appended suffix, or at either end).
+        let seqs: Vec<Vec<Token>> = (0..6u64)
+            .map(|s| {
+                (0..24u64)
+                    .map(|i| (mix(s * 131 + i / 8) % 5) as Token)
+                    .collect()
+            })
+            .collect();
+        for cut_round in 0..4usize {
+            let mut single: RadixTree<u32> = RadixTree::new();
+            let mut parts: RadixTree<u32> = RadixTree::new();
+            for (i, seq) in seqs.iter().enumerate() {
+                let cut = (i * 7 + cut_round * 5) % (seq.len() + 1);
+                let (head, tail) = seq.split_at(cut);
+                let a = single.insert(seq);
+                let b = parts.insert_parts(head, tail);
+                assert_eq!(a.added_tokens, b.added_tokens, "cut {cut}");
+                assert_eq!(a.new_leaf.is_some(), b.new_leaf.is_some(), "cut {cut}");
+                assert_eq!(a.split_node.is_some(), b.split_node.is_some(), "cut {cut}");
+            }
+            assert_trees_equal(&single, &parts);
+            parts.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn resumed_parts_insert_equals_root_insert_of_concat() {
+        // The session-cache shape: a cursor at the previous turn's end,
+        // extended by (new input tokens, decoded output) as two slices.
+        let mut a: RadixTree<u32> = RadixTree::new();
+        let mut b: RadixTree<u32> = RadixTree::new();
+        let end_a = a.insert(&[5, 6, 7]).end_node;
+        b.insert(&[5, 6, 7]);
+        let cur = a.cursor_at(end_a).expect("live");
+
+        // head extends the cursor's sequence; tail is a separate slice.
+        let head = [5, 6, 7, 8, 9];
+        let tail = [10, 11];
+        let via_cursor = a.insert_parts_from(&cur, &head, &tail).expect("fresh");
+        let via_root = b.insert(&[5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(via_cursor.added_tokens, via_root.added_tokens);
+        assert_eq!(via_cursor.new_leaf.is_some(), via_root.new_leaf.is_some());
+        assert_trees_equal(&a, &b);
+        a.assert_invariants();
+    }
+
+    #[test]
+    fn parts_resume_validates_across_the_seam() {
+        // Resume edge [3, 4] straddles the head/tail seam when the query
+        // arrives as ([1, 2, 3], [4, 5]): both halves must be checked.
+        let mut t: RadixTree<u32> = RadixTree::new();
+        let end = t.insert(&[1, 2, 3, 4]).end_node;
+        t.insert(&[1, 2]); // split so `end`'s edge is [3, 4]
+        let cur = t.cursor_at(end).expect("live");
+        let ok = t
+            .insert_parts_from(&cur, &[1, 2, 3], &[4, 5])
+            .expect("seam-straddling resume");
+        assert_eq!(ok.added_tokens, 1);
+        // Divergence in the tail half of the straddled edge is caught.
+        let cur = t.cursor_at(end).expect("live");
+        assert!(matches!(
+            t.insert_parts_from(&cur, &[1, 2, 3], &[9, 5]),
+            Err(CursorFault::EdgeDivergence)
+        ));
+        // ...and in the head half too.
+        let cur = t.cursor_at(end).expect("live");
+        assert!(matches!(
+            t.insert_parts_from(&cur, &[1, 2, 9], &[4, 5]),
+            Err(CursorFault::EdgeDivergence)
+        ));
+        // Too-short virtual queries are rejected like single-slice ones.
+        let cur = t.cursor_at(end).expect("live");
+        assert!(matches!(
+            t.insert_parts_from(&cur, &[1, 2], &[3]),
+            Err(CursorFault::QueryTooShort)
+        ));
     }
 }

@@ -1,220 +1,236 @@
-//! Differential harness: the PR 8 arena engine vs the verbatim pre-refactor
-//! engine ([`marconi_radix::legacy`]).
+//! Differential harness: cursor-resumed walks vs root walks.
 //!
-//! Both engines allocate from a LIFO free-list slab, so an identical op
-//! stream produces identical *arena indices* on both sides — that index
-//! correspondence is the harness's id map. After every op the harness
-//! compares the full observable state (returned outcomes, per-node
-//! structure, candidate/pin sets, counters, recency ordering) and fails on
-//! the first divergence.
+//! PR 8's harness replayed op streams through the arena engine and the
+//! verbatim pre-refactor oracle; after two parity-holding PRs the oracle
+//! was retired (ROADMAP item 4) and the harness now guards the session
+//! fast path instead. Two arena trees replay an identical op stream: the
+//! *hinted* side resumes matches/inserts/speculations from
+//! [`MatchCursor`]s wherever one is available (falling back to the root
+//! walk exactly as `marconi-core` does when validation rejects), the
+//! *plain* side always walks from the root. Because the hinted path must
+//! be byte-identical to the unhinted one, every op outcome and the full
+//! observable state — ids included, since identical histories allocate
+//! identical arena slots — must stay equal after every op.
 //!
 //! The harness itself is validated by a seeded-mutation self-test:
-//! [`RadixTree::debug_set_split_off_by_one`] injects an off-by-one into the
-//! new engine's edge splitting, and the harness must (and does) catch the
-//! resulting divergence — while the same stream passes with the fault off.
+//! [`RadixTree::debug_set_split_off_by_one`] injects an off-by-one into
+//! the hinted side's edge splitting, and the harness must (and does)
+//! catch the resulting divergence — while the same stream passes with the
+//! fault off.
 
-use marconi_radix::legacy;
-use marconi_radix::{NodeId, RadixTree, Token};
+use marconi_radix::{MatchCursor, NodeId, RadixTree, Token};
 use proptest::prelude::*;
 
 /// Per-node payload: distinguishable values prove payloads ride along
 /// correctly through splits, merges, and slot reuse.
 type Payload = u32;
 
-/// One operation replayed against both engines.
+/// One operation replayed against both sides.
 #[derive(Debug, Clone)]
 enum Op {
-    /// `insert(seq)` on both; outcomes compared field-by-field.
+    /// Root `insert(seq)` on both; outcomes compared field-by-field.
     Insert(Vec<Token>),
-    /// `speculate_insert(seq)` on both; must not mutate either side.
-    Speculate(Vec<Token>),
-    /// `match_prefix(seq)` on both; must not mutate either side.
+    /// Extend the `k % tracked`-th tracked sequence by `suffix` and insert:
+    /// the hinted side resumes from the tracked cursor (root-walk fallback
+    /// on any fault), the plain side walks from the root.
+    Extend(u32, Vec<Token>),
+    /// Match the `k % tracked`-th tracked sequence extended by `suffix`:
+    /// resumed vs root walk, results compared structurally.
+    MatchExtend(u32, Vec<Token>),
+    /// Speculate the same extension: resumed vs root walk, non-mutating.
+    SpeculateExtend(u32, Vec<Token>),
+    /// `match_prefix(seq)` from the root on both; must not mutate.
     Match(Vec<Token>),
-    /// Remove the `k % live`-th live non-root node (by arena index) on both
-    /// sides; `Ok`/`Err` outcomes compared.
+    /// Remove the `k % live`-th live non-root node on both sides.
     Remove(u32),
     /// Pin the `k % live`-th live non-root node on both sides.
     Pin(u32),
-    /// Unpin the most recently pinned still-held node pair.
+    /// Unpin the most recently pinned still-held node.
     Unpin,
-    /// `touch(id, stamp)` on the new engine (the legacy engine has no
-    /// recency index; consistency is checked against the candidate set).
+    /// `touch(id, stamp)` on both sides.
     Touch(u32, u64),
 }
 
 /// Returns `Err` on the first observable divergence.
 macro_rules! check {
-    ($label:expr, $new:expr, $old:expr) => {
-        let new_v = $new;
-        let old_v = $old;
-        if new_v != old_v {
+    ($label:expr, $hinted:expr, $plain:expr) => {
+        let h_v = $hinted;
+        let p_v = $plain;
+        if h_v != p_v {
             return Err(format!(
-                "{}: new engine = {:?}, legacy = {:?}",
-                $label, new_v, old_v
+                "{}: hinted side = {:?}, plain side = {:?}",
+                $label, h_v, p_v
             ));
         }
     };
 }
 
-/// Both engines plus the harness's correspondence state.
+/// Both sides plus the harness's cursor-tracking state.
 struct Pair {
-    new_t: RadixTree<Payload>,
-    old_t: legacy::RadixTree<Payload>,
-    /// Pinned `(new, old)` id pairs, released LIFO by [`Op::Unpin`].
-    pins: Vec<(NodeId, legacy::NodeId)>,
-    /// New-engine ids of removed nodes: generation tags must keep reporting
-    /// them dead even after their slots are reused.
+    hinted: RadixTree<Payload>,
+    plain: RadixTree<Payload>,
+    /// Tracked `(sequence, cursor)` pairs on the hinted side; cursors may
+    /// go stale (eviction, splits) — resumption then falls back, which is
+    /// itself part of the contract under test.
+    tracked: Vec<(Vec<Token>, MatchCursor)>,
+    /// Pinned ids, released LIFO by [`Op::Unpin`] (same id both sides).
+    pins: Vec<NodeId>,
+    /// Ids of removed nodes: generation tags must keep reporting them dead.
     dead: Vec<NodeId>,
     /// Monotone payload tag written to each insert's end node.
     next_payload: Payload,
     /// Monotone stamp fallback so `Touch` ops always move recency forward.
     next_stamp: u64,
+    /// Observed resumes/fallbacks, asserted >0 by the stream profiles so
+    /// the suite can't silently stop exercising the fast path.
+    resumes: u64,
+    fallbacks: u64,
 }
 
 impl Pair {
     fn new(inject_split_fault: bool) -> Self {
-        let mut new_t = RadixTree::new();
-        new_t.debug_set_split_off_by_one(inject_split_fault);
+        let mut hinted = RadixTree::new();
+        hinted.debug_set_split_off_by_one(inject_split_fault);
         Pair {
-            new_t,
-            old_t: legacy::RadixTree::new(),
+            hinted,
+            plain: RadixTree::new(),
+            tracked: Vec::new(),
             pins: Vec::new(),
             dead: Vec::new(),
             next_payload: 1,
             next_stamp: 1,
+            resumes: 0,
+            fallbacks: 0,
         }
     }
 
-    /// Live non-root arena indices, ascending (identical on both sides as
-    /// long as the engines agree, which `check_state` enforces).
-    fn live_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.new_t.node_ids().map(|id| id.index()).collect();
-        v.sort_unstable();
+    /// Live non-root ids, ascending by arena index (identical on both
+    /// sides as long as the engines agree, which `check_state` enforces).
+    fn live_ids(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.hinted.node_ids().collect();
+        v.sort_unstable_by_key(|id| id.index());
         v
     }
 
-    fn new_id_at(&self, idx: usize) -> NodeId {
-        self.new_t
-            .node_ids()
-            .find(|id| id.index() == idx)
-            .expect("index chosen from live set")
+    /// The extended sequence for extension ops, or a plain copy of
+    /// `suffix` when nothing is tracked yet.
+    fn extended(&self, k: u32, suffix: &[Token]) -> (Option<MatchCursor>, Vec<Token>) {
+        if self.tracked.is_empty() {
+            return (None, suffix.to_vec());
+        }
+        let (base, cur) = &self.tracked[k as usize % self.tracked.len()];
+        let mut seq = base.clone();
+        seq.extend_from_slice(suffix);
+        (Some(*cur), seq)
     }
 
-    fn old_id_at(&self, idx: usize) -> legacy::NodeId {
-        self.old_t
-            .node_ids()
-            .find(|id| id.index() == idx)
-            .expect("index chosen from live set")
+    fn do_insert(&mut self, hint: Option<MatchCursor>, seq: &[Token]) -> Result<(), String> {
+        let h = match hint.and_then(|c| {
+            self.hinted
+                .insert_from(&c, seq)
+                .inspect(|_| self.resumes += 1)
+                .inspect_err(|_| self.fallbacks += 1)
+                .ok()
+        }) {
+            Some(outcome) => outcome,
+            None => self.hinted.insert(seq),
+        };
+        let p = self.plain.insert(seq);
+        check!("insert outcome", &h, &p);
+        // Tag the end node so payloads are distinguishable when the state
+        // check compares them across splits and slot reuse.
+        *self.hinted.data_mut(h.end_node) = self.next_payload;
+        *self.plain.data_mut(p.end_node) = self.next_payload;
+        self.next_payload += 1;
+        if let Some(cur) = self.hinted.cursor_at(h.end_node) {
+            if self.tracked.len() < 64 {
+                self.tracked.push((seq.to_vec(), cur));
+            } else {
+                self.tracked[(self.next_payload as usize) % 64] = (seq.to_vec(), cur);
+            }
+        }
+        Ok(())
     }
 
     fn apply(&mut self, op: &Op) -> Result<(), String> {
         match op {
             Op::Insert(seq) => {
-                let n = self.new_t.insert(seq);
-                let o = self.old_t.insert(seq);
-                check!("insert end_node", n.end_node.index(), o.end_node.index());
-                check!(
-                    "insert split_node",
-                    n.split_node.map(NodeId::index),
-                    o.split_node.map(legacy::NodeId::index)
-                );
-                check!(
-                    "insert new_leaf",
-                    n.new_leaf.map(NodeId::index),
-                    o.new_leaf.map(legacy::NodeId::index)
-                );
-                check!("insert added_tokens", n.added_tokens, o.added_tokens);
-                // Tag the end node so payloads are distinguishable when the
-                // state check compares them across splits and slot reuse.
-                *self.new_t.data_mut(n.end_node) = self.next_payload;
-                *self.old_t.data_mut(o.end_node) = self.next_payload;
-                self.next_payload += 1;
+                let seq = seq.clone();
+                self.do_insert(None, &seq)?;
             }
-            Op::Speculate(seq) => {
-                let n = self.new_t.speculate_insert(seq);
-                let o = self.old_t.speculate_insert(seq);
-                check!("speculate matched_len", n.matched_len, o.matched_len);
-                check!(
-                    "speculate creates_branch_at",
-                    n.creates_branch_at,
-                    o.creates_branch_at
-                );
+            Op::Extend(k, suffix) => {
+                let (hint, seq) = self.extended(*k, suffix);
+                self.do_insert(hint, &seq)?;
+            }
+            Op::MatchExtend(k, suffix) => {
+                let (hint, seq) = self.extended(*k, suffix);
+                let h = match hint.and_then(|c| {
+                    self.hinted
+                        .match_prefix_from(&c, &seq)
+                        .inspect(|_| self.resumes += 1)
+                        .inspect_err(|_| self.fallbacks += 1)
+                        .ok()
+                }) {
+                    Some(m) => m,
+                    None => self.hinted.match_prefix(&seq),
+                };
+                let p = self.plain.match_prefix(&seq);
+                check!("resumed match", &h, &p);
+            }
+            Op::SpeculateExtend(k, suffix) => {
+                let (hint, seq) = self.extended(*k, suffix);
+                let h = match hint.and_then(|c| self.hinted.speculate_insert_from(&c, &seq).ok()) {
+                    Some(s) => s,
+                    None => self.hinted.speculate_insert(&seq),
+                };
+                let p = self.plain.speculate_insert(&seq);
+                check!("resumed speculation", h, p);
             }
             Op::Match(seq) => {
-                let n = self.new_t.match_prefix(seq);
-                let o = self.old_t.match_prefix(seq);
-                check!("match matched_len", n.matched_len, o.matched_len);
-                check!("match ends_mid_edge", n.ends_mid_edge, o.ends_mid_edge);
-                check!(
-                    "match path",
-                    n.path.iter().map(|id| id.index()).collect::<Vec<_>>(),
-                    o.path.iter().map(|id| id.index()).collect::<Vec<_>>()
-                );
-                check!(
-                    "match mid_edge_child",
-                    n.mid_edge_child.map(NodeId::index),
-                    o.mid_edge_child.map(legacy::NodeId::index)
-                );
+                let h = self.hinted.match_prefix(seq);
+                let p = self.plain.match_prefix(seq);
+                check!("root match", &h, &p);
             }
             Op::Remove(k) => {
-                let live = self.live_indices();
+                let live = self.live_ids();
                 if live.is_empty() {
                     return Ok(());
                 }
-                let idx = live[*k as usize % live.len()];
-                let new_id = self.new_id_at(idx);
-                let old_id = self.old_id_at(idx);
-                let n = self.new_t.remove(new_id);
-                let o = self.old_t.remove(old_id);
-                match (n, o) {
-                    (Ok(n), Ok(o)) => {
-                        check!("remove data", n.data, o.data);
-                        check!("remove freed_tokens", n.freed_tokens, o.freed_tokens);
-                        check!(
-                            "remove merged_into",
-                            n.merged_into.map(NodeId::index),
-                            o.merged_into.map(legacy::NodeId::index)
-                        );
-                        self.dead.push(new_id);
-                    }
-                    (n, o) => {
-                        check!(
-                            "remove outcome",
-                            format!("{:?}", n.map(|r| r.data)),
-                            format!("{:?}", o.map(|r| r.data))
-                        );
-                    }
+                let id = live[*k as usize % live.len()];
+                let h = self.hinted.remove(id);
+                let p = self.plain.remove(id);
+                check!("remove outcome", format!("{h:?}"), format!("{p:?}"));
+                if h.is_ok() {
+                    self.dead.push(id);
                 }
             }
             Op::Pin(k) => {
-                let live = self.live_indices();
+                let live = self.live_ids();
                 if live.is_empty() {
                     return Ok(());
                 }
-                let idx = live[*k as usize % live.len()];
-                let new_id = self.new_id_at(idx);
-                let old_id = self.old_id_at(idx);
-                self.new_t.pin(new_id);
-                self.old_t.pin(old_id);
-                self.pins.push((new_id, old_id));
+                let id = live[*k as usize % live.len()];
+                self.hinted.pin(id);
+                self.plain.pin(id);
+                self.pins.push(id);
             }
             Op::Unpin => {
-                if let Some((new_id, old_id)) = self.pins.pop() {
-                    self.new_t.unpin(new_id);
-                    self.old_t.unpin(old_id);
+                if let Some(id) = self.pins.pop() {
+                    self.hinted.unpin(id);
+                    self.plain.unpin(id);
                 }
             }
             Op::Touch(k, stamp) => {
-                let live = self.live_indices();
+                let live = self.live_ids();
                 if live.is_empty() {
                     return Ok(());
                 }
-                let idx = live[*k as usize % live.len()];
-                let id = self.new_id_at(idx);
+                let id = live[*k as usize % live.len()];
                 // Mix a monotone component in so repeated touches keep
                 // re-keying the recency index rather than hitting the
                 // equal-stamp fast path every time.
-                self.new_t.touch(id, stamp + self.next_stamp);
+                self.hinted.touch(id, stamp + self.next_stamp);
+                self.plain.touch(id, stamp + self.next_stamp);
                 self.next_stamp += 1;
             }
         }
@@ -223,157 +239,99 @@ impl Pair {
 
     /// Compares every piece of observable state; `Err` on first divergence.
     fn check_state(&self) -> Result<(), String> {
-        check!("len", self.new_t.len(), self.old_t.len());
-        check!("is_empty", self.new_t.is_empty(), self.old_t.is_empty());
+        check!("len", self.hinted.len(), self.plain.len());
+        check!("is_empty", self.hinted.is_empty(), self.plain.is_empty());
         check!(
             "token_count",
-            self.new_t.token_count(),
-            self.old_t.token_count()
+            self.hinted.token_count(),
+            self.plain.token_count()
         );
         check!(
             "candidate_count",
-            self.new_t.eviction_candidate_count(),
-            self.old_t.eviction_candidate_count()
+            self.hinted.eviction_candidate_count(),
+            self.plain.eviction_candidate_count()
         );
         check!(
             "pinned_count",
-            self.new_t.pinned_count(),
-            self.old_t.pinned_count()
+            self.hinted.pinned_count(),
+            self.plain.pinned_count()
         );
-        check!("root", self.new_t.root().index(), self.old_t.root().index());
-
-        // Sort both live-id lists by arena index and walk them zipped:
-        // O(n log n) total, so the full-state check stays usable at the
-        // scale replay's 100k–1M live nodes.
-        let mut new_ids: Vec<NodeId> = self.new_t.node_ids().collect();
-        new_ids.sort_unstable_by_key(|id| id.index());
-        let mut old_ids: Vec<legacy::NodeId> = self.old_t.node_ids().collect();
-        old_ids.sort_unstable_by_key(|id| id.index());
         check!(
-            "live id set",
-            new_ids.iter().map(|id| id.index()).collect::<Vec<_>>(),
-            old_ids.iter().map(|id| id.index()).collect::<Vec<_>>()
+            "arena_capacity",
+            self.hinted.arena_capacity(),
+            self.plain.arena_capacity()
         );
 
-        for (&n_id, &o_id) in new_ids.iter().zip(&old_ids) {
-            let idx = n_id.index();
-            let at = |what: &str| format!("node {idx} {what}");
-            check!(
-                at("parent"),
-                self.new_t.parent(n_id).map(NodeId::index),
-                self.old_t.parent(o_id).map(legacy::NodeId::index)
-            );
-            check!(at("depth"), self.new_t.depth(n_id), self.old_t.depth(o_id));
+        let ids = self.live_ids();
+        let plain_ids: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = self.plain.node_ids().collect();
+            v.sort_unstable_by_key(|id| id.index());
+            v
+        };
+        check!("live id set", &ids, &plain_ids);
+
+        for &id in &ids {
+            let at = |what: &str| format!("node {id} {what}");
+            check!(at("parent"), self.hinted.parent(id), self.plain.parent(id));
+            check!(at("depth"), self.hinted.depth(id), self.plain.depth(id));
             check!(
                 at("edge_len"),
-                self.new_t.edge_len(n_id),
-                self.old_t.edge_len(o_id)
+                self.hinted.edge_len(id),
+                self.plain.edge_len(id)
             );
             check!(
                 at("child_count"),
-                self.new_t.child_count(n_id),
-                self.old_t.child_count(o_id)
-            );
-            check!(
-                at("is_leaf"),
-                self.new_t.is_leaf(n_id),
-                self.old_t.is_leaf(o_id)
+                self.hinted.child_count(id),
+                self.plain.child_count(id)
             );
             check!(
                 at("structure_version"),
-                self.new_t.structure_version(n_id),
-                self.old_t.structure_version(o_id)
+                self.hinted.structure_version(id),
+                self.plain.structure_version(id)
             );
             check!(
                 at("is_pinned"),
-                self.new_t.is_pinned(n_id),
-                self.old_t.is_pinned(o_id)
+                self.hinted.is_pinned(id),
+                self.plain.is_pinned(id)
             );
-            check!(at("data"), self.new_t.data(n_id), self.old_t.data(o_id));
+            check!(at("stamp"), self.hinted.stamp(id), self.plain.stamp(id));
+            check!(at("data"), self.hinted.data(id), self.plain.data(id));
             check!(
                 at("children"),
-                self.new_t
-                    .children(n_id)
-                    .map(|id| id.index())
-                    .collect::<Vec<_>>(),
-                self.old_t
-                    .children(o_id)
-                    .map(|id| id.index())
-                    .collect::<Vec<_>>()
+                self.hinted.children(id).collect::<Vec<_>>(),
+                self.plain.children(id).collect::<Vec<_>>()
             );
             check!(
                 at("path_tokens"),
-                self.new_t.path_tokens(n_id),
-                self.old_t.path_tokens(o_id)
+                self.hinted.path_tokens(id),
+                self.plain.path_tokens(id)
             );
-            // The new engine's edge label must equal the tail of the path.
-            let path = self.new_t.path_tokens(n_id);
-            let edge = self.new_t.edge_tokens(n_id);
-            if &path[path.len() - edge.len()..] != edge {
-                return Err(format!(
-                    "node {idx}: edge_tokens {edge:?} is not the tail of path {path:?}"
-                ));
-            }
         }
 
-        let sorted_indices = |ids: Vec<usize>| {
-            let mut ids = ids;
-            ids.sort_unstable();
-            ids
+        let sorted = |mut v: Vec<NodeId>| {
+            v.sort_unstable_by_key(|id| id.index());
+            v
         };
         check!(
             "candidate set",
-            sorted_indices(
-                self.new_t
-                    .eviction_candidates()
-                    .map(|id| id.index())
-                    .collect()
-            ),
-            sorted_indices(
-                self.old_t
-                    .eviction_candidates()
-                    .map(|id| id.index())
-                    .collect()
-            )
+            sorted(self.hinted.eviction_candidates().collect()),
+            sorted(self.plain.eviction_candidates().collect())
         );
         check!(
             "pinned set",
-            sorted_indices(self.new_t.pinned_ids().map(|id| id.index()).collect()),
-            sorted_indices(self.old_t.pinned_ids().map(|id| id.index()).collect())
+            sorted(self.hinted.pinned_ids().collect()),
+            sorted(self.plain.pinned_ids().collect())
         );
-
-        // Recency index (new engine only; legacy has no equivalent): the
-        // stream must cover exactly the candidate set, ascend strictly by
-        // (stamp, id), and agree with each node's own stamp.
-        let lru: Vec<(u64, NodeId)> = self.new_t.lru_candidates().collect();
-        if lru.len() != self.new_t.eviction_candidate_count() {
-            return Err(format!(
-                "lru stream has {} entries, candidate set has {}",
-                lru.len(),
-                self.new_t.eviction_candidate_count()
-            ));
-        }
-        for pair in lru.windows(2) {
-            if pair[0] >= pair[1] {
-                return Err(format!(
-                    "lru stream not strictly ascending: {:?} then {:?}",
-                    pair[0], pair[1]
-                ));
-            }
-        }
-        for &(stamp, id) in &lru {
-            if self.new_t.stamp(id) != stamp {
-                return Err(format!(
-                    "lru stream stamp {stamp} disagrees with node {id} stamp {}",
-                    self.new_t.stamp(id)
-                ));
-            }
-        }
+        check!(
+            "lru stream",
+            self.hinted.lru_candidates().collect::<Vec<_>>(),
+            self.plain.lru_candidates().collect::<Vec<_>>()
+        );
 
         // Generation tags: ids of removed nodes stay dead forever, even
         // after their arena slots are reused by later inserts.
         for &d in &self.dead {
-            if self.new_t.contains(d) {
+            if self.hinted.contains(d) || self.plain.contains(d) {
                 return Err(format!(
                     "removed id {d} (gen {}) reports live again",
                     d.generation()
@@ -381,33 +339,36 @@ impl Pair {
             }
         }
 
-        self.new_t.assert_invariants();
-        self.old_t.assert_invariants();
+        self.hinted.assert_invariants();
+        self.plain.assert_invariants();
         Ok(())
     }
 
     /// Releases held pins and runs a final state check.
     fn finish(mut self) -> Result<(), String> {
-        while let Some((new_id, old_id)) = self.pins.pop() {
-            if self.new_t.contains(new_id) {
-                self.new_t.unpin(new_id);
-                self.old_t.unpin(old_id);
+        while let Some(id) = self.pins.pop() {
+            if self.hinted.contains(id) {
+                self.hinted.unpin(id);
+                self.plain.unpin(id);
             }
         }
-        check!("final pinned_count", self.new_t.pinned_count(), 0);
+        check!("final pinned_count", self.hinted.pinned_count(), 0);
         self.check_state()
     }
 }
 
-/// Replays `ops` through both engines, checking after every op.
-fn run_stream(ops: &[Op], inject_split_fault: bool) -> Result<(), String> {
+/// Replays `ops` through both sides, checking after every op. Returns the
+/// resume/fallback counts on success so callers can assert coverage.
+fn run_stream(ops: &[Op], inject_split_fault: bool) -> Result<(u64, u64), String> {
     let mut pair = Pair::new(inject_split_fault);
     pair.check_state()?;
     for (i, op) in ops.iter().enumerate() {
         pair.apply(op)
             .map_err(|e| format!("after op {i} {op:?}: {e}"))?;
     }
-    pair.finish()
+    let counts = (pair.resumes, pair.fallbacks);
+    pair.finish()?;
+    Ok(counts)
 }
 
 // ---------------------------------------------------------------------------
@@ -416,8 +377,9 @@ fn run_stream(ops: &[Op], inject_split_fault: bool) -> Result<(), String> {
 
 /// Weighted op from a dense token alphabet. `alphabet`/`max_len` shape the
 /// sequence pool; `weights[i]` is the relative frequency of op kind `i` in
-/// [insert, speculate, match, remove, pin, unpin, touch] order.
-fn op_strategy(alphabet: u32, max_len: usize, weights: [u32; 7]) -> impl Strategy<Value = Op> {
+/// [insert, extend, match-extend, speculate-extend, match, remove, pin,
+/// unpin, touch] order.
+fn op_strategy(alphabet: u32, max_len: usize, weights: [u32; 9]) -> impl Strategy<Value = Op> {
     let total: u32 = weights.iter().sum();
     (
         0u32..total,
@@ -436,11 +398,13 @@ fn op_strategy(alphabet: u32, max_len: usize, weights: [u32; 7]) -> impl Strateg
             }
             match kind {
                 0 => Op::Insert(seq),
-                1 => Op::Speculate(seq),
-                2 => Op::Match(seq),
-                3 => Op::Remove(k),
-                4 => Op::Pin(k),
-                5 => Op::Unpin,
+                1 => Op::Extend(k, seq),
+                2 => Op::MatchExtend(k, seq),
+                3 => Op::SpeculateExtend(k, seq),
+                4 => Op::Match(seq),
+                5 => Op::Remove(k),
+                6 => Op::Pin(k),
+                7 => Op::Unpin,
                 _ => Op::Touch(k, stamp),
             }
         })
@@ -449,7 +413,7 @@ fn op_strategy(alphabet: u32, max_len: usize, weights: [u32; 7]) -> impl Strateg
 /// Panics (failing the proptest case) on any divergence.
 fn assert_stream_agrees(ops: &[Op]) {
     if let Err(e) = run_stream(ops, false) {
-        panic!("engines diverged: {e}\nstream: {ops:#?}");
+        panic!("hinted and plain sides diverged: {e}\nstream: {ops:#?}");
     }
 }
 
@@ -457,10 +421,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(2500))]
 
     /// Dense alphabet, short sequences: maximal prefix sharing, constant
-    /// edge splitting and re-branching.
+    /// edge splitting and re-branching under live cursors.
     #[test]
     fn differential_dense_streams(
-        ops in prop::collection::vec(op_strategy(4, 10, [4, 1, 2, 2, 1, 1, 2]), 1..32)
+        ops in prop::collection::vec(op_strategy(4, 10, [3, 3, 2, 1, 1, 2, 1, 1, 2]), 1..32)
     ) {
         assert_stream_agrees(&ops);
     }
@@ -469,25 +433,25 @@ proptest! {
     /// matches, multi-token absorbs on removal.
     #[test]
     fn differential_long_streams(
-        ops in prop::collection::vec(op_strategy(8, 24, [4, 1, 2, 2, 1, 1, 2]), 1..24)
+        ops in prop::collection::vec(op_strategy(8, 24, [3, 3, 2, 1, 1, 2, 1, 1, 2]), 1..24)
     ) {
         assert_stream_agrees(&ops);
     }
 
-    /// Removal-heavy: drives slot reuse, generation bumps, and edge merges
-    /// (including the rejected-removal error paths).
+    /// Removal-heavy: drives slot reuse, generation bumps, stale-cursor
+    /// fallbacks, and edge merges (including rejected-removal paths).
     #[test]
     fn differential_removal_heavy_streams(
-        ops in prop::collection::vec(op_strategy(4, 12, [3, 0, 1, 6, 1, 1, 1]), 1..40)
+        ops in prop::collection::vec(op_strategy(4, 12, [2, 3, 1, 0, 1, 6, 1, 1, 1]), 1..40)
     ) {
         assert_stream_agrees(&ops);
     }
 
     /// Pin-heavy: long-held pins across splits and rejected removals, with
-    /// recency churn on the pinned candidate set.
+    /// recency churn and interleaved cursor reuse on the pinned set.
     #[test]
     fn differential_pin_heavy_streams(
-        ops in prop::collection::vec(op_strategy(5, 12, [3, 1, 1, 3, 4, 3, 3]), 1..40)
+        ops in prop::collection::vec(op_strategy(5, 12, [2, 3, 1, 1, 1, 3, 4, 3, 3]), 1..40)
     ) {
         assert_stream_agrees(&ops);
     }
@@ -498,10 +462,10 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 /// The harness must catch a real divergence: with the injected off-by-one
-/// split fault, the new engine cuts edges one token too deep. The same
-/// stream passes with the fault off, proving it is the *differential
-/// comparison* (not an internal panic) doing the catching — the faulted
-/// tree is still internally consistent, just wrong.
+/// split fault on the hinted side only, its edges are cut one token too
+/// deep. The same stream passes with the fault off, proving it is the
+/// *differential comparison* (not an internal panic) doing the catching —
+/// the faulted tree is still internally consistent, just wrong.
 #[test]
 fn harness_catches_injected_split_fault() {
     // [1,2,3,4,5] then [1,2,9]: shared = 2 on a 5-token edge, so the fault
@@ -511,16 +475,34 @@ fn harness_catches_injected_split_fault() {
         Op::Insert(vec![1, 2, 9]),
         Op::Match(vec![1, 2, 9]),
     ];
-    run_stream(&ops, false).expect("clean engines must agree on the stream");
+    run_stream(&ops, false).expect("clean sides must agree on the stream");
     let err =
         run_stream(&ops, true).expect_err("harness failed to catch the injected split off-by-one");
     // The divergence must be caught by the mid-stream differential
     // comparison (the faulted tree is internally consistent, so invariant
     // checks alone would miss it).
     assert!(
-        err.contains("after op") && err.contains("new engine"),
+        err.contains("after op") && err.contains("hinted side"),
         "divergence should surface as a structural mismatch, got: {err}"
     );
+}
+
+/// The stream profiles must actually exercise the fast path: a seeded
+/// extension-heavy stream produces both genuine resumes and genuine
+/// fallbacks (stale cursors after removals).
+#[test]
+fn streams_cover_resumes_and_fallbacks() {
+    let mut ops = vec![Op::Insert(vec![1, 2, 3])];
+    for turn in 0..24u32 {
+        ops.push(Op::Extend(turn, vec![7 + turn, 8 + turn]));
+        ops.push(Op::MatchExtend(turn, vec![7 + turn]));
+        if turn % 5 == 4 {
+            ops.push(Op::Remove(turn));
+        }
+    }
+    let (resumes, fallbacks) = run_stream(&ops, false).expect("stream must agree");
+    assert!(resumes > 0, "no cursor resume was exercised");
+    assert!(fallbacks > 0, "no stale-cursor fallback was exercised");
 }
 
 // ---------------------------------------------------------------------------
@@ -544,119 +526,121 @@ impl Rng {
     }
 }
 
-/// Grows both engines to `target` live nodes with a fork-and-extend trace
-/// (every fork is a mid-edge split; interleaved removals drive edge merges
-/// and slot reuse), checking outcome equality on every op and full state
-/// equality at the end.
-///
-/// This is the regime the in-process `marconi-core` parity suite cannot
-/// reach (its scan-eviction reference is O(live) per victim); here both
-/// engines are O(depth) per op, so 100k–1M live nodes replay in seconds.
+/// Grows both sides to `target` live nodes with a fork-and-extend trace
+/// (every fork is a mid-edge split; interleaved removals drive edge merges,
+/// slot reuse, and stale-cursor fallbacks), resuming from session cursors
+/// on the hinted side, checking outcome equality on every op and full
+/// state equality at the end.
 fn scale_replay(seed: u64, target: usize) {
     let mut rng = Rng(seed);
     let mut pair = Pair::new(false);
     // Recently-created end nodes: fork sources and remove/touch targets.
-    // Both engines' ids are kept so removal never needs an O(n) id lookup.
-    type Recent = (Vec<Token>, NodeId, legacy::NodeId);
+    type Recent = (Vec<Token>, NodeId, Option<MatchCursor>);
     let mut recent: Vec<Recent> = Vec::new();
     let mut fresh: Token = 1 << 20; // globally unique suffix tokens
     let mut ops: u64 = 0;
 
-    while pair.new_t.len() < target {
+    while pair.hinted.len() < target {
         ops += 1;
         let roll = rng.below(100);
         if roll < 70 || recent.is_empty() {
-            // Fork a prior sequence mid-edge (or start fresh) and extend
-            // with globally-unique tokens so forks never re-merge.
-            let mut seq: Vec<Token> = if recent.is_empty() || rng.below(8) == 0 {
-                vec![(rng.below(64) + 1) as Token]
+            // Fork a prior sequence mid-edge (or extend it whole, driving
+            // the cursor fast path) and append globally-unique tokens so
+            // forks never re-merge.
+            let (mut seq, hint) = if recent.is_empty() || rng.below(8) == 0 {
+                (vec![(rng.below(64) + 1) as Token], None)
             } else {
-                let (base, _, _) = &recent[rng.below(recent.len() as u64) as usize];
-                let cut = 1 + rng.below(base.len() as u64) as usize;
-                base[..cut].to_vec()
+                let (base, _, cur) = &recent[rng.below(recent.len() as u64) as usize];
+                if rng.below(2) == 0 {
+                    // Whole-sequence extension: the cursor resume case.
+                    (base.clone(), *cur)
+                } else {
+                    // Mid-edge fork: no cursor applies.
+                    let cut = 1 + rng.below(base.len() as u64) as usize;
+                    (base[..cut].to_vec(), None)
+                }
             };
             let extend = 8 + rng.below(56);
             for _ in 0..extend {
                 seq.push(fresh);
                 fresh += 1;
             }
-            let n = pair.new_t.insert(&seq);
-            let o = pair.old_t.insert(&seq);
-            assert_eq!(
-                n.end_node.index(),
-                o.end_node.index(),
-                "end_node @ op {ops}"
-            );
-            assert_eq!(
-                n.split_node.map(NodeId::index),
-                o.split_node.map(legacy::NodeId::index),
-                "split_node @ op {ops}"
-            );
-            assert_eq!(n.added_tokens, o.added_tokens, "added_tokens @ op {ops}");
-            pair.new_t.touch(n.end_node, ops);
+            let h = match hint.and_then(|c| pair.hinted.insert_from(&c, &seq).ok()) {
+                Some(outcome) => outcome,
+                None => pair.hinted.insert(&seq),
+            };
+            let p = pair.plain.insert(&seq);
+            assert_eq!(h, p, "insert outcome @ op {ops}");
+            pair.hinted.touch(h.end_node, ops);
+            pair.plain.touch(h.end_node, ops);
+            let cur = pair.hinted.cursor_at(h.end_node);
             if recent.len() < 512 {
-                recent.push((seq, n.end_node, o.end_node));
+                recent.push((seq, h.end_node, cur));
             } else {
-                recent[rng.below(512) as usize] = (seq, n.end_node, o.end_node);
+                recent[rng.below(512) as usize] = (seq, h.end_node, cur);
             }
         } else if roll < 90 {
-            // Remove a recent end node if it is still live. The generation
-            // tag makes this probe safe: a stale new-engine id can never
-            // alias the slot's next tenant, so `contains` is authoritative —
-            // and only when it says live is the stored legacy id (which has
-            // no generation to protect it) allowed near the legacy engine.
+            // Remove a recent end node if it is still live; its tracked
+            // cursor then becomes a stale-generation fallback source.
             let slot = rng.below(recent.len() as u64) as usize;
-            let (_, new_id, old_id) = recent[slot];
-            if pair.new_t.contains(new_id) {
-                let n = pair.new_t.remove(new_id);
-                let o = pair.old_t.remove(old_id);
+            let (_, id, _) = recent[slot];
+            if pair.hinted.contains(id) {
+                let h = pair.hinted.remove(id);
+                let p = pair.plain.remove(id);
                 assert_eq!(
-                    n.as_ref()
-                        .map(|r| (r.freed_tokens, r.merged_into.map(NodeId::index)))
-                        .map_err(|e| format!("{e:?}")),
-                    o.as_ref()
-                        .map(|r| (r.freed_tokens, r.merged_into.map(legacy::NodeId::index)))
-                        .map_err(|e| format!("{e:?}")),
+                    h.as_ref()
+                        .map(|r| (r.freed_tokens, r.merged_into))
+                        .map_err(|e| *e),
+                    p.as_ref()
+                        .map(|r| (r.freed_tokens, r.merged_into))
+                        .map_err(|e| *e),
                     "remove @ op {ops}"
                 );
             }
         } else {
-            // Probe: longest prefix of a recent sequence.
+            // Probe: longest prefix of a recent sequence, resumed when the
+            // probe covers the whole tracked sequence.
             let slot = rng.below(recent.len() as u64) as usize;
-            let (seq, _, _) = &recent[slot];
-            let cut = 1 + rng.below(seq.len() as u64) as usize;
-            let n = pair.new_t.match_prefix(&seq[..cut]);
-            let o = pair.old_t.match_prefix(&seq[..cut]);
-            assert_eq!(n.matched_len, o.matched_len, "matched_len @ op {ops}");
-            assert_eq!(
-                n.deepest().map(NodeId::index),
-                o.deepest().map(legacy::NodeId::index),
-                "deepest @ op {ops}"
-            );
+            let (seq, _, cur) = &recent[slot];
+            let whole = rng.below(2) == 0;
+            let cut = if whole {
+                seq.len()
+            } else {
+                1 + rng.below(seq.len() as u64) as usize
+            };
+            let h = match cur
+                .filter(|_| whole)
+                .and_then(|c| pair.hinted.match_prefix_from(&c, &seq[..cut]).ok())
+            {
+                Some(m) => m,
+                None => pair.hinted.match_prefix(&seq[..cut]),
+            };
+            let p = pair.plain.match_prefix(&seq[..cut]);
+            assert_eq!(h, p, "match @ op {ops}");
         }
-        assert_eq!(pair.new_t.len(), pair.old_t.len(), "len @ op {ops}");
+        assert_eq!(pair.hinted.len(), pair.plain.len(), "len @ op {ops}");
         assert_eq!(
-            pair.new_t.token_count(),
-            pair.old_t.token_count(),
+            pair.hinted.token_count(),
+            pair.plain.token_count(),
             "token_count @ op {ops}"
         );
         assert_eq!(
-            pair.new_t.eviction_candidate_count(),
-            pair.old_t.eviction_candidate_count(),
+            pair.hinted.eviction_candidate_count(),
+            pair.plain.eviction_candidate_count(),
             "candidate_count @ op {ops}"
         );
     }
 
-    assert!(pair.new_t.len() >= target);
+    assert!(pair.hinted.len() >= target);
     pair.check_state()
-        .unwrap_or_else(|e| panic!("scale replay diverged at {} live nodes: {e}", target));
+        .unwrap_or_else(|e| panic!("scale replay diverged at {target} live nodes: {e}"));
 }
 
-/// 100k live nodes by default; 1M with `MARCONI_STRESS_FULL=1`. Both
-/// engines stay O(depth) per op, so even the full run is minutes, not
-/// hours.
+/// 100k live nodes by default; 1M with `MARCONI_STRESS_FULL=1`. Both sides
+/// stay O(depth) per op (the hinted side better), so even the full run is
+/// minutes, not hours.
 #[test]
-fn scale_replay_matches_legacy() {
+fn scale_replay_with_cursors_matches_root_walks() {
     let target = if std::env::var("MARCONI_STRESS_FULL").is_ok() {
         1_000_000
     } else {

@@ -513,7 +513,7 @@ impl Cluster {
                 hit.host_reload_flops,
             );
             if reload != crate::gpu::ReloadDecision::None && self.tracer.is_enabled() {
-                let cache = format!("{}[{idx}]", replica.name());
+                let cache: std::sync::Arc<str> = format!("{}[{idx}]", replica.name()).into();
                 let load_secs = self.gpu.transfer_secs(hit.host_bytes);
                 let recompute_secs = self.gpu.secs_for_flops(hit.host_reload_flops);
                 self.tracer.emit(|| TraceEvent::Reload {

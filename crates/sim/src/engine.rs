@@ -2,9 +2,14 @@
 
 use crate::gpu::{GpuModel, ReloadDecision};
 use crate::report::{RequestRecord, SimReport};
-use marconi_core::PrefixCache;
+use marconi_core::{CursorTable, PrefixCache};
 use marconi_trace::{ReloadDecision as TraceReload, TraceEvent, Tracer};
 use marconi_workload::Trace;
+
+/// Default bound on the engine's per-session cursor table. Far above any
+/// generated trace's session count, yet keeps pathological session-id
+/// churn from growing the table without bound.
+pub(crate) const DEFAULT_SESSION_CURSOR_CAP: usize = 4096;
 
 /// Replays traces against one cache, mirroring an inference engine's
 /// lookup → prefill → decode → admit loop (paper §2.2):
@@ -43,6 +48,11 @@ pub struct Engine<C> {
     cache: C,
     gpu: GpuModel,
     tracer: Tracer,
+    /// Per-session resume cursors (the PR 10 fast path): each completed
+    /// request deposits the cursor its admission minted, and the session's
+    /// next request spends it on the lookup and the insert so both resume
+    /// from the deep node in O(delta tokens).
+    cursors: CursorTable,
 }
 
 impl<C: PrefixCache> Engine<C> {
@@ -55,7 +65,16 @@ impl<C: PrefixCache> Engine<C> {
             cache,
             gpu,
             tracer: Tracer::off(),
+            cursors: CursorTable::new(DEFAULT_SESSION_CURSOR_CAP),
         }
+    }
+
+    /// Re-bounds the per-session cursor table. A capacity of 0 disables
+    /// the session fast path entirely — every request root-walks — which
+    /// is how the benches express the baseline; results are byte-identical
+    /// either way (the parity contract), only the walk cost changes.
+    pub fn set_session_cursor_capacity(&mut self, cap: usize) {
+        self.cursors = CursorTable::new(cap);
     }
 
     /// Attaches a tracer to the engine's own decisions (the compute-or-load
@@ -88,9 +107,10 @@ impl<C: PrefixCache> Engine<C> {
     /// bytes, so their TTFTs are unchanged.
     pub fn run(&mut self, trace: &Trace) -> SimReport {
         let mut records = Vec::with_capacity(trace.len());
+        let model = self.cache.model().clone();
         for req in &trace.requests {
-            let hit = self.cache.lookup_at(&req.input, req.arrival);
-            let model = self.cache.model().clone();
+            let hint = self.cursors.take(req.session_id);
+            let hit = self.cache.lookup_at_with(&req.input, req.arrival, hint);
             let (reload_s, reload) = self.gpu.reload_secs(
                 self.cache.reload_policy(),
                 hit.host_bytes,
@@ -99,7 +119,7 @@ impl<C: PrefixCache> Engine<C> {
             if reload != ReloadDecision::None {
                 self.tracer.emit(|| TraceEvent::Reload {
                     ts: req.arrival,
-                    cache: self.cache.name().to_owned(),
+                    cache: self.cache.name().into(),
                     host_bytes: hit.host_bytes,
                     load_secs: self.gpu.transfer_secs(hit.host_bytes),
                     recompute_secs: self.gpu.secs_for_flops(hit.host_reload_flops),
@@ -114,7 +134,12 @@ impl<C: PrefixCache> Engine<C> {
                 .ttft_ms(&model, req.input_len(), hit.tokens_matched)
                 + reload_s * 1e3;
             let flops_spent = model.prefill_flops_with_prefix(req.input_len(), hit.tokens_matched);
-            self.cache.insert_at(&req.input, &req.output, req.arrival);
+            let (_, next) = self
+                .cache
+                .insert_at_with(&req.input, &req.output, req.arrival, hint);
+            if let Some(cursor) = next {
+                self.cursors.put(req.session_id, cursor);
+            }
             records.push(RequestRecord {
                 id: req.id,
                 session_id: req.session_id,

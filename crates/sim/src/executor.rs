@@ -17,7 +17,7 @@
 
 use crate::event::EventRecord;
 use crate::gpu::{GpuModel, ReloadDecision};
-use marconi_core::{PinTicket, PrefixCache};
+use marconi_core::{CursorTable, PinTicket, PrefixCache, SessionCursor};
 use marconi_trace::{ReloadDecision as TraceReload, TraceEvent, Tracer};
 use marconi_workload::Request;
 use serde::{Deserialize, Serialize};
@@ -97,6 +97,11 @@ struct Running<'a> {
     /// completion so eviction pressure from concurrent completions cannot
     /// reclaim KVs this request is still reading.
     pin: PinTicket,
+    /// The session hint taken at admission, re-spent on the completion
+    /// insert. The insert revalidates it — anything that happened to the
+    /// resume path while this request was in flight makes it fall back to
+    /// the byte-identical root walk.
+    cursor: Option<SessionCursor>,
     decoded: u64,
     /// Work scheduled for the in-flight iteration.
     sched_prefill: u64,
@@ -120,6 +125,11 @@ pub(crate) struct Executor<'a> {
     iterations: u64,
     records: Vec<EventRecord>,
     tracer: Tracer,
+    /// Per-session resume cursors (the PR 10 fast path): deposited by
+    /// completion inserts, spent by the next admission of the same session
+    /// on its lookup and pin, then re-spent on that request's completion
+    /// insert.
+    cursors: CursorTable,
 }
 
 impl<'a> Executor<'a> {
@@ -136,6 +146,7 @@ impl<'a> Executor<'a> {
             iterations: 0,
             records: Vec::new(),
             tracer,
+            cursors: CursorTable::new(crate::engine::DEFAULT_SESSION_CURSOR_CAP),
         }
     }
 
@@ -228,7 +239,10 @@ impl<'a> Executor<'a> {
             // would exempt that path from the admission's own eviction
             // pressure (breaking pin-free parity even at zero load).
             cache.unpin(r.pin);
-            cache.insert_at(&r.req.input, &r.req.output, now);
+            let (_, next) = cache.insert_at_with(&r.req.input, &r.req.output, now, r.cursor);
+            if let Some(cursor) = next {
+                self.cursors.put(r.req.session_id, cursor);
+            }
             let ttft_at = r
                 .prefill_done_at
                 .expect("invariant: completed requests have a prefill timestamp");
@@ -279,8 +293,9 @@ impl<'a> Executor<'a> {
                 req.input_len()
             );
             self.queued_input_tokens = self.queued_input_tokens.saturating_sub(req.input_len());
-            let hit = cache.lookup_at(&req.input, now);
-            let pin = cache.pin_prefix(&req.input);
+            let hint = self.cursors.take(req.session_id);
+            let hit = cache.lookup_at_with(&req.input, now, hint);
+            let pin = cache.pin_prefix_with(&req.input, hint);
             let (reload_s, reload) = match &self.service {
                 ServiceMode::Modeled(gpu) => {
                     let priced = gpu.reload_secs(
@@ -291,7 +306,7 @@ impl<'a> Executor<'a> {
                     if priced.1 != ReloadDecision::None {
                         self.tracer.emit(|| TraceEvent::Reload {
                             ts: now,
-                            cache: cache.name().to_owned(),
+                            cache: cache.name().into(),
                             host_bytes: hit.host_bytes,
                             load_secs: gpu.transfer_secs(hit.host_bytes),
                             recompute_secs: gpu.secs_for_flops(hit.host_reload_flops),
@@ -331,6 +346,7 @@ impl<'a> Executor<'a> {
                 prefill_pos: hit.tokens_matched,
                 prefill_done_at: None,
                 pin,
+                cursor: hint,
                 decoded: 0,
                 sched_prefill: 0,
                 sched_decode: false,

@@ -6,6 +6,12 @@
 //! virtual-clock seconds. The recorder assigns a monotone sequence number
 //! at record time ([`SeqEvent`]), giving a total order even when several
 //! events share a virtual timestamp.
+//!
+//! Cache names are carried as `Arc<str>`: every emitting cache holds its
+//! name refcounted, so building an event clones a pointer instead of
+//! heap-allocating a `String` — the dominant cost of the live-recording
+//! hot path before PR 10 (BENCH_9 measured +19.7% with a `RingRecorder`
+//! attached).
 
 /// Memory tier an event refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +149,43 @@ impl MissCause {
     }
 }
 
+/// Why a session-cursor hint was rejected and the operation fell back to
+/// the root walk. Fallbacks are always safe (the root walk is the ground
+/// truth); the cause is telemetry for tuning cursor-table sizing and
+/// spotting pathologies (e.g. a workload whose sessions hop shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorFallbackCause {
+    /// The resume node was evicted (its arena slot was freed or reused).
+    StaleGeneration,
+    /// The resume node's structure version moved past the cursor (an edge
+    /// merge absorbed into it, its leaf status flipped, or its edge
+    /// changed), so the memoized match can no longer be trusted.
+    StructureChanged,
+    /// The query does not extend the cursor's matched prefix (shorter than
+    /// the match, or diverging at the resume edge).
+    QueryDiverged,
+    /// The resume node's state was demoted off the device tier; the
+    /// session has gone cold enough that the hint is not trusted.
+    ResumeDemoted,
+    /// The hint was minted by a different shard of a sharded cache;
+    /// cursors are shard-local by construction.
+    CrossShard,
+}
+
+impl CursorFallbackCause {
+    /// Stable kebab-case label used by the exporters.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CursorFallbackCause::StaleGeneration => "stale-generation",
+            CursorFallbackCause::StructureChanged => "structure-changed",
+            CursorFallbackCause::QueryDiverged => "query-diverged",
+            CursorFallbackCause::ResumeDemoted => "resume-demoted",
+            CursorFallbackCause::CrossShard => "cross-shard",
+        }
+    }
+}
+
 /// The cache counters a [`TraceEvent::Gauges`] snapshot carries — the
 /// subset of `CacheStats` the live-telemetry views derive rates from.
 /// Cumulative, so two snapshots subtract into a window (the same
@@ -190,7 +233,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache that served the lookup.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Length of the request's input in tokens.
         input_len: u64,
         /// Reusable tokens matched (the hit length).
@@ -209,7 +252,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the admitting cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Prefilled input length in tokens.
         input_len: u64,
         /// Decoded output length in tokens.
@@ -225,7 +268,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Arena index of the new intermediate node.
         node: u64,
         /// Arena index of the new leaf holding the un-shared suffix, if
@@ -237,7 +280,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Arena index of the removed node.
         removed: u64,
         /// Arena index of the child that absorbed the edge.
@@ -249,7 +292,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache under pressure.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Tier the episode relieved.
         tier: TraceTier,
         /// Why the episode ran.
@@ -267,7 +310,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Tokens whose backing state moved host → device.
         tokens: u64,
     },
@@ -276,7 +319,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Arena index of the pinned hit node.
         node: u64,
     },
@@ -285,7 +328,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Arena index of the released node.
         node: u64,
     },
@@ -295,7 +338,7 @@ pub enum TraceEvent {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache whose hit is being reloaded.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Host-resident bytes the hit needs.
         host_bytes: u64,
         /// Seconds to transfer them over PCIe.
@@ -341,13 +384,37 @@ pub enum TraceEvent {
         /// Requests still queued.
         queue_depth: u64,
     },
+    /// A session-cursor hint validated and the walk resumed from the deep
+    /// node, consuming only the delta tokens (the PR 10 fast path).
+    CursorResumed {
+        /// Virtual-clock seconds.
+        ts: f64,
+        /// Name of the cache.
+        cache: std::sync::Arc<str>,
+        /// Arena index of the resume node.
+        node: u64,
+        /// Tokens the cursor skipped (the memoized matched prefix).
+        resumed_len: u64,
+        /// Tokens the operation actually walked past the cursor.
+        delta_tokens: u64,
+    },
+    /// A session-cursor hint was rejected; the operation fell back to the
+    /// byte-identical root walk.
+    CursorFallback {
+        /// Virtual-clock seconds.
+        ts: f64,
+        /// Name of the cache.
+        cache: std::sync::Arc<str>,
+        /// Why the hint was rejected.
+        cause: CursorFallbackCause,
+    },
     /// A periodic telemetry snapshot: occupancy gauges plus cumulative
     /// counters (two snapshots subtract into a window).
     Gauges {
         /// Virtual-clock seconds.
         ts: f64,
         /// Name of the cache.
-        cache: String,
+        cache: std::sync::Arc<str>,
         /// Device-tier bytes resident.
         usage_bytes: u64,
         /// Host-tier bytes resident.
@@ -377,6 +444,8 @@ impl TraceEvent {
             TraceEvent::RouterDecision { .. } => "router-decision",
             TraceEvent::QueueAdmission { .. } => "queue-admission",
             TraceEvent::BatchIteration { .. } => "batch-iteration",
+            TraceEvent::CursorResumed { .. } => "cursor-resumed",
+            TraceEvent::CursorFallback { .. } => "cursor-fallback",
             TraceEvent::Gauges { .. } => "gauges",
         }
     }
@@ -397,6 +466,8 @@ impl TraceEvent {
             | TraceEvent::RouterDecision { ts, .. }
             | TraceEvent::QueueAdmission { ts, .. }
             | TraceEvent::BatchIteration { ts, .. }
+            | TraceEvent::CursorResumed { ts, .. }
+            | TraceEvent::CursorFallback { ts, .. }
             | TraceEvent::Gauges { ts, .. } => *ts,
         }
     }

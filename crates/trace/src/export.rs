@@ -192,6 +192,22 @@ fn fields(ev: &TraceEvent) -> String {
             "\"iteration\":{iteration},\"running\":{running},\
              \"queue_depth\":{queue_depth}"
         ),
+        TraceEvent::CursorResumed {
+            cache,
+            node,
+            resumed_len,
+            delta_tokens,
+            ..
+        } => format!(
+            "\"cache\":\"{}\",\"node\":{node},\"resumed_len\":{resumed_len},\
+             \"delta_tokens\":{delta_tokens}",
+            esc(cache),
+        ),
+        TraceEvent::CursorFallback { cache, cause, .. } => format!(
+            "\"cache\":\"{}\",\"cause\":\"{}\"",
+            esc(cache),
+            cause.label(),
+        ),
         TraceEvent::Gauges {
             cache,
             usage_bytes,
@@ -241,7 +257,9 @@ fn lane(ev: &TraceEvent) -> (u64, &'static str) {
         | TraceEvent::Admission { .. }
         | TraceEvent::EdgeSplit { .. }
         | TraceEvent::EdgeMerge { .. }
-        | TraceEvent::Promotion { .. } => (1, "cache"),
+        | TraceEvent::Promotion { .. }
+        | TraceEvent::CursorResumed { .. }
+        | TraceEvent::CursorFallback { .. } => (1, "cache"),
         TraceEvent::EvictionEpisode { .. } | TraceEvent::Pin { .. } | TraceEvent::Unpin { .. } => {
             (2, "eviction")
         }

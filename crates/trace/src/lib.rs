@@ -54,8 +54,8 @@ mod ring;
 mod sink;
 
 pub use event::{
-    MissCause, PressureCause, ReloadDecision, ReplicaProbe, SeqEvent, StatCounters, TraceEvent,
-    TraceTier, VictimAction, VictimRecord,
+    CursorFallbackCause, MissCause, PressureCause, ReloadDecision, ReplicaProbe, SeqEvent,
+    StatCounters, TraceEvent, TraceTier, VictimAction, VictimRecord,
 };
 pub use export::{to_chrome_trace, to_jsonl};
 pub use ledger::{

@@ -24,13 +24,18 @@ pub struct RingRecorder {
 
 impl RingRecorder {
     /// A recorder retaining at most `cap` events.
+    ///
+    /// The ring is pre-sized to `cap` slots (bounded at 64Ki up front so a
+    /// huge cap does not eagerly allocate), so steady-state recording
+    /// never grows the buffer: each record is a push + (at cap) a pop.
     #[must_use]
     pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
         RingRecorder {
-            cap: cap.max(1),
+            cap,
             next_seq: 0,
             dropped: 0,
-            events: VecDeque::new(),
+            events: VecDeque::with_capacity(cap.min(1 << 16)),
         }
     }
 

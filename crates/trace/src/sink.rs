@@ -134,7 +134,7 @@ mod tests {
             ran = true;
             TraceEvent::Pin {
                 ts: 0.0,
-                cache: String::new(),
+                cache: "".into(),
                 node: 0,
             }
         });
@@ -151,7 +151,7 @@ mod tests {
             ran = true;
             TraceEvent::Pin {
                 ts: 0.0,
-                cache: String::new(),
+                cache: "".into(),
                 node: 0,
             }
         });

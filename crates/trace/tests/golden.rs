@@ -21,7 +21,7 @@ use std::path::PathBuf;
 /// recorder so sequence numbering is exercised too.
 fn seeded_recording() -> RingRecorder {
     let (tracer, recorder) = Tracer::to_sink(RingRecorder::new(64));
-    let cache = || "marconi[flop-aware]".to_owned();
+    let cache = || -> std::sync::Arc<str> { "marconi[flop-aware]".into() };
     tracer.emit(|| TraceEvent::Lookup {
         ts: 0.25,
         cache: cache(),
